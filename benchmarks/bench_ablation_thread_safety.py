@@ -1,0 +1,65 @@
+"""Ablation A1 — cost and behaviour of the thread-safety machinery.
+
+The paper adds mutexes and per-thread accelerator clones.  This ablation
+quantifies (a) the overhead of the locked, cloneable path versus the legacy
+shared path when there is *no* concurrency (the price single-threaded users
+pay), and (b) the throughput of concurrent allocation / service lookup with
+the thread-safe implementation.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import pytest
+
+from repro.config import set_config
+from repro.core.api import qalloc
+from repro.runtime.service_registry import get_accelerator
+
+
+@pytest.mark.parametrize("thread_safe", [True, False], ids=["thread-safe", "legacy"])
+def test_single_threaded_qalloc_overhead(benchmark, thread_safe):
+    """Price of the Listing 6 mutex when only one thread allocates."""
+    set_config(thread_safe=thread_safe, detect_races=False)
+
+    def allocate_batch():
+        for _ in range(100):
+            qalloc(2)
+
+    benchmark(allocate_batch)
+
+
+@pytest.mark.parametrize("thread_safe", [True, False], ids=["thread-safe", "legacy"])
+def test_single_threaded_accelerator_lookup_overhead(benchmark, thread_safe):
+    """Price of cloneable accelerator resolution vs the shared singleton."""
+    set_config(thread_safe=thread_safe, detect_races=False)
+
+    def lookup_batch():
+        for _ in range(50):
+            get_accelerator("qpp")
+
+    benchmark(lookup_batch)
+
+
+def test_concurrent_qalloc_throughput_thread_safe(benchmark):
+    """Concurrent allocation throughput with the paper's locking in place."""
+    set_config(thread_safe=True, detect_races=False)
+
+    def allocate_concurrently():
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: [qalloc(2) for _ in range(25)], range(8)))
+
+    benchmark.pedantic(allocate_concurrently, rounds=5, iterations=1)
+
+
+def test_concurrent_kernel_execution_thread_safe(benchmark):
+    """Two concurrent Bell kernels through the full thread-safe stack."""
+    from repro.algorithms.bell import bell_circuit
+    from repro.core.executor import KernelTask, run_parallel
+
+    tasks = [
+        KernelTask(f"bell_{i}", lambda: bell_circuit(2), 2, shots=128) for i in range(2)
+    ]
+    report = benchmark.pedantic(run_parallel, args=(tasks, 2), rounds=5, iterations=1)
+    benchmark.extra_info["wall_seconds"] = report.wall_time_seconds

@@ -1,0 +1,54 @@
+"""Figure 3 — two Bell kernels (1024 shots each): one-by-one vs parallel.
+
+The paper reports speed-ups over 12-thread one-by-one execution of
+1.00 / 0.96 / 1.30 / 1.63 for {one-by-one 12t, one-by-one 24t, parallel
+2x6t, parallel 2x12t}.  The ``modeled`` benchmarks regenerate those ratios
+deterministically on the paper's machine model; the ``real`` benchmarks time
+actual execution of the same workload on this host (with small thread
+counts, since the host is not a 12-core Ryzen).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.figures import PAPER_FIGURE3, figure3
+from repro.benchmark.harness import BenchmarkHarness
+from repro.benchmark.workloads import bell_workload, figure3_workload
+
+#: The paper's four configurations: (variant, total threads, paper speed-up key).
+_CONFIGURATIONS = [
+    ("one-by-one", 12, "one-by-one 12 threads"),
+    ("one-by-one", 24, "one-by-one 24 threads"),
+    ("parallel", 12, "parallel 2 x (6 threads/task)"),
+    ("parallel", 24, "parallel 2 x (12 threads/task)"),
+]
+
+
+@pytest.mark.parametrize("variant,threads,label", _CONFIGURATIONS)
+def test_fig3_modeled_variant(benchmark, variant, threads, label):
+    """Benchmark the modeled evaluation of one Figure 3 configuration."""
+    harness = BenchmarkHarness(mode="modeled")
+    workload = figure3_workload()
+    result = benchmark(harness.run_variant, workload, variant, threads)
+    benchmark.extra_info["paper_speedup_vs_12t_baseline"] = PAPER_FIGURE3[label]
+    benchmark.extra_info["modeled_duration"] = result.duration
+
+
+def test_fig3_full_series_modeled(benchmark):
+    """Regenerate the whole Figure 3 series and record paper-vs-measured."""
+    series = benchmark(figure3, "modeled")
+    benchmark.extra_info["paper"] = series.paper()
+    benchmark.extra_info["measured"] = {k: round(v, 3) for k, v in series.measured().items()}
+    measured = series.measured()
+    assert measured["parallel 2 x (12 threads/task)"] > 1.2
+    assert measured["parallel 2 x (6 threads/task)"] > 1.1
+
+
+@pytest.mark.parametrize("variant,total_threads", [("one-by-one", 2), ("parallel", 2)])
+def test_fig3_real_execution(benchmark, variant, total_threads):
+    """Wall-clock execution of the two-Bell workload on this host (small scale)."""
+    harness = BenchmarkHarness(mode="real")
+    workload = bell_workload(n_kernels=2, shots=256)
+    result = benchmark(harness.run_variant, workload, variant, total_threads)
+    benchmark.extra_info["wall_seconds"] = result.duration

@@ -1,0 +1,52 @@
+"""Figure 4 — SHOR(N=15, a=2) and SHOR(N=15, a=7) kernels, 10 shots each.
+
+Paper speed-ups over 12-thread one-by-one execution:
+1.00 / 1.02 / 1.20 / 1.22 for {one-by-one 12t, one-by-one 24t, parallel
+2x6t, parallel 2x12t}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.figures import PAPER_FIGURE4, figure4
+from repro.benchmark.harness import BenchmarkHarness
+from repro.benchmark.workloads import figure4_workload, shor_workload
+
+_CONFIGURATIONS = [
+    ("one-by-one", 12, "one-by-one 12 threads"),
+    ("one-by-one", 24, "one-by-one 24 threads"),
+    ("parallel", 12, "parallel 2 x (6 threads/task)"),
+    ("parallel", 24, "parallel 2 x (12 threads/task)"),
+]
+
+
+@pytest.mark.parametrize("variant,threads,label", _CONFIGURATIONS)
+def test_fig4_modeled_variant(benchmark, variant, threads, label):
+    """Benchmark the modeled evaluation of one Figure 4 configuration."""
+    harness = BenchmarkHarness(mode="modeled")
+    workload = figure4_workload()
+    result = benchmark(harness.run_variant, workload, variant, threads)
+    benchmark.extra_info["paper_speedup_vs_12t_baseline"] = PAPER_FIGURE4[label]
+    benchmark.extra_info["modeled_duration"] = result.duration
+
+
+def test_fig4_full_series_modeled(benchmark):
+    """Regenerate the whole Figure 4 series and record paper-vs-measured."""
+    series = benchmark(figure4, "modeled")
+    benchmark.extra_info["paper"] = series.paper()
+    benchmark.extra_info["measured"] = {k: round(v, 3) for k, v in series.measured().items()}
+    measured = series.measured()
+    assert measured["parallel 2 x (12 threads/task)"] > 1.0
+    assert measured["one-by-one 24 threads"] == pytest.approx(1.0, abs=0.15)
+
+
+@pytest.mark.parametrize("variant,total_threads", [("one-by-one", 2), ("parallel", 2)])
+def test_fig4_real_execution(benchmark, variant, total_threads):
+    """Wall-clock execution of the two-Shor workload on this host (small scale)."""
+    harness = BenchmarkHarness(mode="real")
+    workload = shor_workload([(15, 2), (15, 7)], shots=10)
+    result = benchmark.pedantic(
+        harness.run_variant, args=(workload, variant, total_threads), rounds=3, iterations=1
+    )
+    benchmark.extra_info["wall_seconds"] = result.duration

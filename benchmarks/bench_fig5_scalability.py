@@ -1,0 +1,60 @@
+"""Figure 5 — strong scalability of two SHOR(N=7, a=2) kernels.
+
+Paper speed-ups over single-threaded one-by-one execution:
+
+=============  =====  =====  =====  =====  =====
+total threads      2      4      6     12     24
+one-by-one      1.72   3.06   4.18   6.53   6.53
+parallel        1.89   3.27   4.72   7.69   7.82
+=============  =====  =====  =====  =====  =====
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.figures import (
+    PAPER_FIGURE5_ONE_BY_ONE,
+    PAPER_FIGURE5_PARALLEL,
+    figure5,
+)
+from repro.benchmark.harness import BenchmarkHarness
+from repro.benchmark.workloads import figure5_workload
+
+_THREAD_COUNTS = [2, 4, 6, 12, 24]
+
+
+@pytest.mark.parametrize("threads", _THREAD_COUNTS)
+def test_fig5_one_by_one_modeled(benchmark, threads):
+    """One-by-one execution of two SHOR(7, 2) kernels at a given team size."""
+    harness = BenchmarkHarness(mode="modeled")
+    workload = figure5_workload()
+    result = benchmark(harness.run_variant, workload, "one-by-one", threads)
+    benchmark.extra_info["paper_speedup_vs_1t"] = PAPER_FIGURE5_ONE_BY_ONE[threads]
+    benchmark.extra_info["modeled_duration"] = result.duration
+
+
+@pytest.mark.parametrize("threads", _THREAD_COUNTS)
+def test_fig5_parallel_modeled(benchmark, threads):
+    """Parallel execution (2 tasks x threads/2 each) of two SHOR(7, 2) kernels."""
+    harness = BenchmarkHarness(mode="modeled")
+    workload = figure5_workload()
+    result = benchmark(harness.run_variant, workload, "parallel", threads)
+    benchmark.extra_info["paper_speedup_vs_1t"] = PAPER_FIGURE5_PARALLEL[threads]
+    benchmark.extra_info["modeled_duration"] = result.duration
+
+
+def test_fig5_full_series_modeled(benchmark):
+    """Regenerate the full strong-scaling series and check its shape."""
+    series = benchmark(figure5, "modeled")
+    measured = series.measured()
+    benchmark.extra_info["paper"] = series.paper()
+    benchmark.extra_info["measured"] = {k: round(v, 3) for k, v in measured.items()}
+    one_by_one = [measured[f"one-by-one {t} threads"] for t in _THREAD_COUNTS]
+    parallel = [measured[f"parallel 2 x ({t // 2} threads/task)"] for t in _THREAD_COUNTS]
+    # Scaling is monotone up to the core count and flat into SMT territory.
+    assert one_by_one[0] < one_by_one[1] < one_by_one[2] < one_by_one[3]
+    assert one_by_one[4] == pytest.approx(one_by_one[3], rel=0.15)
+    # The parallel variant wins at every total thread count (the paper's claim).
+    for o, p in zip(one_by_one, parallel):
+        assert p > o

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.config import reset_config, set_config  # noqa: E402
+from repro.core.qpu_manager import QPUManager  # noqa: E402
+from repro.core.race_detector import reset_race_detector  # noqa: E402
+from repro.runtime.allocation import clear_allocated_buffers  # noqa: E402
+from repro.runtime.service_registry import reset_registry  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime_state():
+    """Benchmarks share the same global-state hygiene as the test suite."""
+    reset_config()
+    set_config(seed=1234)
+    reset_registry()
+    QPUManager.reset_instance()
+    reset_race_detector()
+    clear_allocated_buffers()
+    yield
+    reset_config()
+    reset_registry()
+    QPUManager.reset_instance()
+    reset_race_detector()
+    clear_allocated_buffers()

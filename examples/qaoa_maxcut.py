@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""QAOA for MaxCut — the other variational workload QCOR advertises.
+
+Solves MaxCut on a small random graph with a depth-2 QAOA, then shows the
+task-level parallelism angle: several graphs are optimised concurrently,
+each on its own user thread with its own QPU instance.
+
+Run with::
+
+    python examples/qaoa_maxcut.py
+"""
+
+import networkx as nx
+
+from repro.algorithms.qaoa import run_qaoa_maxcut
+from repro.core.threading_api import TaskGroup
+
+
+def main() -> None:
+    print("== Depth-2 QAOA on a 3-regular random graph (8 nodes) ==")
+    graph = nx.random_regular_graph(3, 8, seed=42)
+    result = run_qaoa_maxcut(graph, p=2, seed=1)
+    print(f"best sampled cut   : {result.best_cut_value:.1f} "
+          f"(optimum {result.max_possible_cut:.1f})")
+    print(f"approximation ratio: {result.approximation_ratio:.3f}")
+    print(f"best assignment    : {result.best_bitstring}")
+    print(f"optimal angles     : {[round(a, 3) for a in result.optimal_angles]}")
+
+    print("\n== Task-level parallelism: three graphs optimised concurrently ==")
+    graphs = {
+        "triangle": nx.cycle_graph(3),
+        "square": nx.cycle_graph(4),
+        "path5": nx.path_graph(5),
+    }
+    with TaskGroup() as group:
+        for graph in graphs.values():
+            group.launch(run_qaoa_maxcut, graph, 2, "nelder-mead", 3)
+    for name, outcome in zip(graphs, group.results()):
+        print(f"{name:>9}: cut {outcome.best_cut_value:.1f} / {outcome.max_possible_cut:.1f} "
+              f"(ratio {outcome.approximation_ratio:.2f})")
+
+
+if __name__ == "__main__":
+    main()

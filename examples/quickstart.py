@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart — the paper's Listing 1/2: a single-source Bell kernel.
+
+Run with::
+
+    python examples/quickstart.py
+
+The kernel body is plain Python using the tracing DSL; calling the kernel
+with an allocated register executes it on the calling thread's QPU (the
+Quantum++-style state-vector backend) and fills the register's buffer with
+the measurement histogram, which prints in the AcceleratorBuffer format the
+paper shows in Listing 2.
+"""
+
+import repro
+from repro import qpu
+from repro.compiler.dsl import CX, H, Measure
+
+
+# The Bell kernel (Listing 1).
+@qpu
+def bell(q):
+    H(q[0])
+    CX(q[0], q[1])
+    for i in range(q.size()):
+        Measure(q[i])
+
+
+def main() -> None:
+    # Configure the default backend and shot count (1024, as in the paper).
+    repro.initialize("qpp", shots=1024)
+
+    # Create one qubit register of size 2.
+    q = repro.qalloc(2)
+
+    # Run the quantum kernel.
+    bell(q)
+
+    # Dump the results (Listing 2 format).
+    q.print()
+
+    # The same kernel is also available as IR, e.g. for inspection:
+    print("\nKernel IR (XASM form):")
+    print(bell.xasm(2))
+
+
+if __name__ == "__main__":
+    main()

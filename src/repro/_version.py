@@ -1,0 +1,6 @@
+"""Package version information."""
+
+__version__ = "0.1.0"
+
+#: Version tuple for programmatic comparisons.
+VERSION_INFO = tuple(int(part) for part in __version__.split("."))

@@ -1,0 +1,57 @@
+"""Quantum kernels and quantum-classical algorithms used by the paper.
+
+* :mod:`~repro.algorithms.bell` — the 2-qubit Bell kernel (Listing 1,
+  Figure 3's workload).
+* :mod:`~repro.algorithms.ghz` / :mod:`~repro.algorithms.qft` — building
+  blocks (GHZ states, quantum Fourier transform).
+* :mod:`~repro.algorithms.shor` — Shor's algorithm: the period-finding
+  kernel (Figures 4 and 5's workload) plus the classical driver of
+  Algorithm 1.
+* :mod:`~repro.algorithms.parallel_shor` — the async parallel driver of
+  Algorithm 2.
+* :mod:`~repro.algorithms.vqe` — the deuteron VQE of Listing 3.
+* :mod:`~repro.algorithms.qaoa` — QAOA for MaxCut (the other variational
+  workload QCOR advertises).
+"""
+
+from .bell import bell_circuit, bell_kernel, run_bell
+from .ghz import ghz_circuit, run_ghz
+from .qft import qft_circuit, inverse_qft_circuit
+from .shor import (
+    ShorResult,
+    continued_fraction_period,
+    modular_exponentiation_permutation,
+    period_finding_circuit,
+    run_order_finding,
+    shor_factor,
+    shor_task,
+)
+from .parallel_shor import parallel_shor_factor
+from .vqe import deuteron_hamiltonian, deuteron_ansatz_circuit, run_deuteron_vqe, VQEResult
+from .qaoa import maxcut_hamiltonian, qaoa_circuit, run_qaoa_maxcut, QAOAResult
+
+__all__ = [
+    "bell_circuit",
+    "bell_kernel",
+    "run_bell",
+    "ghz_circuit",
+    "run_ghz",
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "ShorResult",
+    "continued_fraction_period",
+    "modular_exponentiation_permutation",
+    "period_finding_circuit",
+    "run_order_finding",
+    "shor_factor",
+    "shor_task",
+    "parallel_shor_factor",
+    "deuteron_hamiltonian",
+    "deuteron_ansatz_circuit",
+    "run_deuteron_vqe",
+    "VQEResult",
+    "maxcut_hamiltonian",
+    "qaoa_circuit",
+    "run_qaoa_maxcut",
+    "QAOAResult",
+]

@@ -1,0 +1,46 @@
+"""The 2-qubit Bell kernel (Listing 1 of the paper).
+
+Three equivalent entry points are provided so examples and tests can
+exercise every front end:
+
+* :func:`bell_circuit` — plain IR construction,
+* :data:`bell_kernel` — the ``@qpu`` single-source kernel, and
+* :func:`run_bell` — allocate, execute on the calling thread's QPU, return
+  the counts (what ``foo()`` does in Listing 4).
+"""
+
+from __future__ import annotations
+
+from ..compiler.dsl import CX, H, Measure
+from ..compiler.kernel import qpu
+from ..ir.builder import CircuitBuilder
+from ..ir.composite import CompositeInstruction
+from ..runtime.qreg import qreg
+
+__all__ = ["bell_circuit", "bell_kernel", "run_bell"]
+
+
+def bell_circuit(n_qubits: int = 2) -> CompositeInstruction:
+    """Bell/GHZ-style circuit: H on qubit 0, a CX chain, measure everything."""
+    builder = CircuitBuilder(n_qubits, name="bell")
+    builder.h(0)
+    for target in range(1, n_qubits):
+        builder.cx(0, target)
+    return builder.measure_all().build()
+
+
+@qpu
+def bell_kernel(q) -> None:
+    """The Bell kernel exactly as written in the paper's Listing 1."""
+    H(q[0])
+    CX(q[0], q[1])
+    for i in range(q.size()):
+        Measure(q[i])
+
+
+def run_bell(register: qreg | None = None, shots: int | None = None) -> dict[str, int]:
+    """Allocate (if needed), run the Bell kernel and return the counts."""
+    from ..core.api import qalloc
+
+    q = register if register is not None else qalloc(2)
+    return bell_kernel(q, shots=shots)

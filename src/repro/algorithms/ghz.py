@@ -1,0 +1,34 @@
+"""GHZ-state preparation kernels.
+
+GHZ states generalise the Bell pair to ``n`` qubits and are used by the test
+suite as a scaling knob (the state size grows while the structure stays
+trivial to verify: counts must concentrate on the all-zeros and all-ones
+bitstrings).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import CircuitBuilder
+from ..ir.composite import CompositeInstruction
+from ..runtime.qreg import qreg
+
+__all__ = ["ghz_circuit", "run_ghz"]
+
+
+def ghz_circuit(n_qubits: int, measure: bool = True) -> CompositeInstruction:
+    """H on qubit 0 followed by a CX ladder; optionally measure all qubits."""
+    builder = CircuitBuilder(n_qubits, name=f"ghz{n_qubits}")
+    builder.h(0)
+    for target in range(1, n_qubits):
+        builder.cx(target - 1, target)
+    if measure:
+        builder.measure_all()
+    return builder.build()
+
+
+def run_ghz(n_qubits: int, shots: int | None = None, register: qreg | None = None) -> dict[str, int]:
+    """Allocate (if needed), execute the GHZ kernel and return the counts."""
+    from ..core.api import execute_circuit, qalloc
+
+    q = register if register is not None else qalloc(n_qubits)
+    return execute_circuit(ghz_circuit(n_qubits), q, shots=shots)

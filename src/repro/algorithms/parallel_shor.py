@@ -1,0 +1,74 @@
+"""Parallel Shor driver (Algorithm 2 of the paper).
+
+Algorithm 2 turns the per-base attempts of Shor's algorithm into
+asynchronous tasks: each candidate base ``a`` gets its own quantum-classical
+task launched with ``async``.  Here those tasks are launched with
+:func:`repro.core.threading_api.qcor_async`, so each one initialises its own
+per-thread QPU instance — exactly the scenario the thread-safety work
+enables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..core.threading_api import TaskGroup
+from .shor import ShorResult, run_order_finding
+
+__all__ = ["parallel_shor_factor"]
+
+
+def _choose_bases(N: int, how_many: int, rng: np.random.Generator) -> list[int]:
+    """Pick ``how_many`` distinct bases coprime to ``N`` (or trivial factors)."""
+    candidates = [a for a in range(2, N - 1)]
+    rng.shuffle(candidates)
+    return candidates[:how_many]
+
+
+def parallel_shor_factor(
+    N: int,
+    n_tasks: int = 2,
+    shots: int = 10,
+    bases: Sequence[int] | None = None,
+    accelerator: str | None = None,
+    seed: int | None = None,
+) -> ShorResult:
+    """Factor ``N`` by running ``n_tasks`` order-finding tasks concurrently.
+
+    Each task uses its own base ``a``.  Bases whose gcd with ``N`` is already
+    non-trivial short-circuit without a kernel launch (Algorithm 1, line 8).
+    The first successful task's result is returned; if none succeeds, the
+    result of the last task is returned so callers can inspect its period
+    estimate.
+    """
+    if N < 4:
+        raise ConfigurationError(f"N must be a composite number >= 4, got {N}")
+    if n_tasks < 1:
+        raise ConfigurationError(f"n_tasks must be at least 1, got {n_tasks}")
+    if N % 2 == 0:
+        return ShorResult(N=N, a=2, factors=(2, N // 2))
+
+    rng = np.random.default_rng(seed)
+    chosen = list(bases) if bases is not None else _choose_bases(N, n_tasks, rng)
+    if not chosen:
+        raise ConfigurationError(f"no usable bases available for N={N}")
+
+    # Classical short-circuit for lucky bases.
+    for a in chosen:
+        common = math.gcd(int(a), N)
+        if common > 1:
+            return ShorResult(N=N, a=int(a), factors=(common, N // common))
+
+    with TaskGroup(accelerator=accelerator) as group:
+        for a in chosen:
+            group.launch(run_order_finding, N, int(a), shots)
+    results: list[ShorResult] = group.results()
+
+    for result in results:
+        if result.succeeded:
+            return result
+    return results[-1]

@@ -1,0 +1,48 @@
+"""Quantum Fourier transform circuits.
+
+Used by the Shor period-finding kernel (its final step is an inverse QFT on
+the counting register).  Qubit ``qubits[0]`` is treated as the least
+significant bit of the transformed integer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..exceptions import IRError
+from ..ir.builder import CircuitBuilder
+from ..ir.composite import CompositeInstruction
+
+__all__ = ["qft_circuit", "inverse_qft_circuit"]
+
+
+def qft_circuit(
+    qubits: Sequence[int] | int, with_swaps: bool = True, name: str = "qft"
+) -> CompositeInstruction:
+    """QFT over ``qubits`` (a list of indices, or a count meaning ``range(n)``)."""
+    indices = list(range(qubits)) if isinstance(qubits, int) else [int(q) for q in qubits]
+    if not indices:
+        raise IRError("QFT requires at least one qubit")
+    n = len(indices)
+    builder = CircuitBuilder(name=name)
+    # Standard textbook construction, most significant qubit first.
+    for i in range(n - 1, -1, -1):
+        builder.h(indices[i])
+        for j in range(i - 1, -1, -1):
+            angle = math.pi / (2 ** (i - j))
+            builder.cphase(indices[j], indices[i], angle)
+    if with_swaps:
+        for i in range(n // 2):
+            builder.swap(indices[i], indices[n - 1 - i])
+    return builder.build()
+
+
+def inverse_qft_circuit(
+    qubits: Sequence[int] | int, with_swaps: bool = True, name: str = "iqft"
+) -> CompositeInstruction:
+    """Inverse QFT (the adjoint of :func:`qft_circuit`)."""
+    circuit = qft_circuit(qubits, with_swaps=with_swaps, name=name)
+    inverse = circuit.inverse()
+    inverse.name = name
+    return inverse

@@ -1,0 +1,285 @@
+"""Shor's algorithm: the period-finding kernel and the classical driver.
+
+This is the workload behind Figures 4 and 5 of the paper.  The kernel
+follows the standard order-finding construction (the paper cites
+Beauregard's 2n+3-qubit circuit; we use the semantically equivalent
+"controlled modular multiplication as a permutation" construction, which is
+exact for the small ``N`` the paper evaluates and keeps the gate count —
+and therefore the simulated state size — in the same regime):
+
+* a *work register* of ``n = ceil(log2(N))`` qubits initialised to ``|1>``;
+* a *counting register* of ``t = 2n`` qubits put into uniform superposition;
+* for each counting qubit ``j``, a controlled permutation implementing
+  ``|y> -> |a^(2^j) * y mod N>`` on the work register;
+* an inverse QFT on the counting register followed by its measurement.
+
+The classical side implements Algorithm 1 of the paper: repeatedly choose a
+random base ``a``, return early if ``gcd(a, N)`` is already a factor,
+otherwise estimate the order ``r`` of ``a`` from the kernel's measurement
+statistics via continued fractions and derive factors from
+``gcd(a^(r/2) +- 1, N)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ExecutionError
+from ..ir.builder import CircuitBuilder
+from ..ir.composite import CompositeInstruction
+from ..ir.gates import Measure
+from ..runtime.qreg import qreg
+from .qft import inverse_qft_circuit
+
+__all__ = [
+    "ShorResult",
+    "modular_exponentiation_permutation",
+    "period_finding_circuit",
+    "continued_fraction_period",
+    "run_order_finding",
+    "shor_task",
+    "shor_factor",
+]
+
+
+# ---------------------------------------------------------------------------
+# Kernel construction
+# ---------------------------------------------------------------------------
+
+
+def _validate_modulus_base(N: int, a: int) -> None:
+    if N < 3:
+        raise ConfigurationError(f"N must be at least 3, got {N}")
+    if not 1 < a < N:
+        raise ConfigurationError(f"base a must satisfy 1 < a < N, got a={a}, N={N}")
+    if math.gcd(a, N) != 1:
+        raise ConfigurationError(
+            f"base a={a} shares a factor with N={N}; order finding requires gcd(a, N) = 1"
+        )
+
+
+def modular_exponentiation_permutation(a: int, power: int, N: int, n_bits: int) -> list[int]:
+    """Permutation of ``2**n_bits`` basis states mapping ``y`` to ``a^power * y mod N``.
+
+    Values ``y >= N`` are left untouched (they never occur when the work
+    register starts in ``|1>``, but the map must still be a bijection to be
+    a valid gate).
+    """
+    _validate_modulus_base(N, a % N if a % N > 1 else a)
+    if n_bits < math.ceil(math.log2(N)):
+        raise ConfigurationError(
+            f"n_bits={n_bits} cannot represent values modulo N={N}"
+        )
+    multiplier = pow(a, power, N)
+    dim = 1 << n_bits
+    permutation = list(range(dim))
+    for y in range(N):
+        permutation[y] = (multiplier * y) % N
+    # Bijectivity check (multiplication by a unit modulo N permutes Z_N).
+    if sorted(permutation) != list(range(dim)):
+        raise ExecutionError("modular multiplication did not produce a permutation")
+    return permutation
+
+
+def period_finding_circuit(
+    N: int, a: int, counting_qubits: int | None = None, name: str | None = None
+) -> CompositeInstruction:
+    """Order-finding kernel for ``a`` modulo ``N``.
+
+    Layout: work register on qubits ``0 .. n-1`` (initialised to ``|1>``),
+    counting register on qubits ``n .. n+t-1``.  Only the counting register
+    is measured.
+    """
+    _validate_modulus_base(N, a)
+    n = math.ceil(math.log2(N))
+    t = counting_qubits if counting_qubits is not None else 2 * n
+    if t < 1:
+        raise ConfigurationError(f"counting register needs at least 1 qubit, got {t}")
+    total = n + t
+    builder = CircuitBuilder(total, name=name or f"shor_kernel_N{N}_a{a}")
+    # Work register starts in |1>.
+    builder.x(0)
+    # Counting register in uniform superposition.
+    counting = list(range(n, n + t))
+    for qubit in counting:
+        builder.h(qubit)
+    # Controlled modular multiplications.  The permutation acts on
+    # (control, work_0 ... work_{n-1}): control is local bit 0, the work
+    # value occupies local bits 1..n.
+    for j, control in enumerate(counting):
+        permutation = modular_exponentiation_permutation(a, 1 << j, N, n)
+        dim = 1 << (n + 1)
+        controlled = list(range(dim))
+        for y, mapped in enumerate(permutation):
+            controlled[1 + (y << 1)] = 1 + (mapped << 1)
+        builder.permutation(
+            controlled, [control] + list(range(n)), name=f"CMULT_a{a}p{1 << j}"
+        )
+    # Inverse QFT over the counting register, then measure it.
+    circuit = builder.build()
+    circuit.add(inverse_qft_circuit(counting))
+    for qubit in counting:
+        circuit.add(Measure([qubit]))
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Classical post-processing
+# ---------------------------------------------------------------------------
+
+
+def continued_fraction_period(measured: int, t_bits: int, N: int) -> int | None:
+    """Estimate the order ``r`` from a counting-register measurement.
+
+    ``measured / 2**t_bits`` is close to ``k / r`` for a random ``k``; the
+    continued-fraction convergent with the largest denominator below ``N``
+    is the candidate period.  Returns ``None`` for the uninformative
+    ``measured == 0`` outcome.
+    """
+    if t_bits < 1:
+        raise ConfigurationError("t_bits must be at least 1")
+    if measured == 0:
+        return None
+    fraction = Fraction(measured, 1 << t_bits).limit_denominator(N - 1)
+    r = fraction.denominator
+    return r if r >= 1 else None
+
+
+def _counts_to_phases(counts: dict[str, int], t_bits: int) -> list[tuple[int, int]]:
+    """Convert counting-register bitstrings to integers (with their counts).
+
+    The execution layer reports measured qubits in ascending qubit order and
+    the counting register occupies the highest qubit indices, so character
+    ``i`` of the bitstring is counting bit ``i`` (LSB first).
+    """
+    phases: list[tuple[int, int]] = []
+    for bitstring, count in counts.items():
+        if len(bitstring) != t_bits:
+            raise ExecutionError(
+                f"expected {t_bits}-bit measurement strings, got {bitstring!r}"
+            )
+        value = sum((1 << i) for i, bit in enumerate(bitstring) if bit == "1")
+        phases.append((value, count))
+    return phases
+
+
+@dataclass
+class ShorResult:
+    """Outcome of one Shor task (one base ``a``)."""
+
+    N: int
+    a: int
+    factors: tuple[int, ...] = ()
+    period: int | None = None
+    #: Raw kernel measurement histogram (counting register integers).
+    phase_counts: dict[int, int] = field(default_factory=dict)
+    #: Number of kernel shots used.
+    shots: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.factors)
+
+
+def run_order_finding(
+    N: int,
+    a: int,
+    shots: int = 10,
+    counting_qubits: int | None = None,
+    register: qreg | None = None,
+) -> ShorResult:
+    """Execute the period-finding kernel and post-process the measurements.
+
+    This is the quantum-classical task the paper calls SHOR(N, a): it runs
+    the kernel ``shots`` times, extracts a period candidate from each
+    measured phase, keeps the smallest consistent period (verifying
+    ``a^r = 1 mod N``) and, when the period is usable, derives factors.
+    """
+    _validate_modulus_base(N, a)
+    from ..core.api import execute_circuit, qalloc
+
+    n = math.ceil(math.log2(N))
+    t = counting_qubits if counting_qubits is not None else 2 * n
+    circuit = period_finding_circuit(N, a, counting_qubits=t)
+    q = register if register is not None else qalloc(n + t)
+    counts = execute_circuit(circuit, q, shots=shots)
+    phases = _counts_to_phases(counts, t)
+
+    result = ShorResult(N=N, a=a, shots=shots, phase_counts=dict(phases))
+    candidate_periods: list[int] = []
+    for value, _count in phases:
+        r = continued_fraction_period(value, t, N)
+        if r is None:
+            continue
+        # The convergent denominator may be a divisor of the true period;
+        # try small multiples as well.
+        for multiple in range(1, 5):
+            candidate = r * multiple
+            if candidate >= N:
+                break
+            if pow(a, candidate, N) == 1:
+                candidate_periods.append(candidate)
+                break
+    if not candidate_periods:
+        return result
+    period = min(candidate_periods)
+    result.period = period
+    if period % 2 == 1:
+        return result
+    half_power = pow(a, period // 2, N)
+    if half_power == N - 1:
+        return result
+    factors = set()
+    for candidate in (math.gcd(half_power - 1, N), math.gcd(half_power + 1, N)):
+        if 1 < candidate < N:
+            factors.add(candidate)
+    result.factors = tuple(sorted(factors))
+    return result
+
+
+#: Alias emphasising the task-level-parallelism framing of the paper.
+shor_task = run_order_finding
+
+
+def shor_factor(
+    N: int,
+    shots: int = 10,
+    max_attempts: int = 20,
+    rng: np.random.Generator | None = None,
+    bases: Iterable[int] | None = None,
+) -> ShorResult:
+    """Full Shor driver (Algorithm 1 of the paper).
+
+    Repeatedly chooses a base (randomly, or from ``bases`` when provided),
+    short-circuits when ``gcd(a, N)`` already reveals a factor, and otherwise
+    runs the quantum order-finding task.  Returns the first successful
+    :class:`ShorResult` or the last attempted one when every attempt fails.
+    """
+    if N < 4:
+        raise ConfigurationError(f"N must be a composite number >= 4, got {N}")
+    if N % 2 == 0:
+        return ShorResult(N=N, a=2, factors=(2, N // 2))
+    rng = rng or np.random.default_rng()
+    base_iterator = iter(bases) if bases is not None else None
+    last_result = ShorResult(N=N, a=0)
+    for _ in range(max_attempts):
+        if base_iterator is not None:
+            try:
+                a = int(next(base_iterator))
+            except StopIteration:
+                break
+        else:
+            a = int(rng.integers(2, N - 1))
+        common = math.gcd(a, N)
+        if common > 1:
+            return ShorResult(N=N, a=a, factors=(common, N // common))
+        result = run_order_finding(N, a, shots=shots)
+        last_result = result
+        if result.succeeded:
+            return result
+    return last_result

@@ -1,0 +1,55 @@
+"""Command-line entry point: ``python -m repro.benchmark <figure> [--mode ...]``.
+
+Examples::
+
+    python -m repro.benchmark all                 # modeled mode, all figures
+    python -m repro.benchmark fig3 --mode real    # wall-clock on this host
+    python -m repro.benchmark fig5 --csv          # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import figure3, figure4, figure5
+from .reporting import figure_to_csv, format_figure
+
+_FIGURES = {
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchmark",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(_FIGURES) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["modeled", "real"],
+        default="modeled",
+        help="modeled: deterministic cost-model simulation of the paper's machine; "
+        "real: wall-clock execution on this host",
+    )
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    args = parser.parse_args(argv)
+
+    names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        series = _FIGURES[name](mode=args.mode)
+        output = figure_to_csv(series) if args.csv else format_figure(series)
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

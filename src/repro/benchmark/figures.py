@@ -1,0 +1,177 @@
+"""Regeneration of the paper's Figures 3, 4 and 5.
+
+Each ``figureN()`` function runs the corresponding workload through the
+:class:`~repro.benchmark.harness.BenchmarkHarness` and returns a
+:class:`FigureSeries` pairing the paper's reported speed-ups with the
+measured (modeled or real) ones, point by point.  The paper's numbers are
+read off its bar charts and kept here as constants so EXPERIMENTS.md and the
+test suite can quantify how closely the reproduction tracks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+from .harness import BenchmarkHarness, VariantResult
+from .workloads import Workload, figure3_workload, figure4_workload, figure5_workload
+
+__all__ = [
+    "FigureSeries",
+    "figure3",
+    "figure4",
+    "figure5",
+    "PAPER_FIGURE3",
+    "PAPER_FIGURE4",
+    "PAPER_FIGURE5_ONE_BY_ONE",
+    "PAPER_FIGURE5_PARALLEL",
+]
+
+#: Figure 3 (two Bell kernels): speed-up over one-by-one execution with 12
+#: threads, as reported by the paper.
+PAPER_FIGURE3: dict[str, float] = {
+    "one-by-one 12 threads": 1.00,
+    "one-by-one 24 threads": 0.96,
+    "parallel 2 x (6 threads/task)": 1.30,
+    "parallel 2 x (12 threads/task)": 1.63,
+}
+
+#: Figure 4 (SHOR(15, 2) + SHOR(15, 7)): speed-up over 12-thread one-by-one.
+PAPER_FIGURE4: dict[str, float] = {
+    "one-by-one 12 threads": 1.00,
+    "one-by-one 24 threads": 1.02,
+    "parallel 2 x (6 threads/task)": 1.20,
+    "parallel 2 x (12 threads/task)": 1.22,
+}
+
+#: Figure 5 (two SHOR(7, 2) kernels): speed-up over single-threaded
+#: one-by-one execution, for the conventional variant ...
+PAPER_FIGURE5_ONE_BY_ONE: dict[int, float] = {2: 1.72, 4: 3.06, 6: 4.18, 12: 6.53, 24: 6.53}
+#: ... and for the parallel variant (keyed by *total* threads; each of the
+#: two tasks uses half of them).
+PAPER_FIGURE5_PARALLEL: dict[int, float] = {2: 1.89, 4: 3.27, 6: 4.72, 12: 7.69, 24: 7.82}
+
+
+@dataclass
+class FigurePoint:
+    """One bar of a figure: paper-reported vs measured speed-up."""
+
+    label: str
+    paper_speedup: float
+    measured_speedup: float
+    duration: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_speedup == 0:
+            return 0.0
+        return abs(self.measured_speedup - self.paper_speedup) / self.paper_speedup
+
+
+@dataclass
+class FigureSeries:
+    """A regenerated figure: an ordered list of points plus metadata."""
+
+    figure: str
+    workload: str
+    baseline_label: str
+    mode: str
+    points: list[FigurePoint] = field(default_factory=list)
+
+    def measured(self) -> dict[str, float]:
+        return {p.label: p.measured_speedup for p in self.points}
+
+    def paper(self) -> dict[str, float]:
+        return {p.label: p.paper_speedup for p in self.points}
+
+    def max_relative_error(self) -> float:
+        return max((p.relative_error for p in self.points), default=0.0)
+
+    def point(self, label: str) -> FigurePoint:
+        for candidate in self.points:
+            if candidate.label == label:
+                return candidate
+        raise ConfigurationError(f"no point labelled {label!r} in {self.figure}")
+
+
+def _speedup_figure(
+    figure_name: str,
+    workload: Workload,
+    configurations: list[tuple[str, int, float]],
+    baseline_index: int,
+    harness: BenchmarkHarness,
+) -> FigureSeries:
+    """Run ``configurations`` (variant, total_threads, paper value) and
+    normalise durations against the configuration at ``baseline_index``."""
+    results: list[VariantResult] = [
+        harness.run_variant(workload, variant, threads)
+        for variant, threads, _paper in configurations
+    ]
+    baseline = results[baseline_index]
+    series = FigureSeries(
+        figure=figure_name,
+        workload=workload.name,
+        baseline_label=baseline.label,
+        mode=results[0].mode,
+    )
+    for result, (_variant, _threads, paper_value) in zip(results, configurations):
+        series.points.append(
+            FigurePoint(
+                label=result.label,
+                paper_speedup=paper_value,
+                measured_speedup=baseline.duration / result.duration,
+                duration=result.duration,
+            )
+        )
+    return series
+
+
+def figure3(mode: str | None = None, harness: BenchmarkHarness | None = None) -> FigureSeries:
+    """Figure 3: two Bell kernels, one-by-one vs parallel."""
+    harness = harness or BenchmarkHarness(mode=mode)
+    if mode is not None:
+        harness.mode = mode
+    workload = figure3_workload()
+    configurations = [
+        ("one-by-one", 12, PAPER_FIGURE3["one-by-one 12 threads"]),
+        ("one-by-one", 24, PAPER_FIGURE3["one-by-one 24 threads"]),
+        ("parallel", 12, PAPER_FIGURE3["parallel 2 x (6 threads/task)"]),
+        ("parallel", 24, PAPER_FIGURE3["parallel 2 x (12 threads/task)"]),
+    ]
+    return _speedup_figure("Figure 3 (Bell kernel)", workload, configurations, 0, harness)
+
+
+def figure4(mode: str | None = None, harness: BenchmarkHarness | None = None) -> FigureSeries:
+    """Figure 4: SHOR(N=15, a=2) and SHOR(N=15, a=7), one-by-one vs parallel."""
+    harness = harness or BenchmarkHarness(mode=mode)
+    if mode is not None:
+        harness.mode = mode
+    workload = figure4_workload()
+    configurations = [
+        ("one-by-one", 12, PAPER_FIGURE4["one-by-one 12 threads"]),
+        ("one-by-one", 24, PAPER_FIGURE4["one-by-one 24 threads"]),
+        ("parallel", 12, PAPER_FIGURE4["parallel 2 x (6 threads/task)"]),
+        ("parallel", 24, PAPER_FIGURE4["parallel 2 x (12 threads/task)"]),
+    ]
+    return _speedup_figure("Figure 4 (Shor kernel)", workload, configurations, 0, harness)
+
+
+def figure5(mode: str | None = None, harness: BenchmarkHarness | None = None) -> FigureSeries:
+    """Figure 5: strong scalability of two SHOR(N=7, a=2) kernels.
+
+    The baseline is single-threaded one-by-one execution; the series
+    contains the one-by-one points (2/4/6/12/24 threads) followed by the
+    parallel points (2 x 1/2/3/6/12 threads per task).
+    """
+    harness = harness or BenchmarkHarness(mode=mode)
+    if mode is not None:
+        harness.mode = mode
+    workload = figure5_workload()
+    configurations: list[tuple[str, int, float]] = [("one-by-one", 1, 1.0)]
+    for threads, paper_value in PAPER_FIGURE5_ONE_BY_ONE.items():
+        configurations.append(("one-by-one", threads, paper_value))
+    for threads, paper_value in PAPER_FIGURE5_PARALLEL.items():
+        configurations.append(("parallel", threads, paper_value))
+    return _speedup_figure(
+        "Figure 5 (Shor strong scaling)", workload, configurations, 0, harness
+    )

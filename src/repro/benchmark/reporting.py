@@ -1,0 +1,55 @@
+"""Plain-text reporting of benchmark results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .figures import FigureSeries
+
+__all__ = ["format_table", "format_figure", "figure_to_csv"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table (no external dependencies)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_figure(series: FigureSeries) -> str:
+    """Render a regenerated figure as a paper-vs-measured comparison table."""
+    rows = []
+    for point in series.points:
+        rows.append(
+            [
+                point.label,
+                f"{point.paper_speedup:.2f}",
+                f"{point.measured_speedup:.2f}",
+                f"{100.0 * point.relative_error:.1f}%",
+            ]
+        )
+    header = (
+        f"{series.figure} — workload: {series.workload}\n"
+        f"baseline: {series.baseline_label} (mode: {series.mode})\n"
+    )
+    table = format_table(["configuration", "paper speed-up", "measured speed-up", "rel. error"], rows)
+    return header + table
+
+
+def figure_to_csv(series: FigureSeries) -> str:
+    """Render a regenerated figure as CSV (one row per configuration)."""
+    lines = ["configuration,paper_speedup,measured_speedup,duration"]
+    for point in series.points:
+        lines.append(
+            f"{point.label},{point.paper_speedup:.4f},{point.measured_speedup:.4f},"
+            f"{point.duration:.6f}"
+        )
+    return "\n".join(lines) + "\n"

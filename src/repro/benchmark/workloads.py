@@ -1,0 +1,88 @@
+"""Workload definitions for the paper's evaluation.
+
+Each workload is a list of :class:`~repro.core.executor.KernelTask` objects
+plus enough metadata for the harness to build either real executions or
+modeled :class:`~repro.parallel.scheduler.SimTask` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..algorithms.bell import bell_circuit
+from ..algorithms.shor import period_finding_circuit
+from ..core.executor import KernelTask
+from ..ir.composite import CompositeInstruction
+
+__all__ = [
+    "Workload",
+    "bell_workload",
+    "shor_workload",
+    "figure3_workload",
+    "figure4_workload",
+    "figure5_workload",
+]
+
+
+@dataclass
+class Workload:
+    """A named set of kernel tasks evaluated together."""
+
+    name: str
+    tasks: list[KernelTask]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def circuits(self) -> list[CompositeInstruction]:
+        return [task.build_circuit() for task in self.tasks]
+
+
+def _task(name: str, factory: Callable[[], CompositeInstruction], n_qubits: int, shots: int) -> KernelTask:
+    return KernelTask(name=name, circuit_factory=factory, n_qubits=n_qubits, shots=shots)
+
+
+def bell_workload(n_kernels: int = 2, shots: int = 1024) -> Workload:
+    """``n_kernels`` independent 2-qubit Bell kernels (Figure 3's workload)."""
+    tasks = [
+        _task(f"bell_{i}", lambda: bell_circuit(2), 2, shots) for i in range(n_kernels)
+    ]
+    return Workload(name=f"{n_kernels}x bell ({shots} shots)", tasks=tasks)
+
+
+def shor_workload(parameters: Sequence[tuple[int, int]], shots: int = 10) -> Workload:
+    """One Shor period-finding kernel per ``(N, a)`` pair."""
+    tasks = []
+    for N, a in parameters:
+        import math
+
+        n = math.ceil(math.log2(N))
+        n_qubits = n + 2 * n
+
+        def factory(N=N, a=a) -> CompositeInstruction:
+            return period_finding_circuit(N, a)
+
+        tasks.append(_task(f"shor_N{N}_a{a}", factory, n_qubits, shots))
+    return Workload(name=f"shor {list(parameters)} ({shots} shots)", tasks=tasks)
+
+
+def figure3_workload() -> Workload:
+    """Figure 3: two Bell kernels, 1024 shots each."""
+    return bell_workload(n_kernels=2, shots=1024)
+
+
+def figure4_workload() -> Workload:
+    """Figure 4: SHOR(N=15, a=2) and SHOR(N=15, a=7), 10 shots each."""
+    return shor_workload([(15, 2), (15, 7)], shots=10)
+
+
+def figure5_workload() -> Workload:
+    """Figure 5: two SHOR(N=7, a=2) kernels, 10 shots each."""
+    workload = shor_workload([(7, 2), (7, 2)], shots=10)
+    # Task names must be unique for the scheduler; disambiguate the copies.
+    for index, task in enumerate(workload.tasks):
+        task.name = f"{task.name}_{index}"
+    workload.name = "2x shor N=7 a=2 (10 shots)"
+    return workload

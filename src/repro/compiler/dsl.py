@@ -1,0 +1,235 @@
+"""Gate functions for the ``@qpu`` Python DSL.
+
+Inside a ``@qpu`` kernel, gate calls like ``H(q[0])`` or ``Ry(q[1], theta)``
+do not execute anything immediately: they append instructions to the
+*active trace* of the calling thread.  The trace context is thread-local, so
+kernels traced concurrently from different user threads never interleave —
+one more place where the reproduction has to be explicitly thread-aware.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from ..exceptions import CompilationError
+from ..ir.composite import CompositeInstruction
+from ..ir.gates import create_gate
+from ..ir.parameter import Parameter, ParameterExpression
+
+__all__ = [
+    "H",
+    "X",
+    "Y",
+    "Z",
+    "S",
+    "Sdg",
+    "T",
+    "Tdg",
+    "Rx",
+    "Ry",
+    "Rz",
+    "U3",
+    "CX",
+    "CNOT",
+    "CY",
+    "CZ",
+    "CH",
+    "CRz",
+    "CPhase",
+    "Swap",
+    "CCX",
+    "Measure",
+    "Reset",
+    "Barrier",
+    "active_trace",
+    "trace_context",
+]
+
+_state = threading.local()
+
+
+def _current_trace() -> CompositeInstruction:
+    trace = getattr(_state, "trace", None)
+    if trace is None:
+        raise CompilationError(
+            "gate functions may only be called inside a @qpu kernel "
+            "(no active trace on this thread)"
+        )
+    return trace
+
+
+def active_trace() -> CompositeInstruction | None:
+    """The circuit currently being traced on this thread (or ``None``)."""
+    return getattr(_state, "trace", None)
+
+
+class trace_context:  # noqa: N801 - context-manager, lower-case by convention
+    """Install a fresh trace circuit for the calling thread."""
+
+    def __init__(self, name: str, n_qubits: int | None = None):
+        self.circuit = CompositeInstruction(name, n_qubits)
+        self._previous: CompositeInstruction | None = None
+
+    def __enter__(self) -> CompositeInstruction:
+        self._previous = getattr(_state, "trace", None)
+        _state.trace = self.circuit
+        return self.circuit
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _state.trace = self._previous
+
+
+def _qubit_index(value) -> int:
+    """Accept QubitRef, int or anything supporting ``__index__``."""
+    try:
+        return int(value.__index__())
+    except AttributeError:
+        pass
+    if isinstance(value, int):
+        return value
+    raise CompilationError(
+        f"expected a qubit reference (q[i]) or integer index, got {value!r}"
+    )
+
+
+def _parameter(value):
+    if isinstance(value, (int, float, Parameter, ParameterExpression)):
+        return value
+    raise CompilationError(f"expected a numeric or symbolic gate parameter, got {value!r}")
+
+
+def _emit(name: str, qubits: Sequence, parameters: Sequence = ()) -> None:
+    trace = _current_trace()
+    trace.add(create_gate(name, [_qubit_index(q) for q in qubits], [_parameter(p) for p in parameters]))
+
+
+# -- single-qubit gates -------------------------------------------------------------
+
+
+def H(qubit) -> None:
+    """Hadamard."""
+    _emit("H", [qubit])
+
+
+def X(qubit) -> None:
+    """Pauli X."""
+    _emit("X", [qubit])
+
+
+def Y(qubit) -> None:
+    """Pauli Y."""
+    _emit("Y", [qubit])
+
+
+def Z(qubit) -> None:
+    """Pauli Z."""
+    _emit("Z", [qubit])
+
+
+def S(qubit) -> None:
+    """Phase gate."""
+    _emit("S", [qubit])
+
+
+def Sdg(qubit) -> None:
+    """Adjoint phase gate."""
+    _emit("SDG", [qubit])
+
+
+def T(qubit) -> None:
+    """T gate."""
+    _emit("T", [qubit])
+
+
+def Tdg(qubit) -> None:
+    """Adjoint T gate."""
+    _emit("TDG", [qubit])
+
+
+def Rx(qubit, theta) -> None:
+    """X rotation by ``theta``."""
+    _emit("RX", [qubit], [theta])
+
+
+def Ry(qubit, theta) -> None:
+    """Y rotation by ``theta``."""
+    _emit("RY", [qubit], [theta])
+
+
+def Rz(qubit, theta) -> None:
+    """Z rotation by ``theta``."""
+    _emit("RZ", [qubit], [theta])
+
+
+def U3(qubit, theta, phi, lam) -> None:
+    """General single-qubit gate."""
+    _emit("U3", [qubit], [theta, phi, lam])
+
+
+# -- multi-qubit gates ----------------------------------------------------------------
+
+
+def CX(control, target) -> None:
+    """Controlled-X."""
+    _emit("CX", [control, target])
+
+
+#: Alias matching the XASM mnemonic.
+CNOT = CX
+
+
+def CY(control, target) -> None:
+    """Controlled-Y."""
+    _emit("CY", [control, target])
+
+
+def CZ(control, target) -> None:
+    """Controlled-Z."""
+    _emit("CZ", [control, target])
+
+
+def CH(control, target) -> None:
+    """Controlled-Hadamard."""
+    _emit("CH", [control, target])
+
+
+def CRz(control, target, theta) -> None:
+    """Controlled-Rz."""
+    _emit("CRZ", [control, target], [theta])
+
+
+def CPhase(control, target, theta) -> None:
+    """Controlled phase."""
+    _emit("CPHASE", [control, target], [theta])
+
+
+def Swap(qubit0, qubit1) -> None:
+    """SWAP."""
+    _emit("SWAP", [qubit0, qubit1])
+
+
+def CCX(control0, control1, target) -> None:
+    """Toffoli."""
+    _emit("CCX", [control0, control1, target])
+
+
+# -- non-unitary -------------------------------------------------------------------------
+
+
+def Measure(qubit) -> None:
+    """Measure one qubit in the computational basis."""
+    _emit("MEASURE", [qubit])
+
+
+def Reset(qubit) -> None:
+    """Reset one qubit to |0>."""
+    _emit("RESET", [qubit])
+
+
+def Barrier(*qubits) -> None:
+    """Scheduling barrier."""
+    trace = _current_trace()
+    from ..ir.gates import Barrier as BarrierGate
+
+    trace.add(BarrierGate([_qubit_index(q) for q in qubits]))

@@ -1,0 +1,180 @@
+"""The ``@qpu`` kernel decorator (QCOR's ``__qpu__`` analogue).
+
+A ``@qpu``-decorated Python function describes a quantum kernel using the
+gate functions from :mod:`repro.compiler.dsl`.  Calling the kernel with a
+:class:`~repro.runtime.qreg.qreg` as its first argument traces the body into
+IR and immediately executes it on the calling thread's QPU — the
+single-source model of Listing 1:
+
+.. code-block:: python
+
+    @qpu
+    def bell(q: qreg):
+        H(q[0])
+        CX(q[0], q[1])
+        for i in range(q.size()):
+            Measure(q[i])
+
+    q = qalloc(2)
+    bell(q)           # trace + execute on this thread's QPU
+    q.print()
+
+Additional entry points:
+
+* ``bell.as_circuit(q_or_n, *args)`` — trace only, return the IR.
+* ``bell.adjoint(...)`` — the inverse circuit (measurements stripped).
+* ``bell.xasm(...)`` — the XASM text of the traced kernel.
+
+Alternatively, a kernel can be declared from XASM source with
+``qpu(source=...)``, which routes through the
+:mod:`repro.compiler.parser` front end instead of Python tracing.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Callable, Mapping
+
+from ..exceptions import CompilationError
+from ..ir.composite import CompositeInstruction
+from ..runtime.qreg import qreg
+from .dsl import trace_context
+from .parser import compile_xasm
+
+__all__ = ["qpu", "QuantumKernel"]
+
+
+class QuantumKernel:
+    """A callable quantum kernel produced by :func:`qpu`."""
+
+    def __init__(
+        self,
+        function: Callable | None = None,
+        source: str | None = None,
+        name: str | None = None,
+    ):
+        if function is None and source is None:
+            raise CompilationError("a kernel needs either a Python body or XASM source")
+        self._function = function
+        self._source = source
+        self.kernel_name = name or (function.__name__ if function is not None else "xasm_kernel")
+        if function is not None:
+            functools.update_wrapper(self, function)
+        #: Number of times the kernel has been executed (thread-safe counter).
+        self._execution_count = 0
+        self._counter_lock = threading.Lock()
+
+    # -- tracing --------------------------------------------------------------------
+    def as_circuit(self, register, *args, **kwargs) -> CompositeInstruction:
+        """Trace the kernel into IR without executing it.
+
+        ``register`` is either a :class:`qreg` or an integer qubit count.
+        Remaining arguments are passed to the kernel body (classical kernel
+        arguments such as rotation angles, or
+        :class:`~repro.ir.parameter.Parameter` objects to keep the circuit
+        symbolic).
+        """
+        if isinstance(register, qreg):
+            size = register.size()
+            handle = register
+        else:
+            size = int(register)
+            handle = _TracingRegister(size)
+        if self._function is not None:
+            with trace_context(self.kernel_name, size) as circuit:
+                self._function(handle, *args, **kwargs)
+            return circuit
+        parameters: Mapping[str, float] = kwargs.get("parameters", {})
+        return compile_xasm(
+            self._source or "",
+            register_name=kwargs.get("register_name", "q"),
+            n_qubits=size,
+            parameters=parameters,
+            name=self.kernel_name,
+        )
+
+    def adjoint(self, register, *args, **kwargs) -> CompositeInstruction:
+        """The inverse of the traced kernel (measurements removed first)."""
+        return self.as_circuit(register, *args, **kwargs).without_measurements().inverse()
+
+    def xasm(self, register, *args, **kwargs) -> str:
+        """XASM text of the traced kernel."""
+        return self.as_circuit(register, *args, **kwargs).to_xasm()
+
+    # -- execution ------------------------------------------------------------------------
+    def __call__(self, register: qreg, *args, shots: int | None = None, **kwargs):
+        """Trace and execute the kernel on the calling thread's QPU."""
+        if not isinstance(register, qreg):
+            raise CompilationError(
+                "the first argument of a @qpu kernel call must be a qreg "
+                "(use .as_circuit() to build IR without executing)"
+            )
+        from ..core.api import execute_circuit
+
+        circuit = self.as_circuit(register, *args, **kwargs)
+        counts = execute_circuit(circuit, register, shots=shots)
+        with self._counter_lock:
+            self._execution_count += 1
+        return counts
+
+    @property
+    def execution_count(self) -> int:
+        with self._counter_lock:
+            return self._execution_count
+
+    def __get__(self, instance, owner):
+        """Support using @qpu on methods."""
+        if instance is None:
+            return self
+        return functools.partial(self.__call__, instance)
+
+    def __repr__(self) -> str:
+        origin = "python" if self._function is not None else "xasm"
+        return f"QuantumKernel(name={self.kernel_name!r}, origin={origin})"
+
+
+class _TracingRegister:
+    """Stand-in register used when tracing with just a qubit count."""
+
+    def __init__(self, size: int):
+        self._size = int(size)
+
+    def size(self) -> int:
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> int:
+        index = int(index)
+        if not 0 <= index < self._size:
+            raise CompilationError(
+                f"qubit index {index} out of range for a {self._size}-qubit register"
+            )
+        return index
+
+    def __iter__(self):
+        return iter(range(self._size))
+
+
+def qpu(function: Callable | None = None, *, source: str | None = None, name: str | None = None):
+    """Decorator (and factory) producing :class:`QuantumKernel` objects.
+
+    Usage::
+
+        @qpu
+        def bell(q): ...
+
+        shor_kernel = qpu(source="H(q[0]); ...", name="shor")
+    """
+    if function is not None:
+        return QuantumKernel(function=function, name=name)
+
+    if source is not None:
+        return QuantumKernel(source=source, name=name)
+
+    def decorate(func: Callable) -> QuantumKernel:
+        return QuantumKernel(function=func, name=name)
+
+    return decorate

@@ -1,0 +1,188 @@
+"""Tokenizer for the XASM-subset kernel language.
+
+The lexer is a small hand-rolled scanner producing a flat token stream with
+line/column information so the parser can raise precise
+:class:`~repro.exceptions.CompilationError` messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..exceptions import CompilationError
+
+__all__ = ["Token", "tokenize", "TOKEN_TYPES"]
+
+#: Recognised token types.
+TOKEN_TYPES = (
+    "IDENT",      # identifiers and keywords
+    "NUMBER",     # integer or float literals
+    "LPAREN",
+    "RPAREN",
+    "LBRACKET",
+    "RBRACKET",
+    "LBRACE",
+    "RBRACE",
+    "COMMA",
+    "SEMICOLON",
+    "DOT",
+    "PLUS",
+    "MINUS",
+    "STAR",
+    "SLASH",
+    "PERCENT",
+    "COLON",
+    "LT",
+    "LE",
+    "GT",
+    "GE",
+    "EQ",
+    "ASSIGN",
+    "INCREMENT",
+    "DECREMENT",
+    "EOF",
+)
+
+_SINGLE_CHAR = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    ",": "COMMA",
+    ";": "SEMICOLON",
+    ".": "DOT",
+    ":": "COLON",
+    "*": "STAR",
+    "/": "SLASH",
+    "%": "PERCENT",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize XASM-subset source text.
+
+    Comments (``// ...`` to end of line) are skipped.  Raises
+    :class:`CompilationError` on unexpected characters.
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        # -- whitespace / newlines -------------------------------------------
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        # -- comments ----------------------------------------------------------
+        if ch == "/" and i + 1 < length and source[i + 1] == "/":
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        # -- numbers ------------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < length and source[i + 1].isdigit()):
+            start = i
+            start_column = column
+            seen_dot = False
+            seen_exp = False
+            while i < length:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i + 1 < length and (
+                    source[i + 1].isdigit() or source[i + 1] in "+-"
+                ):
+                    seen_exp = True
+                    i += 1
+                    if source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            column = start_column + (i - start)
+            yield Token("NUMBER", text, line, start_column)
+            continue
+        # -- identifiers -----------------------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_column = column
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            column = start_column + (i - start)
+            yield Token("IDENT", text, line, start_column)
+            continue
+        # -- multi-character operators ------------------------------------------------
+        two = source[i : i + 2]
+        if two == "++":
+            yield Token("INCREMENT", two, line, column)
+            i += 2
+            column += 2
+            continue
+        if two == "--":
+            yield Token("DECREMENT", two, line, column)
+            i += 2
+            column += 2
+            continue
+        if two == "<=":
+            yield Token("LE", two, line, column)
+            i += 2
+            column += 2
+            continue
+        if two == ">=":
+            yield Token("GE", two, line, column)
+            i += 2
+            column += 2
+            continue
+        if two == "==":
+            yield Token("EQ", two, line, column)
+            i += 2
+            column += 2
+            continue
+        # -- single-character operators ---------------------------------------------------
+        if ch == "<":
+            yield Token("LT", ch, line, column)
+        elif ch == ">":
+            yield Token("GT", ch, line, column)
+        elif ch == "=":
+            yield Token("ASSIGN", ch, line, column)
+        elif ch == "+":
+            yield Token("PLUS", ch, line, column)
+        elif ch == "-":
+            yield Token("MINUS", ch, line, column)
+        elif ch in _SINGLE_CHAR:
+            yield Token(_SINGLE_CHAR[ch], ch, line, column)
+        else:
+            raise CompilationError(f"unexpected character {ch!r}", line=line, column=column)
+        i += 1
+        column += 1
+    yield Token("EOF", "", line, column)

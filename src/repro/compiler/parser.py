@@ -1,0 +1,379 @@
+"""Recursive-descent parser for the XASM-subset kernel language.
+
+The supported grammar covers the kernels in the paper's listings:
+
+.. code-block:: text
+
+    kernel      := statement*
+    statement   := gate_call ';' | for_loop
+    gate_call   := IDENT '(' argument (',' argument)* ')'
+    for_loop    := 'for' '(' 'int' IDENT '=' expr ';' IDENT cmp expr ';'
+                   IDENT ('++' | '--') ')' '{' statement* '}'
+    argument    := qubit_ref | expr
+    qubit_ref   := IDENT '[' expr ']'
+    expr        := term (('+' | '-') term)*
+    term        := factor (('*' | '/' | '%') factor)*
+    factor      := NUMBER | 'pi' | IDENT | IDENT '.' 'size' '(' ')'
+                   | '(' expr ')' | '-' factor
+
+Identifiers that are neither the register name, a loop variable nor ``pi``
+are treated as classical kernel parameters: if a value is supplied they are
+substituted, otherwise they remain symbolic
+:class:`~repro.ir.parameter.Parameter` objects in the produced circuit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..exceptions import CompilationError
+from ..ir.composite import CompositeInstruction
+from ..ir.gates import GATE_REGISTRY, create_gate
+from ..ir.parameter import Parameter, ParameterExpression
+from .lexer import Token, tokenize
+
+__all__ = ["compile_xasm", "XasmParser"]
+
+
+def compile_xasm(
+    source: str,
+    register_name: str = "q",
+    n_qubits: int | None = None,
+    parameters: Mapping[str, float] | None = None,
+    name: str = "xasm_kernel",
+) -> CompositeInstruction:
+    """Compile XASM-subset source into a circuit.
+
+    Parameters
+    ----------
+    source:
+        The kernel body (statements only, no function signature).
+    register_name:
+        Name of the qubit register referenced by the source (``q`` in the
+        paper's listings).
+    n_qubits:
+        Register size.  Required when the source uses ``q.size()``;
+        otherwise inferred from the largest index used.
+    parameters:
+        Concrete values for classical kernel arguments.  Unlisted
+        identifiers stay symbolic.
+    """
+    parser = XasmParser(source, register_name, n_qubits, parameters or {})
+    return parser.parse(name)
+
+
+class XasmParser:
+    """Single-use parser instance (create one per compilation)."""
+
+    def __init__(
+        self,
+        source: str,
+        register_name: str,
+        n_qubits: int | None,
+        parameters: Mapping[str, float],
+    ):
+        self.tokens: Sequence[Token] = tokenize(source)
+        self.position = 0
+        self.register_name = register_name
+        self.n_qubits = n_qubits
+        self.parameter_values = dict(parameters)
+        #: Loop variables currently in scope, mapped to their value.
+        self.scope: dict[str, float] = {}
+
+    # -- token helpers ----------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _expect(self, token_type: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.type != token_type or (value is not None and token.value != value):
+            expected = value or token_type
+            raise CompilationError(
+                f"expected {expected!r}, found {token.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    def _check(self, token_type: str, value: str | None = None) -> bool:
+        token = self._peek()
+        return token.type == token_type and (value is None or token.value == value)
+
+    # -- entry point --------------------------------------------------------------------
+    def parse(self, name: str) -> CompositeInstruction:
+        circuit = CompositeInstruction(name, self.n_qubits)
+        self._parse_statements(circuit, stop_at_rbrace=False)
+        self._expect("EOF")
+        return circuit
+
+    # -- statements ------------------------------------------------------------------------
+    def _parse_statements(self, circuit: CompositeInstruction, stop_at_rbrace: bool) -> None:
+        while True:
+            if self._check("EOF"):
+                return
+            if stop_at_rbrace and self._check("RBRACE"):
+                return
+            self._parse_statement(circuit)
+
+    def _parse_statement(self, circuit: CompositeInstruction) -> None:
+        token = self._peek()
+        if token.type != "IDENT":
+            raise CompilationError(
+                f"expected a statement, found {token.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+        if token.value == "for":
+            self._parse_for_loop(circuit)
+            return
+        if token.value == "using":
+            # `using qcor::xasm;` style directives are accepted and ignored.
+            while not self._check("SEMICOLON"):
+                self._advance()
+            self._expect("SEMICOLON")
+            return
+        self._parse_gate_call(circuit)
+
+    def _parse_gate_call(self, circuit: CompositeInstruction) -> None:
+        name_token = self._expect("IDENT")
+        gate_name = name_token.value
+        if gate_name.upper() not in GATE_REGISTRY:
+            raise CompilationError(
+                f"unknown gate {gate_name!r}",
+                line=name_token.line,
+                column=name_token.column,
+            )
+        self._expect("LPAREN")
+        qubits: list[int] = []
+        params: list = []
+        if not self._check("RPAREN"):
+            while True:
+                argument = self._parse_argument()
+                if isinstance(argument, _QubitIndex):
+                    qubits.append(argument.index)
+                else:
+                    params.append(argument)
+                if self._check("COMMA"):
+                    self._advance()
+                    continue
+                break
+        self._expect("RPAREN")
+        self._expect("SEMICOLON")
+        circuit.add(create_gate(gate_name, qubits, params))
+
+    def _parse_for_loop(self, circuit: CompositeInstruction) -> None:
+        self._expect("IDENT", "for")
+        self._expect("LPAREN")
+        # `int i = <expr>;`
+        self._expect("IDENT", "int")
+        variable = self._expect("IDENT").value
+        self._expect("ASSIGN")
+        start = self._evaluate_scalar(self._parse_expression())
+        self._expect("SEMICOLON")
+        # `i < <expr>;`
+        compare_variable = self._expect("IDENT").value
+        if compare_variable != variable:
+            raise CompilationError(
+                f"loop condition must test {variable!r}, found {compare_variable!r}"
+            )
+        comparison = self._advance()
+        if comparison.type not in ("LT", "LE", "GT", "GE"):
+            raise CompilationError(
+                f"unsupported loop comparison {comparison.value!r}",
+                line=comparison.line,
+                column=comparison.column,
+            )
+        bound = self._evaluate_scalar(self._parse_expression())
+        self._expect("SEMICOLON")
+        # `i++` or `i--`
+        step_variable = self._expect("IDENT").value
+        if step_variable != variable:
+            raise CompilationError(
+                f"loop update must modify {variable!r}, found {step_variable!r}"
+            )
+        step_token = self._advance()
+        if step_token.type == "INCREMENT":
+            step = 1
+        elif step_token.type == "DECREMENT":
+            step = -1
+        else:
+            raise CompilationError(
+                f"unsupported loop update {step_token.value!r}",
+                line=step_token.line,
+                column=step_token.column,
+            )
+        self._expect("RPAREN")
+        self._expect("LBRACE")
+        body_start = self.position
+
+        values = self._loop_values(int(start), int(bound), comparison.type, step)
+        if not values:
+            # Still need to consume (and validate) the body once.
+            self.scope[variable] = 0
+            scratch = CompositeInstruction("scratch", self.n_qubits)
+            self._parse_statements(scratch, stop_at_rbrace=True)
+            del self.scope[variable]
+        for value in values:
+            self.position = body_start
+            self.scope[variable] = value
+            self._parse_statements(circuit, stop_at_rbrace=True)
+            del self.scope[variable]
+        self._expect("RBRACE")
+
+    @staticmethod
+    def _loop_values(start: int, bound: int, comparison: str, step: int) -> list[int]:
+        values: list[int] = []
+        value = start
+        limit = 1_000_000
+        while len(values) < limit:
+            if comparison == "LT" and not value < bound:
+                break
+            if comparison == "LE" and not value <= bound:
+                break
+            if comparison == "GT" and not value > bound:
+                break
+            if comparison == "GE" and not value >= bound:
+                break
+            values.append(value)
+            value += step
+        else:
+            raise CompilationError("loop exceeds 1,000,000 iterations")
+        return values
+
+    # -- arguments / expressions ----------------------------------------------------------
+    def _parse_argument(self):
+        """A gate argument: a qubit reference or a classical expression."""
+        token = self._peek()
+        if (
+            token.type == "IDENT"
+            and token.value == self.register_name
+            and self.tokens[self.position + 1].type == "LBRACKET"
+        ):
+            self._advance()
+            self._expect("LBRACKET")
+            index = self._evaluate_scalar(self._parse_expression())
+            self._expect("RBRACKET")
+            return _QubitIndex(int(index))
+        return self._parse_expression()
+
+    def _parse_expression(self):
+        value = self._parse_term()
+        while self._check("PLUS") or self._check("MINUS"):
+            operator = self._advance()
+            right = self._parse_term()
+            value = _combine(value, right, "+" if operator.type == "PLUS" else "-")
+        return value
+
+    def _parse_term(self):
+        value = self._parse_factor()
+        while self._check("STAR") or self._check("SLASH") or self._check("PERCENT"):
+            operator = self._advance()
+            right = self._parse_factor()
+            symbol = {"STAR": "*", "SLASH": "/", "PERCENT": "%"}[operator.type]
+            value = _combine(value, right, symbol)
+        return value
+
+    def _parse_factor(self):
+        token = self._peek()
+        if token.type == "MINUS":
+            self._advance()
+            inner = self._parse_factor()
+            return _combine(0.0, inner, "-")
+        if token.type == "NUMBER":
+            self._advance()
+            return float(token.value) if "." in token.value or "e" in token.value.lower() else int(token.value)
+        if token.type == "LPAREN":
+            self._advance()
+            value = self._parse_expression()
+            self._expect("RPAREN")
+            return value
+        if token.type == "IDENT":
+            self._advance()
+            name = token.value
+            if name == "pi":
+                return math.pi
+            # `q.size()`
+            if name == self.register_name and self._check("DOT"):
+                self._advance()
+                self._expect("IDENT", "size")
+                self._expect("LPAREN")
+                self._expect("RPAREN")
+                if self.n_qubits is None:
+                    raise CompilationError(
+                        "q.size() used but n_qubits was not provided to the compiler",
+                        line=token.line,
+                        column=token.column,
+                    )
+                return int(self.n_qubits)
+            if name in self.scope:
+                return self.scope[name]
+            if name in self.parameter_values:
+                return float(self.parameter_values[name])
+            # Unknown identifier: a symbolic kernel parameter.
+            return Parameter(name)
+        raise CompilationError(
+            f"unexpected token {token.value!r} in expression",
+            line=token.line,
+            column=token.column,
+        )
+
+    @staticmethod
+    def _evaluate_scalar(value) -> float:
+        if isinstance(value, (Parameter, ParameterExpression)):
+            raise CompilationError(
+                f"expression {value!r} must be a concrete number in this position"
+            )
+        return float(value)
+
+
+class _QubitIndex:
+    """Marker wrapper distinguishing qubit references from classical values."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+
+def _combine(left, right, operator: str):
+    """Combine two expression values, keeping symbols symbolic where possible."""
+    symbolic_left = isinstance(left, (Parameter, ParameterExpression))
+    symbolic_right = isinstance(right, (Parameter, ParameterExpression))
+    if symbolic_left and symbolic_right:
+        raise CompilationError("expressions combining two symbolic parameters are not supported")
+    if symbolic_left or symbolic_right:
+        symbol = left if symbolic_left else right
+        number = right if symbolic_left else left
+        number = float(number)
+        if operator == "+":
+            return symbol + number
+        if operator == "-":
+            return symbol - number if symbolic_left else number - symbol
+        if operator == "*":
+            return symbol * number
+        if operator == "/":
+            if symbolic_left:
+                return symbol / number
+            raise CompilationError("dividing a number by a symbolic parameter is not supported")
+        raise CompilationError(f"operator {operator!r} is not supported with symbolic parameters")
+    left = float(left)
+    right = float(right)
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0:
+            raise CompilationError("division by zero in kernel expression")
+        return left / right
+    if operator == "%":
+        return float(int(left) % int(right))
+    raise CompilationError(f"unknown operator {operator!r}")

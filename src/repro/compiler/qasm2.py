@@ -1,0 +1,229 @@
+"""OpenQASM 2 subset: parser and exporter.
+
+Supports the constructs needed for interchange of the paper's kernels:
+``qreg``/``creg`` declarations, the standard gate names (``h``, ``x``,
+``cx``, ``rx(theta)``, ...), ``measure q[i] -> c[j]``, ``measure q -> c``,
+``barrier`` and comments.  Custom ``gate`` definitions, ``if`` statements
+and ``opaque`` declarations are rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..exceptions import CompilationError
+from ..ir.composite import CompositeInstruction
+from ..ir.gates import GATE_REGISTRY, Barrier, Measure, create_gate
+
+__all__ = ["parse_qasm2", "to_qasm2"]
+
+#: OpenQASM gate name -> IR gate name.
+_QASM_TO_IR = {
+    "id": "I",
+    "h": "H",
+    "x": "X",
+    "y": "Y",
+    "z": "Z",
+    "s": "S",
+    "sdg": "SDG",
+    "t": "T",
+    "tdg": "TDG",
+    "rx": "RX",
+    "ry": "RY",
+    "rz": "RZ",
+    "u3": "U3",
+    "u": "U3",
+    "cx": "CX",
+    "cy": "CY",
+    "cz": "CZ",
+    "ch": "CH",
+    "crz": "CRZ",
+    "cp": "CPHASE",
+    "cu1": "CPHASE",
+    "swap": "SWAP",
+    "ccx": "CCX",
+    "cswap": "CSWAP",
+}
+
+#: IR gate name -> OpenQASM gate name (inverse of the above, first wins).
+_IR_TO_QASM: dict[str, str] = {}
+for _qasm, _ir in _QASM_TO_IR.items():
+    _IR_TO_QASM.setdefault(_ir, _qasm)
+
+_UNSUPPORTED = ("gate ", "opaque ", "if (", "if(")
+
+
+def _evaluate_angle(text: str) -> float:
+    """Evaluate a restricted angle expression (numbers, pi, + - * / parentheses)."""
+    allowed = re.compile(r"^[\d\.\s\+\-\*/\(\)eE]|pi$")
+    cleaned = text.replace("pi", str(math.pi))
+    if not re.fullmatch(r"[\d\.\s\+\-\*/\(\)eE]+", cleaned):
+        raise CompilationError(f"unsupported angle expression {text!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised above
+    except Exception as exc:  # pragma: no cover - defensive
+        raise CompilationError(f"could not evaluate angle expression {text!r}") from exc
+    _ = allowed  # silence linters about the unused stricter pattern
+
+
+def parse_qasm2(source: str, name: str = "qasm_kernel") -> CompositeInstruction:
+    """Parse an OpenQASM 2 program into a circuit."""
+    register_sizes: dict[str, int] = {}
+    circuit: CompositeInstruction | None = None
+    statements = _split_statements(source)
+    for line_number, statement in statements:
+        lowered = statement.lower()
+        if lowered.startswith("openqasm") or lowered.startswith("include"):
+            continue
+        if any(lowered.startswith(prefix) for prefix in _UNSUPPORTED):
+            raise CompilationError(
+                f"unsupported OpenQASM construct: {statement!r}", line=line_number
+            )
+        if lowered.startswith("qreg"):
+            reg_name, size = _parse_register(statement, line_number)
+            register_sizes[reg_name] = size
+            circuit = CompositeInstruction(name, sum(register_sizes.values()))
+            continue
+        if lowered.startswith("creg"):
+            continue
+        if circuit is None:
+            raise CompilationError(
+                f"gate statement before any qreg declaration: {statement!r}",
+                line=line_number,
+            )
+        if lowered.startswith("barrier"):
+            qubits = _parse_qubit_list(statement[len("barrier"):], register_sizes, line_number)
+            circuit.add(Barrier(qubits))
+            continue
+        if lowered.startswith("measure"):
+            _parse_measure(statement, register_sizes, circuit, line_number)
+            continue
+        _parse_gate_statement(statement, register_sizes, circuit, line_number)
+    if circuit is None:
+        raise CompilationError("program declares no quantum register")
+    return circuit
+
+
+def _split_statements(source: str) -> list[tuple[int, str]]:
+    statements: list[tuple[int, str]] = []
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        for piece in line.split(";"):
+            piece = piece.strip()
+            if piece:
+                statements.append((line_number, piece))
+    return statements
+
+
+def _parse_register(statement: str, line: int) -> tuple[str, int]:
+    match = re.fullmatch(r"(qreg|creg)\s+(\w+)\s*\[\s*(\d+)\s*\]", statement)
+    if not match:
+        raise CompilationError(f"malformed register declaration {statement!r}", line=line)
+    return match.group(2), int(match.group(3))
+
+
+def _qubit_index(token: str, registers: dict[str, int], line: int) -> int:
+    match = re.fullmatch(r"(\w+)\s*\[\s*(\d+)\s*\]", token.strip())
+    if not match:
+        raise CompilationError(f"malformed qubit reference {token!r}", line=line)
+    register, index = match.group(1), int(match.group(2))
+    if register not in registers:
+        raise CompilationError(f"unknown register {register!r}", line=line)
+    if index >= registers[register]:
+        raise CompilationError(
+            f"index {index} out of range for register {register!r} "
+            f"of size {registers[register]}",
+            line=line,
+        )
+    # Registers are laid out consecutively in declaration order.
+    offset = 0
+    for name, size in registers.items():
+        if name == register:
+            return offset + index
+        offset += size
+    raise CompilationError(f"unknown register {register!r}", line=line)
+
+
+def _parse_qubit_list(text: str, registers: dict[str, int], line: int) -> list[int]:
+    qubits: list[int] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "[" in token:
+            qubits.append(_qubit_index(token, registers, line))
+        else:
+            if token not in registers:
+                raise CompilationError(f"unknown register {token!r}", line=line)
+            offset = 0
+            for name, size in registers.items():
+                if name == token:
+                    qubits.extend(range(offset, offset + size))
+                    break
+                offset += size
+    return qubits
+
+
+def _parse_measure(
+    statement: str, registers: dict[str, int], circuit: CompositeInstruction, line: int
+) -> None:
+    match = re.fullmatch(r"measure\s+(.+?)\s*->\s*(.+)", statement)
+    if not match:
+        raise CompilationError(f"malformed measure statement {statement!r}", line=line)
+    source = match.group(1).strip()
+    if "[" in source:
+        circuit.add(Measure([_qubit_index(source, registers, line)]))
+    else:
+        for qubit in _parse_qubit_list(source, registers, line):
+            circuit.add(Measure([qubit]))
+
+
+def _parse_gate_statement(
+    statement: str, registers: dict[str, int], circuit: CompositeInstruction, line: int
+) -> None:
+    match = re.fullmatch(r"(\w+)\s*(\(([^)]*)\))?\s+(.+)", statement)
+    if not match:
+        raise CompilationError(f"malformed gate statement {statement!r}", line=line)
+    gate_name = match.group(1).lower()
+    if gate_name not in _QASM_TO_IR:
+        raise CompilationError(f"unknown OpenQASM gate {gate_name!r}", line=line)
+    parameters = []
+    if match.group(3):
+        parameters = [_evaluate_angle(p.strip()) for p in match.group(3).split(",")]
+    qubits = [_qubit_index(token, registers, line) for token in match.group(4).split(",")]
+    circuit.add(create_gate(_QASM_TO_IR[gate_name], qubits, parameters))
+
+
+def to_qasm2(circuit: CompositeInstruction, register_name: str = "q") -> str:
+    """Render a (concrete) circuit as an OpenQASM 2 program."""
+    if circuit.is_parameterized:
+        raise CompilationError("cannot export a circuit with unbound parameters to OpenQASM")
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {register_name}[{circuit.n_qubits}];",
+        f"creg c[{circuit.n_qubits}];",
+    ]
+    for instruction in circuit:
+        if instruction.name == "BARRIER":
+            targets = ", ".join(f"{register_name}[{q}]" for q in instruction.qubits)
+            lines.append(f"barrier {targets or register_name};")
+            continue
+        if instruction.is_measurement:
+            qubit = instruction.qubits[0]
+            lines.append(f"measure {register_name}[{qubit}] -> c[{qubit}];")
+            continue
+        if instruction.name not in _IR_TO_QASM:
+            raise CompilationError(
+                f"gate {instruction.name!r} has no OpenQASM 2 equivalent"
+            )
+        qasm_name = _IR_TO_QASM[instruction.name]
+        params = ""
+        if instruction.parameters:
+            params = "(" + ", ".join(f"{float(p):.12g}" for p in instruction.bound_parameters()) + ")"
+        targets = ", ".join(f"{register_name}[{q}]" for q in instruction.qubits)
+        lines.append(f"{qasm_name}{params} {targets};")
+    return "\n".join(lines) + "\n"

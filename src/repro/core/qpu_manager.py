@@ -1,0 +1,109 @@
+"""QPUManager: per-thread accelerator instances (Listing 8 of the paper).
+
+The manager is a process-wide singleton holding a map from thread id to the
+accelerator instance that thread should use.  ``quantum::initialize()``
+(our :func:`repro.core.api.initialize`) populates the map; kernel execution
+reads it.  All map accesses are protected by a lock — the manager itself is
+one of the thread-safe pieces the paper adds.
+
+In legacy mode the manager is bypassed entirely and kernels go through the
+single shared global ``qpu`` (Listing 7), which is what produces the data
+races the race detector records.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+from ..exceptions import NotInitializedError
+from ..runtime.accelerator import Accelerator
+
+__all__ = ["QPUManager"]
+
+
+class QPUManager:
+    """Singleton mapping thread ids to accelerator instances."""
+
+    _instance: "QPUManager | None" = None
+    _instance_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._qpu_map: dict[int, Accelerator] = {}
+        self._lock = threading.Lock()
+
+    # -- singleton access ----------------------------------------------------------
+    @classmethod
+    def get_instance(cls) -> "QPUManager":
+        """Return the process-wide manager (double-checked locking)."""
+        if cls._instance is None:
+            with cls._instance_lock:
+                if cls._instance is None:
+                    cls._instance = QPUManager()
+        return cls._instance
+
+    @classmethod
+    def reset_instance(cls) -> "QPUManager":
+        """Replace the singleton (test helper)."""
+        with cls._instance_lock:
+            cls._instance = QPUManager()
+            return cls._instance
+
+    # -- map operations --------------------------------------------------------------
+    def set_qpu(self, qpu: Accelerator, thread_id: int | None = None) -> None:
+        """Register ``qpu`` for the given (default: calling) thread."""
+        tid = thread_id if thread_id is not None else threading.get_ident()
+        with self._lock:
+            self._qpu_map[tid] = qpu
+
+    def get_qpu(self, thread_id: int | None = None) -> Accelerator:
+        """Return the accelerator registered for the given (default: calling) thread.
+
+        Raises :class:`NotInitializedError` when the thread has not called
+        ``initialize()`` — the failure mode the paper's Section V-C warns
+        about.
+        """
+        tid = thread_id if thread_id is not None else threading.get_ident()
+        with self._lock:
+            qpu = self._qpu_map.get(tid)
+        if qpu is None:
+            raise NotInitializedError(
+                f"thread {tid} has no registered QPU; call repro.initialize() at the "
+                "start of the thread (or use qcor_thread/qcor_async which do it for you)"
+            )
+        return qpu
+
+    def has_qpu(self, thread_id: int | None = None) -> bool:
+        tid = thread_id if thread_id is not None else threading.get_ident()
+        with self._lock:
+            return tid in self._qpu_map
+
+    def remove_qpu(self, thread_id: int | None = None) -> None:
+        """Drop the calling thread's registration (used by ``finalize()``)."""
+        tid = thread_id if thread_id is not None else threading.get_ident()
+        with self._lock:
+            self._qpu_map.pop(tid, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._qpu_map.clear()
+
+    # -- introspection -----------------------------------------------------------------
+    def active_thread_count(self) -> int:
+        """Number of threads currently holding a QPU registration."""
+        with self._lock:
+            return len(self._qpu_map)
+
+    def snapshot(self) -> Mapping[int, Accelerator]:
+        """Copy of the current thread-to-QPU map (diagnostics/tests)."""
+        with self._lock:
+            return dict(self._qpu_map)
+
+    def distinct_instances(self) -> int:
+        """Number of *distinct* accelerator objects registered.
+
+        In thread-safe mode with cloneable accelerators this equals the
+        number of threads; in legacy mode every thread shares one instance.
+        """
+        with self._lock:
+            return len({id(qpu) for qpu in self._qpu_map.values()})

@@ -1,0 +1,111 @@
+"""Data-race detection instrumentation.
+
+The paper identifies two classes of races in the original QCOR/XACC code:
+unsynchronised mutation of global containers (``allocated_buffers``) and
+shared non-cloneable service instances.  When the reproduction runs with
+``thread_safe=False`` (the legacy behaviour), the unsafe code paths wrap
+their critical work in :meth:`RaceDetector.access` *without* holding a lock;
+the detector records every interval during which two or more threads were
+simultaneously inside an unsafe section on the same resource.
+
+This gives the test suite and the ablation benchmark a deterministic way to
+demonstrate the hazard the paper fixes, without relying on the corruption
+actually materialising (which is timing dependent).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..config import get_config
+from ..exceptions import ThreadSafetyViolation
+
+__all__ = ["RaceEvent", "RaceDetector", "get_race_detector", "reset_race_detector"]
+
+
+@dataclass(frozen=True)
+class RaceEvent:
+    """One observed unsafe overlap on a shared resource."""
+
+    resource: str
+    threads: tuple[int, ...]
+
+
+@dataclass
+class RaceDetector:
+    """Tracks concurrent entries into unsafe critical sections."""
+
+    #: Number of unsafe section entries seen, per resource.
+    unsafe_entries: dict[str, int] = field(default_factory=dict)
+    #: Recorded overlap events.
+    events: list[RaceEvent] = field(default_factory=list)
+    _active: dict[str, set[int]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @contextlib.contextmanager
+    def access(self, resource: str, safe: bool) -> Iterator[None]:
+        """Mark the calling thread as inside a critical section on ``resource``.
+
+        ``safe=True`` records nothing (the caller holds a real lock);
+        ``safe=False`` records the entry and, if another thread is currently
+        inside the same resource's unsafe section, records a
+        :class:`RaceEvent` (and raises if the configuration demands it).
+        """
+        if safe or not get_config().detect_races:
+            yield
+            return
+        thread_id = threading.get_ident()
+        raise_on_race = get_config().raise_on_race
+        overlap: tuple[int, ...] | None = None
+        with self._lock:
+            self.unsafe_entries[resource] = self.unsafe_entries.get(resource, 0) + 1
+            active = self._active.setdefault(resource, set())
+            if active:
+                overlap = tuple(sorted(active | {thread_id}))
+                self.events.append(RaceEvent(resource, overlap))
+            active.add(thread_id)
+        try:
+            if overlap is not None and raise_on_race:
+                raise ThreadSafetyViolation(resource, overlap)
+            yield
+        finally:
+            with self._lock:
+                self._active.get(resource, set()).discard(thread_id)
+
+    # -- queries ------------------------------------------------------------------
+    def race_count(self, resource: str | None = None) -> int:
+        """Number of recorded overlaps, optionally filtered by resource."""
+        with self._lock:
+            if resource is None:
+                return len(self.events)
+            return sum(1 for e in self.events if e.resource == resource)
+
+    def resources_with_races(self) -> set[str]:
+        with self._lock:
+            return {e.resource for e in self.events}
+
+    def clear(self) -> None:
+        with self._lock:
+            self.unsafe_entries.clear()
+            self.events.clear()
+            self._active.clear()
+
+
+_detector = RaceDetector()
+_detector_lock = threading.Lock()
+
+
+def get_race_detector() -> RaceDetector:
+    """Return the process-wide race detector."""
+    return _detector
+
+
+def reset_race_detector() -> RaceDetector:
+    """Replace the process-wide detector with a fresh one (test helper)."""
+    global _detector
+    with _detector_lock:
+        _detector = RaceDetector()
+        return _detector

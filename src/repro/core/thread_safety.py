@@ -1,0 +1,73 @@
+"""Thread-safety utilities used across the user-facing API.
+
+The paper's approach is deliberately simple: wrap the non-thread-safe
+sections of the user-facing API in mutexes (Listing 6).  This module
+provides the Python equivalents used throughout :mod:`repro.core`:
+
+* :func:`synchronized` — a decorator serialising calls to a function with a
+  (re-entrant) lock, optionally shared by name through the
+  :class:`GlobalLockRegistry`.
+* :class:`GlobalLockRegistry` — named process-wide locks, so independent
+  modules can protect the same logical resource without importing each
+  other.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Callable, TypeVar
+
+__all__ = ["GlobalLockRegistry", "synchronized"]
+
+F = TypeVar("F", bound=Callable)
+
+
+class GlobalLockRegistry:
+    """Process-wide named re-entrant locks."""
+
+    _locks: dict[str, threading.RLock] = {}
+    _registry_lock = threading.Lock()
+
+    @classmethod
+    def get(cls, name: str) -> threading.RLock:
+        """Return (creating if needed) the lock registered under ``name``."""
+        with cls._registry_lock:
+            lock = cls._locks.get(name)
+            if lock is None:
+                lock = threading.RLock()
+                cls._locks[name] = lock
+            return lock
+
+    @classmethod
+    def known_locks(cls) -> list[str]:
+        with cls._registry_lock:
+            return sorted(cls._locks)
+
+
+def synchronized(lock_name: str | None = None) -> Callable[[F], F]:
+    """Decorator serialising calls to the wrapped function.
+
+    With ``lock_name`` the lock is shared through
+    :class:`GlobalLockRegistry`; without it the function gets its own
+    private re-entrant lock.
+
+    Example::
+
+        @synchronized("allocation")
+        def qalloc(n):
+            ...
+    """
+
+    def decorate(func: F) -> F:
+        lock = GlobalLockRegistry.get(lock_name) if lock_name else threading.RLock()
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with lock:
+                return func(*args, **kwargs)
+
+        wrapper._lock = lock  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,206 @@
+"""Fluent circuit construction API.
+
+:class:`CircuitBuilder` offers a chainable interface for building circuits in
+plain Python, mirroring the gate calls one would write inside a QCOR
+``__qpu__`` kernel::
+
+    circuit = (
+        CircuitBuilder(2, name="bell")
+        .h(0)
+        .cx(0, 1)
+        .measure_all()
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .composite import CompositeInstruction
+from .gates import (
+    CCX,
+    CH,
+    CPhase,
+    CRZ,
+    CSwap,
+    CX,
+    CY,
+    CZ,
+    Barrier,
+    H,
+    Identity,
+    ISwap,
+    Measure,
+    PermutationGate,
+    Reset,
+    RX,
+    RY,
+    RZ,
+    S,
+    Sdg,
+    Swap,
+    T,
+    Tdg,
+    U3,
+    UnitaryGate,
+    X,
+    Y,
+    Z,
+)
+from .parameter import ParameterValue
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Chainable builder producing a :class:`CompositeInstruction`."""
+
+    def __init__(self, n_qubits: int | None = None, name: str = "circuit"):
+        self._circuit = CompositeInstruction(name, n_qubits)
+
+    # -- single-qubit gates -----------------------------------------------------
+    def i(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(Identity([qubit]))
+        return self
+
+    def h(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(H([qubit]))
+        return self
+
+    def x(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(X([qubit]))
+        return self
+
+    def y(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(Y([qubit]))
+        return self
+
+    def z(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(Z([qubit]))
+        return self
+
+    def s(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(S([qubit]))
+        return self
+
+    def sdg(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(Sdg([qubit]))
+        return self
+
+    def t(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(T([qubit]))
+        return self
+
+    def tdg(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(Tdg([qubit]))
+        return self
+
+    def rx(self, qubit: int, theta: ParameterValue) -> "CircuitBuilder":
+        self._circuit.add(RX([qubit], [theta]))
+        return self
+
+    def ry(self, qubit: int, theta: ParameterValue) -> "CircuitBuilder":
+        self._circuit.add(RY([qubit], [theta]))
+        return self
+
+    def rz(self, qubit: int, theta: ParameterValue) -> "CircuitBuilder":
+        self._circuit.add(RZ([qubit], [theta]))
+        return self
+
+    def u3(
+        self, qubit: int, theta: ParameterValue, phi: ParameterValue, lam: ParameterValue
+    ) -> "CircuitBuilder":
+        self._circuit.add(U3([qubit], [theta, phi, lam]))
+        return self
+
+    # -- two-qubit gates ----------------------------------------------------------
+    def cx(self, control: int, target: int) -> "CircuitBuilder":
+        self._circuit.add(CX([control, target]))
+        return self
+
+    cnot = cx
+
+    def cy(self, control: int, target: int) -> "CircuitBuilder":
+        self._circuit.add(CY([control, target]))
+        return self
+
+    def cz(self, control: int, target: int) -> "CircuitBuilder":
+        self._circuit.add(CZ([control, target]))
+        return self
+
+    def ch(self, control: int, target: int) -> "CircuitBuilder":
+        self._circuit.add(CH([control, target]))
+        return self
+
+    def crz(self, control: int, target: int, theta: ParameterValue) -> "CircuitBuilder":
+        self._circuit.add(CRZ([control, target], [theta]))
+        return self
+
+    def cphase(self, control: int, target: int, theta: ParameterValue) -> "CircuitBuilder":
+        self._circuit.add(CPhase([control, target], [theta]))
+        return self
+
+    def swap(self, qubit0: int, qubit1: int) -> "CircuitBuilder":
+        self._circuit.add(Swap([qubit0, qubit1]))
+        return self
+
+    def iswap(self, qubit0: int, qubit1: int) -> "CircuitBuilder":
+        self._circuit.add(ISwap([qubit0, qubit1]))
+        return self
+
+    # -- three-qubit gates ----------------------------------------------------------
+    def ccx(self, control0: int, control1: int, target: int) -> "CircuitBuilder":
+        self._circuit.add(CCX([control0, control1, target]))
+        return self
+
+    toffoli = ccx
+
+    def cswap(self, control: int, target0: int, target1: int) -> "CircuitBuilder":
+        self._circuit.add(CSwap([control, target0, target1]))
+        return self
+
+    # -- matrix gates -----------------------------------------------------------------
+    def unitary(
+        self, matrix: np.ndarray, qubits: Sequence[int], name: str = "UNITARY"
+    ) -> "CircuitBuilder":
+        self._circuit.add(UnitaryGate(matrix, qubits, name=name))
+        return self
+
+    def permutation(
+        self, permutation: Sequence[int], qubits: Sequence[int], name: str = "PERM"
+    ) -> "CircuitBuilder":
+        self._circuit.add(PermutationGate(permutation, qubits, name=name))
+        return self
+
+    # -- non-unitary -------------------------------------------------------------------
+    def measure(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(Measure([qubit]))
+        return self
+
+    def measure_all(self) -> "CircuitBuilder":
+        """Measure every qubit the circuit currently uses, in index order."""
+        n = self._circuit.n_qubits
+        for q in range(n):
+            self._circuit.add(Measure([q]))
+        return self
+
+    def reset(self, qubit: int) -> "CircuitBuilder":
+        self._circuit.add(Reset([qubit]))
+        return self
+
+    def barrier(self, *qubits: int) -> "CircuitBuilder":
+        self._circuit.add(Barrier(list(qubits)))
+        return self
+
+    # -- composition ---------------------------------------------------------------------
+    def append(self, other: CompositeInstruction) -> "CircuitBuilder":
+        """Inline another circuit."""
+        self._circuit.add(other)
+        return self
+
+    def build(self) -> CompositeInstruction:
+        """Return the constructed circuit."""
+        return self._circuit

@@ -1,0 +1,188 @@
+"""Symbolic parameters for parameterized quantum kernels.
+
+QCOR kernels take classical arguments (e.g. the ``theta`` of the VQE ansatz
+in Listing 3 of the paper).  When a kernel is traced into IR without concrete
+values we represent those arguments as :class:`Parameter` objects.  A small
+amount of affine arithmetic (``2 * theta + 0.5``) is supported through
+:class:`ParameterExpression`, which is all the paper's kernels require while
+keeping binding cheap and exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Union
+
+from ..exceptions import ParameterBindingError
+
+__all__ = ["Parameter", "ParameterExpression", "ParameterValue", "bind_value"]
+
+#: A gate angle is either a concrete float or a symbolic expression.
+ParameterValue = Union[float, int, "Parameter", "ParameterExpression"]
+
+
+class ParameterExpression:
+    """Affine expression ``scale * parameter + offset``.
+
+    This is intentionally limited: the kernels in the paper (Bell, Shor,
+    VQE ansatz, QAOA) only ever scale or shift their classical arguments
+    before using them as rotation angles.  Keeping expressions affine means
+    binding is a single multiply-add and equality/hashing stay trivial.
+    """
+
+    __slots__ = ("parameter", "scale", "offset")
+
+    def __init__(self, parameter: "Parameter", scale: float = 1.0, offset: float = 0.0):
+        self.parameter = parameter
+        self.scale = float(scale)
+        self.offset = float(offset)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __mul__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return ParameterExpression(self.parameter, self.scale * other, self.offset * other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        if other == 0:
+            raise ZeroDivisionError("division of parameter expression by zero")
+        return self * (1.0 / other)
+
+    def __add__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return ParameterExpression(self.parameter, self.scale, self.offset + other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: float) -> "ParameterExpression":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return ParameterExpression(self.parameter, -self.scale, other - self.offset)
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    # -- binding ------------------------------------------------------------
+    def bind(self, values: Mapping[str, float]) -> float:
+        """Evaluate the expression given concrete parameter values."""
+        name = self.parameter.name
+        if name not in values:
+            raise ParameterBindingError(f"no value provided for parameter {name!r}")
+        return self.scale * float(values[name]) + self.offset
+
+    @property
+    def parameters(self) -> frozenset["Parameter"]:
+        return frozenset({self.parameter})
+
+    # -- comparison / display ----------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ParameterExpression)
+            and self.parameter == other.parameter
+            and math.isclose(self.scale, other.scale)
+            and math.isclose(self.offset, other.offset)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.parameter, round(self.scale, 12), round(self.offset, 12)))
+
+    def __repr__(self) -> str:
+        pieces = []
+        if self.scale == 1.0:
+            pieces.append(self.parameter.name)
+        else:
+            pieces.append(f"{self.scale:g}*{self.parameter.name}")
+        if self.offset:
+            pieces.append(f"{self.offset:+g}")
+        return "".join(pieces)
+
+
+class Parameter:
+    """A named symbolic kernel argument.
+
+    Two parameters are equal iff their names are equal, so a parameter can be
+    recreated (e.g. by a parser) and still bind against the original.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ParameterBindingError(f"parameter name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    # Arithmetic promotes to ParameterExpression.
+    def __mul__(self, other: float) -> ParameterExpression:
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return ParameterExpression(self, scale=other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: float) -> ParameterExpression:
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        if other == 0:
+            raise ZeroDivisionError("division of parameter by zero")
+        return ParameterExpression(self, scale=1.0 / other)
+
+    def __add__(self, other: float) -> ParameterExpression:
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return ParameterExpression(self, offset=other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: float) -> ParameterExpression:
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return ParameterExpression(self, offset=-other)
+
+    def __rsub__(self, other: float) -> ParameterExpression:
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return ParameterExpression(self, scale=-1.0, offset=other)
+
+    def __neg__(self) -> ParameterExpression:
+        return ParameterExpression(self, scale=-1.0)
+
+    def bind(self, values: Mapping[str, float]) -> float:
+        if self.name not in values:
+            raise ParameterBindingError(f"no value provided for parameter {self.name!r}")
+        return float(values[self.name])
+
+    @property
+    def parameters(self) -> frozenset["Parameter"]:
+        return frozenset({self})
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Parameter) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Parameter", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def bind_value(value: ParameterValue, values: Mapping[str, float] | None = None) -> float:
+    """Resolve ``value`` to a concrete float.
+
+    Concrete numbers pass through; symbolic values are bound against
+    ``values`` (raising :class:`ParameterBindingError` when missing).
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, (Parameter, ParameterExpression)):
+        return value.bind(values or {})
+    raise ParameterBindingError(f"cannot bind value of type {type(value).__name__}")

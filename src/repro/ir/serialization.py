@@ -1,0 +1,116 @@
+"""JSON (de)serialization of circuits.
+
+Circuits are converted to plain dictionaries so they can be persisted,
+shipped to the simulated remote accelerator, or compared in tests.  Symbolic
+parameters are stored as ``{"parameter": name, "scale": s, "offset": o}``;
+matrix-defined gates store their matrices as nested ``[real, imag]`` pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import IRError
+from .composite import CompositeInstruction
+from .gates import GATE_REGISTRY, PermutationGate, UnitaryGate, create_gate
+from .instruction import Instruction
+from .parameter import Parameter, ParameterExpression
+
+__all__ = [
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "circuit_to_json",
+    "circuit_from_json",
+    "instruction_to_dict",
+    "instruction_from_dict",
+]
+
+
+def _param_to_obj(param: Any) -> Any:
+    if isinstance(param, (int, float)):
+        return float(param)
+    if isinstance(param, Parameter):
+        return {"parameter": param.name, "scale": 1.0, "offset": 0.0}
+    if isinstance(param, ParameterExpression):
+        return {"parameter": param.parameter.name, "scale": param.scale, "offset": param.offset}
+    raise IRError(f"cannot serialize parameter of type {type(param).__name__}")
+
+
+def _param_from_obj(obj: Any) -> Any:
+    if isinstance(obj, (int, float)):
+        return float(obj)
+    if isinstance(obj, dict) and "parameter" in obj:
+        expr = ParameterExpression(
+            Parameter(obj["parameter"]), obj.get("scale", 1.0), obj.get("offset", 0.0)
+        )
+        if expr.scale == 1.0 and expr.offset == 0.0:
+            return expr.parameter
+        return expr
+    raise IRError(f"cannot deserialize parameter object {obj!r}")
+
+
+def instruction_to_dict(instruction: Instruction) -> dict:
+    """Convert one instruction to a JSON-safe dictionary."""
+    data: dict[str, Any] = {
+        "name": instruction.name,
+        "qubits": list(instruction.qubits),
+        "parameters": [_param_to_obj(p) for p in instruction.parameters],
+    }
+    if isinstance(instruction, PermutationGate):
+        data["type"] = "permutation"
+        data["permutation"] = list(instruction.permutation)
+    elif isinstance(instruction, UnitaryGate):
+        data["type"] = "unitary"
+        matrix = instruction.matrix()
+        data["matrix"] = [[[float(v.real), float(v.imag)] for v in row] for row in matrix]
+    else:
+        data["type"] = "gate"
+    return data
+
+
+def instruction_from_dict(data: dict) -> Instruction:
+    """Rebuild an instruction from :func:`instruction_to_dict` output."""
+    kind = data.get("type", "gate")
+    qubits = [int(q) for q in data["qubits"]]
+    if kind == "permutation":
+        return PermutationGate(data["permutation"], qubits, name=data.get("name", "PERM"))
+    if kind == "unitary":
+        matrix = np.array(
+            [[complex(re, im) for re, im in row] for row in data["matrix"]], dtype=complex
+        )
+        return UnitaryGate(matrix, qubits, name=data.get("name", "UNITARY"))
+    name = data["name"]
+    if name.upper() not in GATE_REGISTRY:
+        raise IRError(f"unknown gate name {name!r} in serialized circuit")
+    parameters = [_param_from_obj(p) for p in data.get("parameters", [])]
+    return create_gate(name, qubits, parameters)
+
+
+def circuit_to_dict(circuit: CompositeInstruction) -> dict:
+    """Convert a circuit to a JSON-safe dictionary."""
+    return {
+        "name": circuit.name,
+        "n_qubits": circuit.n_qubits,
+        "instructions": [instruction_to_dict(inst) for inst in circuit],
+    }
+
+
+def circuit_from_dict(data: dict) -> CompositeInstruction:
+    """Rebuild a circuit from :func:`circuit_to_dict` output."""
+    circuit = CompositeInstruction(data.get("name", "circuit"), data.get("n_qubits"))
+    for inst in data.get("instructions", []):
+        circuit.add(instruction_from_dict(inst))
+    return circuit
+
+
+def circuit_to_json(circuit: CompositeInstruction, **json_kwargs: Any) -> str:
+    """Serialize a circuit to a JSON string."""
+    return json.dumps(circuit_to_dict(circuit), **json_kwargs)
+
+
+def circuit_from_json(text: str) -> CompositeInstruction:
+    """Deserialize a circuit from a JSON string."""
+    return circuit_from_dict(json.loads(text))

@@ -1,0 +1,27 @@
+"""Circuit transformation passes.
+
+XACC exposes ``IRTransformation`` plugins; this subpackage provides the
+Python analogues used by the default compilation pipeline:
+
+* :class:`InverseCancellationPass` — removes adjacent gate/inverse pairs
+  (``H H``, ``CX CX``, ``S Sdg`` ...).
+* :class:`RotationMergingPass` — merges adjacent rotations about the same
+  axis on the same qubit and drops rotations with angle ~ 0 (mod 4 pi).
+* :class:`SingleQubitFusionPass` — fuses runs of single-qubit gates on a
+  qubit into one :class:`~repro.ir.gates.U3`.
+* :class:`PassManager` — runs an ordered list of passes to a fixed point.
+"""
+
+from .pass_base import BasePass, PassManager, default_pass_manager
+from .inverse_cancellation import InverseCancellationPass
+from .rotation_merging import RotationMergingPass
+from .gate_fusion import SingleQubitFusionPass
+
+__all__ = [
+    "BasePass",
+    "PassManager",
+    "default_pass_manager",
+    "InverseCancellationPass",
+    "RotationMergingPass",
+    "SingleQubitFusionPass",
+]

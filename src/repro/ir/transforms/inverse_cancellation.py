@@ -1,0 +1,84 @@
+"""Adjacent inverse-pair cancellation."""
+
+from __future__ import annotations
+
+from ..composite import CompositeInstruction
+from ..instruction import Instruction
+from .pass_base import BasePass
+
+__all__ = ["InverseCancellationPass"]
+
+#: Gates that are their own inverse (cancel when adjacent on identical qubits).
+_SELF_INVERSE = {"H", "X", "Y", "Z", "CX", "CY", "CZ", "CH", "SWAP", "CCX", "CSWAP", "I"}
+
+#: Pairs of named gates that cancel each other (in either order).
+_INVERSE_PAIRS = {("S", "SDG"), ("SDG", "S"), ("T", "TDG"), ("TDG", "T")}
+
+
+def _cancels(a: Instruction, b: Instruction) -> bool:
+    """True when ``a`` followed immediately by ``b`` is the identity."""
+    if a.qubits != b.qubits:
+        return False
+    if a.is_parameterized or b.is_parameterized:
+        return False
+    if a.name in _SELF_INVERSE and a.name == b.name:
+        return True
+    if (a.name, b.name) in _INVERSE_PAIRS:
+        return True
+    return False
+
+
+class InverseCancellationPass(BasePass):
+    """Remove adjacent gate pairs that compose to the identity.
+
+    The pass only considers *immediately adjacent* instructions on exactly
+    the same qubit tuple, which is sufficient once rotation merging has
+    collapsed runs of rotations.  Intervening instructions on disjoint qubits
+    do not block cancellation.
+    """
+
+    def run(self, circuit: CompositeInstruction) -> CompositeInstruction:
+        instructions = list(circuit)
+        removed = True
+        while removed:
+            removed = False
+            result: list[Instruction] = []
+            i = 0
+            while i < len(instructions):
+                inst = instructions[i]
+                partner_index = self._find_adjacent_partner(instructions, i)
+                if partner_index is not None:
+                    del instructions[partner_index]
+                    del instructions[i]
+                    removed = True
+                    # restart scanning from the beginning of the modified list
+                    result = []
+                    i = 0
+                    continue
+                result.append(inst)
+                i += 1
+            instructions = result if not removed else instructions
+        out = CompositeInstruction(circuit.name, circuit.n_qubits)
+        for inst in instructions:
+            out.add(inst.copy())
+        return out
+
+    @staticmethod
+    def _find_adjacent_partner(instructions: list[Instruction], index: int) -> int | None:
+        """Find a later instruction that cancels ``instructions[index]``.
+
+        The search walks forward while intervening instructions act on
+        disjoint qubits; it stops at the first instruction sharing a qubit.
+        """
+        inst = instructions[index]
+        if inst.is_measurement or inst.name in ("RESET", "BARRIER"):
+            return None
+        qubits = set(inst.qubits)
+        for j in range(index + 1, len(instructions)):
+            other = instructions[j]
+            if not qubits & set(other.qubits):
+                continue
+            if _cancels(inst, other):
+                return j
+            return None
+        return None

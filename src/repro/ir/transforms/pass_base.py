@@ -1,0 +1,81 @@
+"""Pass infrastructure: :class:`BasePass` and :class:`PassManager`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...exceptions import TransformError
+from ..composite import CompositeInstruction
+
+__all__ = ["BasePass", "PassManager", "default_pass_manager"]
+
+
+class BasePass:
+    """A circuit-to-circuit transformation.
+
+    Passes must be pure: they receive a circuit and return a *new* circuit
+    (they never mutate their input), which keeps them trivially safe to run
+    from multiple threads — one of the properties the thread-safety layer in
+    :mod:`repro.core` relies on.
+    """
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    def run(self, circuit: CompositeInstruction) -> CompositeInstruction:
+        """Transform ``circuit`` and return the result."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PassManager:
+    """Runs an ordered list of passes, optionally iterating to a fixed point."""
+
+    def __init__(self, passes: Sequence[BasePass] = (), max_iterations: int = 10):
+        if max_iterations < 1:
+            raise TransformError("max_iterations must be at least 1")
+        self.passes: list[BasePass] = list(passes)
+        self.max_iterations = max_iterations
+
+    def append(self, pass_: BasePass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(
+        self, circuit: CompositeInstruction, to_fixed_point: bool = True
+    ) -> CompositeInstruction:
+        """Apply all passes (repeatedly, until nothing changes, by default)."""
+        current = circuit
+        for _ in range(self.max_iterations if to_fixed_point else 1):
+            before = [(inst.name, inst.qubits, inst.parameters) for inst in current]
+            for pass_ in self.passes:
+                current = pass_.run(current)
+                if not isinstance(current, CompositeInstruction):
+                    raise TransformError(
+                        f"pass {pass_.name} returned {type(current).__name__}, "
+                        "expected a CompositeInstruction"
+                    )
+            after = [(inst.name, inst.qubits, inst.parameters) for inst in current]
+            if before == after:
+                break
+        return current
+
+    def __iter__(self) -> Iterable[BasePass]:
+        return iter(self.passes)
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+
+def default_pass_manager() -> PassManager:
+    """The default optimisation pipeline used by accelerators before execution."""
+    from .inverse_cancellation import InverseCancellationPass
+    from .rotation_merging import RotationMergingPass
+
+    return PassManager([InverseCancellationPass(), RotationMergingPass()])

@@ -1,0 +1,65 @@
+"""Merging of adjacent same-axis rotations."""
+
+from __future__ import annotations
+
+import math
+
+from ..composite import CompositeInstruction
+from ..gates import create_gate
+from ..instruction import Instruction
+from .pass_base import BasePass
+
+__all__ = ["RotationMergingPass"]
+
+_ROTATIONS = {"RX", "RY", "RZ", "CRZ", "CPHASE"}
+
+#: Angles are periodic with period 4*pi for RX/RY/RZ (2*pi global phase aside)
+_PERIOD = 4.0 * math.pi
+
+
+class RotationMergingPass(BasePass):
+    """Merge adjacent rotations about the same axis on the same qubits.
+
+    ``RZ(a) RZ(b) -> RZ(a + b)``; rotations whose merged angle is ~ 0
+    (mod 4 pi) are dropped entirely.  Symbolic (unbound) rotations are left
+    untouched, so the pass is safe to run on parameterized ansatz circuits.
+    """
+
+    def __init__(self, tolerance: float = 1e-12):
+        super().__init__()
+        self.tolerance = tolerance
+
+    def run(self, circuit: CompositeInstruction) -> CompositeInstruction:
+        merged: list[Instruction] = []
+        for inst in circuit:
+            if (
+                merged
+                and inst.name in _ROTATIONS
+                and not inst.is_parameterized
+                and self._mergeable(merged[-1], inst)
+            ):
+                previous = merged.pop()
+                angle = previous.bound_parameters()[0] + inst.bound_parameters()[0]
+                angle = math.remainder(angle, _PERIOD)
+                if abs(angle) > self.tolerance:
+                    merged.append(create_gate(inst.name, inst.qubits, [angle]))
+                continue
+            merged.append(inst)
+        # Drop standalone near-zero rotations.
+        filtered = [
+            inst
+            for inst in merged
+            if not (
+                inst.name in _ROTATIONS
+                and not inst.is_parameterized
+                and abs(math.remainder(inst.bound_parameters()[0], _PERIOD)) <= self.tolerance
+            )
+        ]
+        out = CompositeInstruction(circuit.name, circuit.n_qubits)
+        for inst in filtered:
+            out.add(inst.copy())
+        return out
+
+    @staticmethod
+    def _mergeable(a: Instruction, b: Instruction) -> bool:
+        return a.name == b.name and a.qubits == b.qubits and not a.is_parameterized

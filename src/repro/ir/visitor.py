@@ -1,0 +1,42 @@
+"""Visitor pattern over IR instructions.
+
+XACC uses visitors to translate IR into backend-specific representations.
+Here :class:`InstructionVisitor` dispatches on instruction name: a subclass
+implements ``visit_h``, ``visit_cx`` etc.; unimplemented names fall back to
+``visit_default``.  The serializer, the XASM printer in tests, and the
+cost model all use this mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .composite import CompositeInstruction
+from .instruction import Instruction
+
+__all__ = ["InstructionVisitor"]
+
+
+class InstructionVisitor:
+    """Base visitor; subclass and override ``visit_<name>`` methods."""
+
+    def visit(self, instruction: Instruction) -> Any:
+        """Dispatch ``instruction`` to the matching ``visit_<name>`` method."""
+        if instruction.is_composite:
+            return self.visit_composite(instruction)  # type: ignore[arg-type]
+        method = getattr(self, f"visit_{instruction.name.lower()}", None)
+        if method is None:
+            return self.visit_default(instruction)
+        return method(instruction)
+
+    def visit_composite(self, composite: CompositeInstruction) -> list[Any]:
+        """Visit every child of a composite, returning the list of results."""
+        return [self.visit(inst) for inst in composite]
+
+    def visit_default(self, instruction: Instruction) -> Any:
+        """Fallback for instruction names without a dedicated method."""
+        return None
+
+    def walk(self, composite: CompositeInstruction) -> list[Any]:
+        """Alias of :meth:`visit_composite` for readability at call sites."""
+        return self.visit_composite(composite)

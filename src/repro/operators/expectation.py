@@ -1,0 +1,84 @@
+"""Expectation-value estimation from measurement counts.
+
+VQE-style workflows estimate ``<psi|H|psi>`` by measuring each Pauli term in
+its own basis-rotated circuit and averaging the measured parities.  This
+module builds those measurement circuits and folds count histograms back
+into an energy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..exceptions import ExecutionError
+from ..ir.composite import CompositeInstruction
+from ..ir.gates import Measure
+from .pauli import PauliOperator, PauliTerm
+
+__all__ = ["expectation_from_counts", "measurement_circuits", "estimate_expectation"]
+
+
+def expectation_from_counts(counts: Mapping[str, int], qubits: Sequence[int]) -> float:
+    """Average parity ``<Z_{q0} Z_{q1} ...>`` from a count histogram.
+
+    ``counts`` keys follow the buffer convention of
+    :mod:`repro.simulator.sampling`: character ``i`` of the key is the
+    measured value of the ``i``-th *measured* qubit in ascending qubit
+    order.  ``qubits`` selects which of those positions enter the parity.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        raise ExecutionError("cannot compute an expectation from an empty histogram")
+    accumulator = 0.0
+    for bitstring, count in counts.items():
+        parity = 0
+        for position in qubits:
+            if position >= len(bitstring):
+                raise ExecutionError(
+                    f"bitstring {bitstring!r} too short for measured position {position}"
+                )
+            parity ^= bitstring[position] == "1"
+        accumulator += (1.0 - 2.0 * parity) * count
+    return accumulator / total
+
+
+def measurement_circuits(
+    ansatz: CompositeInstruction, observable: PauliOperator, n_qubits: int | None = None
+) -> list[tuple[PauliTerm, CompositeInstruction]]:
+    """Build one measured circuit per non-identity term of ``observable``.
+
+    Each returned circuit is the ansatz followed by the term's basis rotation
+    and measurements of the term's qubits.  The identity term carries no
+    circuit (its contribution is the constant offset).
+    """
+    n = n_qubits if n_qubits is not None else max(ansatz.n_qubits, observable.n_qubits)
+    circuits: list[tuple[PauliTerm, CompositeInstruction]] = []
+    for term in observable.non_identity_terms():
+        circuit = CompositeInstruction(f"{ansatz.name}_{term.pauli_string}", n)
+        circuit.add(ansatz.copy())
+        circuit.add(term.basis_rotation_circuit(n))
+        for qubit in term.qubits:
+            circuit.add(Measure([qubit]))
+        circuits.append((term, circuit))
+    return circuits
+
+
+def estimate_expectation(
+    observable: PauliOperator,
+    counts_per_term: Mapping[str, Mapping[str, int]],
+) -> float:
+    """Combine per-term histograms into ``<H>``.
+
+    ``counts_per_term`` maps a term's ``pauli_string`` to its histogram.  The
+    bitstring positions in each histogram correspond to the term's qubits in
+    ascending order (which is how the execution layer measures them).
+    """
+    energy = float(observable.constant.real)
+    for term in observable.non_identity_terms():
+        key = term.pauli_string
+        if key not in counts_per_term:
+            raise ExecutionError(f"missing measurement results for term {key!r}")
+        counts = counts_per_term[key]
+        positions = list(range(len(term.qubits)))
+        energy += term.coefficient.real * expectation_from_counts(counts, positions)
+    return energy

@@ -1,0 +1,88 @@
+"""Machine topology model.
+
+:class:`MachineTopology` describes the classical host the paper's evaluation
+targets (physical cores, SMT width, nominal frequency).  The topology is
+consumed by the contention model and the discrete-event scheduler; it can
+also be auto-detected from the current host for ``real``-mode runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["MachineTopology", "PAPER_MACHINE", "detect_host_topology"]
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """A shared-memory node with SMT-capable cores."""
+
+    #: Human-readable name of the machine.
+    name: str
+    #: Number of physical cores.
+    physical_cores: int
+    #: Hardware threads per core (SMT width; 2 on the paper's Ryzen 9 3900X).
+    smt_per_core: int = 2
+    #: Nominal core frequency in GHz (informational only).
+    frequency_ghz: float = 3.8
+    #: Memory capacity in GiB (informational only).
+    memory_gib: int = 128
+
+    def __post_init__(self) -> None:
+        if self.physical_cores < 1:
+            raise ConfigurationError(
+                f"physical_cores must be at least 1, got {self.physical_cores}"
+            )
+        if self.smt_per_core < 1:
+            raise ConfigurationError(
+                f"smt_per_core must be at least 1, got {self.smt_per_core}"
+            )
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total hardware threads (cores x SMT width)."""
+        return self.physical_cores * self.smt_per_core
+
+    def cores_for(self, software_threads: int) -> int:
+        """Physical cores occupied when ``software_threads`` are scheduled."""
+        return min(software_threads, self.physical_cores)
+
+    def smt_threads_for(self, software_threads: int) -> int:
+        """Threads forced onto SMT siblings (beyond one per physical core)."""
+        return max(0, min(software_threads, self.hardware_threads) - self.physical_cores)
+
+    def oversubscribed(self, software_threads: int) -> int:
+        """Threads beyond the hardware thread count (pure time slicing)."""
+        return max(0, software_threads - self.hardware_threads)
+
+
+#: The evaluation platform of the paper: AMD Ryzen 9 3900X, 12 cores / 24
+#: hardware threads at 3.8 GHz with 128 GB of DRAM.
+PAPER_MACHINE = MachineTopology(
+    name="AMD Ryzen 9 3900X",
+    physical_cores=12,
+    smt_per_core=2,
+    frequency_ghz=3.8,
+    memory_gib=128,
+)
+
+
+def detect_host_topology() -> MachineTopology:
+    """Best-effort topology of the current host.
+
+    ``os.cpu_count()`` reports hardware threads; without a reliable portable
+    way to query SMT width we assume 2 when the count is even and greater
+    than 2, matching the common x86 configuration.
+    """
+    threads = os.cpu_count() or 1
+    smt = 2 if threads > 2 and threads % 2 == 0 else 1
+    return MachineTopology(
+        name="host",
+        physical_cores=max(1, threads // smt),
+        smt_per_core=smt,
+        frequency_ghz=0.0,
+        memory_gib=0,
+    )

@@ -1,0 +1,107 @@
+"""Parallel-efficiency and contention model.
+
+The paper's AMD uProf analysis attributes the lack of scaling from 12 to 24
+threads to L1 data-cache misses: the second SMT thread on a core contributes
+almost nothing (and can hurt) once the working set thrashes L1.  The
+:class:`ContentionModel` captures this with three ingredients:
+
+* **SMT yield** — the fraction of an extra core's throughput a second SMT
+  sibling provides (0 means the second hardware thread adds nothing).
+* **Cache penalty** — a multiplicative throughput loss applied to *all*
+  active threads once the machine runs more software threads than physical
+  cores, modelling the shared-L1/L2 thrash the paper measured.
+* **Per-thread synchronisation overhead** — OpenMP fork/join and barrier
+  costs that grow with the team size; this is what makes 24-thread teams
+  slightly *slower* than 12-thread teams for the Bell kernel (Figure 3,
+  0.96x).
+
+The same model serves both the analytic :func:`parallel_efficiency` helper
+and the discrete-event :class:`~repro.parallel.scheduler.TaskScheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .affinity import MachineTopology, PAPER_MACHINE
+
+__all__ = ["ContentionModel", "parallel_efficiency"]
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Throughput model for a team of software threads on a machine."""
+
+    machine: MachineTopology = PAPER_MACHINE
+    #: Throughput contribution of a second SMT thread on an occupied core,
+    #: relative to a full core (0.0 - 1.0).
+    smt_yield: float = 0.15
+    #: Relative throughput lost per SMT-shared core due to cache thrash.
+    cache_penalty: float = 0.08
+    #: Work-equivalent synchronisation overhead added per extra thread in a
+    #: team, as a fraction of the phase's per-thread work.
+    sync_overhead_per_thread: float = 0.008
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.smt_yield <= 1.0:
+            raise ConfigurationError(f"smt_yield must be in [0, 1], got {self.smt_yield}")
+        if not 0.0 <= self.cache_penalty <= 1.0:
+            raise ConfigurationError(
+                f"cache_penalty must be in [0, 1], got {self.cache_penalty}"
+            )
+        if self.sync_overhead_per_thread < 0:
+            raise ConfigurationError("sync_overhead_per_thread must be non-negative")
+
+    # -- machine-level throughput -------------------------------------------------
+    def total_throughput(self, active_threads: int) -> float:
+        """Aggregate work rate (in core-equivalents) of ``active_threads``.
+
+        One thread per physical core contributes 1.0; SMT siblings contribute
+        ``smt_yield``; the shared-cache penalty reduces the whole machine's
+        rate in proportion to how many cores are SMT-shared.  Threads beyond
+        the hardware thread count add nothing (pure time slicing).
+        """
+        if active_threads <= 0:
+            return 0.0
+        machine = self.machine
+        cores = machine.cores_for(active_threads)
+        smt_threads = machine.smt_threads_for(active_threads)
+        raw = cores + self.smt_yield * smt_threads
+        shared_fraction = smt_threads / machine.physical_cores if machine.physical_cores else 0.0
+        return raw * (1.0 - self.cache_penalty * shared_fraction)
+
+    def per_thread_rate(self, active_threads: int) -> float:
+        """Work rate of a single thread when ``active_threads`` share the machine."""
+        if active_threads <= 0:
+            return 0.0
+        return self.total_throughput(active_threads) / active_threads
+
+    # -- team-level efficiency -------------------------------------------------------
+    def team_overhead_factor(self, team_size: int) -> float:
+        """Multiplicative work inflation for a team of ``team_size`` threads."""
+        if team_size <= 0:
+            raise ConfigurationError(f"team_size must be positive, got {team_size}")
+        return 1.0 + self.sync_overhead_per_thread * (team_size - 1)
+
+    def effective_speedup(self, team_size: int, background_threads: int = 0) -> float:
+        """Speed-up of a perfectly parallel region run by ``team_size`` threads.
+
+        ``background_threads`` accounts for other tasks running concurrently
+        on the same machine (the paper's parallel two-kernel scenario).
+        """
+        active = team_size + background_threads
+        rate = self.per_thread_rate(active)
+        return team_size * rate / self.team_overhead_factor(team_size)
+
+
+def parallel_efficiency(
+    team_size: int,
+    model: ContentionModel | None = None,
+    background_threads: int = 0,
+) -> float:
+    """Parallel efficiency (speed-up / team size) under ``model``."""
+    model = model or ContentionModel()
+    if team_size <= 0:
+        raise ConfigurationError(f"team_size must be positive, got {team_size}")
+    return model.effective_speedup(team_size, background_threads) / team_size

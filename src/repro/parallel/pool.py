@@ -1,0 +1,109 @@
+"""Worker pools and OpenMP-style thread-count helpers.
+
+``WorkerPool`` is a small wrapper over :class:`concurrent.futures` used by
+the ``real`` execution mode: shot-level parallelism and the benchmark
+harness submit work through it.  Thread pools are the default (NumPy kernels
+release the GIL); a process pool can be requested for workloads dominated by
+pure-Python classical post-processing.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from ..config import get_config
+from ..exceptions import ConfigurationError
+
+__all__ = ["WorkerPool", "omp_get_max_threads", "omp_set_num_threads"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def omp_get_max_threads() -> int:
+    """Return the configured simulator worker count (``OMP_NUM_THREADS`` analogue)."""
+    return get_config().omp_num_threads
+
+
+def omp_set_num_threads(count: int) -> None:
+    """Set the simulator worker count, mirroring ``omp_set_num_threads``."""
+    from ..config import set_config
+
+    set_config(omp_num_threads=count)
+    os.environ["OMP_NUM_THREADS"] = str(count)
+
+
+class WorkerPool:
+    """A sized pool of workers with ``map``/``submit`` semantics.
+
+    Parameters
+    ----------
+    num_workers:
+        Pool size; defaults to the configured ``omp_num_threads``.
+    kind:
+        ``"thread"`` (default) or ``"process"``.
+    """
+
+    def __init__(self, num_workers: int | None = None, kind: str = "thread"):
+        if kind not in ("thread", "process"):
+            raise ConfigurationError(f"kind must be 'thread' or 'process', got {kind!r}")
+        self.num_workers = int(num_workers) if num_workers is not None else omp_get_max_threads()
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be at least 1, got {self.num_workers}"
+            )
+        self.kind = kind
+        self._executor: concurrent.futures.Executor | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        self._executor = self._make_executor()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        if self.kind == "thread":
+            return concurrent.futures.ThreadPoolExecutor(max_workers=self.num_workers)
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.num_workers)
+
+    def _ensure_executor(self) -> concurrent.futures.Executor:
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    # -- execution --------------------------------------------------------------------
+    def submit(self, fn: Callable[..., R], *args, **kwargs) -> concurrent.futures.Future:
+        """Submit one call; returns a future."""
+        return self._ensure_executor().submit(fn, *args, **kwargs)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, preserving order; propagates exceptions."""
+        executor = self._ensure_executor()
+        return list(executor.map(fn, items))
+
+    def starmap(self, fn: Callable[..., R], argument_tuples: Iterable[Sequence]) -> list[R]:
+        """Like :meth:`map` but unpacks each argument tuple."""
+        executor = self._ensure_executor()
+        futures = [executor.submit(fn, *args) for args in argument_tuples]
+        return [f.result() for f in futures]
+
+    def imap_unordered(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> Iterator[R]:
+        """Yield results as they complete (order not preserved)."""
+        executor = self._ensure_executor()
+        futures = [executor.submit(fn, item) for item in items]
+        for future in concurrent.futures.as_completed(futures):
+            yield future.result()
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(num_workers={self.num_workers}, kind={self.kind!r})"

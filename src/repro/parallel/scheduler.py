@@ -1,0 +1,264 @@
+"""Processor-sharing discrete-event scheduler.
+
+This is the ``modeled`` execution engine: it simulates how a set of
+multi-threaded kernel simulations share the paper's machine, producing
+deterministic makespans from which the figures' speed-up ratios are derived.
+
+Model
+-----
+A :class:`SimTask` is a sequence of :class:`WorkPhase` objects.  A phase has
+an amount of abstract work and a *width*: serial phases (width 1) model gate
+dispatch, shot post-processing and runtime bookkeeping; parallel phases
+(width = the task's OpenMP team size) model the amplitude updates and
+sampling that Quantum++ parallelises.
+
+The scheduler advances time with a fluid processor-sharing approximation:
+between events, every active phase consumes work at a rate determined by the
+:class:`~repro.parallel.contention.ContentionModel` given the total number
+of software threads currently active on the machine.  Events occur whenever
+some task finishes its current phase (and therefore the machine-wide rates
+change).  This captures the effect the paper exploits: while one kernel is
+in a serial phase, a concurrently running kernel's threads soak up the idle
+cores, so running two kernels in parallel with N/2 threads each finishes
+sooner than running them one after the other with N threads each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..exceptions import ConfigurationError, ExecutionError
+from .contention import ContentionModel
+
+__all__ = ["WorkPhase", "SimTask", "ScheduleResult", "TaskScheduler"]
+
+
+@dataclass(frozen=True)
+class WorkPhase:
+    """A contiguous chunk of work executed at a fixed thread width.
+
+    ``locked=True`` marks work performed inside a global runtime critical
+    section (the mutexes the paper adds around ``qalloc`` and service
+    lookups): at most one task may make progress on a locked phase at any
+    simulated instant, regardless of how many cores are free.
+    """
+
+    work: float
+    width: int
+    locked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ConfigurationError(f"phase work must be non-negative, got {self.work}")
+        if self.width < 1:
+            raise ConfigurationError(f"phase width must be at least 1, got {self.width}")
+        if self.locked and self.width != 1:
+            raise ConfigurationError("locked phases must have width 1")
+
+
+@dataclass
+class SimTask:
+    """A modeled kernel execution: an ordered list of phases."""
+
+    name: str
+    phases: Sequence[WorkPhase]
+    #: Simulated time at which the task becomes runnable.
+    release_time: float = 0.0
+
+    @property
+    def total_work(self) -> float:
+        return sum(p.work for p in self.phases)
+
+    @property
+    def max_width(self) -> int:
+        return max((p.width for p in self.phases), default=1)
+
+    @staticmethod
+    def from_cost(
+        name: str,
+        parallel_work: float,
+        serial_work: float,
+        threads: int,
+        locked_work: float = 0.0,
+        n_chunks: int = 32,
+        release_time: float = 0.0,
+    ) -> "SimTask":
+        """Build a task interleaving serial, parallel and locked phases.
+
+        Interleaving at ``n_chunks`` granularity (rather than one big serial
+        phase followed by one big parallel phase) reflects how gate dispatch
+        and amplitude updates alternate in a real simulator and is what lets
+        concurrent tasks overlap each other's serial gaps.
+        """
+        if threads < 1:
+            raise ConfigurationError(f"threads must be at least 1, got {threads}")
+        if n_chunks < 1:
+            raise ConfigurationError(f"n_chunks must be at least 1, got {n_chunks}")
+        phases: list[WorkPhase] = []
+        serial_chunk = serial_work / n_chunks
+        parallel_chunk = parallel_work / n_chunks
+        locked_chunk = locked_work / n_chunks
+        for _ in range(n_chunks):
+            if locked_chunk > 0:
+                phases.append(WorkPhase(locked_chunk, 1, locked=True))
+            if serial_chunk > 0:
+                phases.append(WorkPhase(serial_chunk, 1))
+            if parallel_chunk > 0:
+                phases.append(WorkPhase(parallel_chunk, threads))
+        if not phases:
+            phases.append(WorkPhase(0.0, 1))
+        return SimTask(name=name, phases=phases, release_time=release_time)
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a scheduler run."""
+
+    #: Simulated completion time of each task, keyed by task name.
+    completion_times: dict[str, float]
+    #: Simulated time at which the last task finished.
+    makespan: float
+    #: Total simulated busy thread-time (for utilisation analyses).
+    busy_thread_time: float = 0.0
+
+    def speedup_over(self, baseline: "ScheduleResult") -> float:
+        """Baseline makespan divided by this result's makespan."""
+        if self.makespan <= 0:
+            raise ExecutionError("cannot compute a speed-up for a zero makespan")
+        return baseline.makespan / self.makespan
+
+
+@dataclass
+class TaskScheduler:
+    """Simulates a set of :class:`SimTask` objects sharing one machine."""
+
+    contention: ContentionModel = field(default_factory=ContentionModel)
+    #: Numerical guard: maximum number of scheduling events before aborting.
+    max_events: int = 1_000_000
+
+    def run(self, tasks: Sequence[SimTask]) -> ScheduleResult:
+        """Simulate ``tasks`` and return their completion times and makespan."""
+        if not tasks:
+            return ScheduleResult(completion_times={}, makespan=0.0)
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("task names must be unique within a schedule")
+
+        # Per-task mutable progress state.
+        phase_index = [0] * len(tasks)
+        remaining = [
+            tasks[i].phases[0].work if tasks[i].phases else 0.0 for i in range(len(tasks))
+        ]
+        completion: dict[str, float] = {}
+        now = 0.0
+        busy_thread_time = 0.0
+
+        def current_width(i: int) -> int:
+            return tasks[i].phases[phase_index[i]].width
+
+        def is_active(i: int) -> bool:
+            return tasks[i].name not in completion and tasks[i].release_time <= now
+
+        def skip_empty_phases(i: int) -> None:
+            """Advance through zero-work phases; record completion when done."""
+            while (
+                tasks[i].name not in completion
+                and phase_index[i] < len(tasks[i].phases)
+                and remaining[i] <= 1e-12
+            ):
+                phase_index[i] += 1
+                if phase_index[i] >= len(tasks[i].phases):
+                    completion[tasks[i].name] = now
+                else:
+                    remaining[i] = tasks[i].phases[phase_index[i]].work
+
+        for i in range(len(tasks)):
+            skip_empty_phases(i)
+
+        events = 0
+        while len(completion) < len(tasks):
+            events += 1
+            if events > self.max_events:
+                raise ExecutionError(
+                    f"scheduler exceeded {self.max_events} events; "
+                    "check for zero-rate phases"
+                )
+            active = [i for i in range(len(tasks)) if is_active(i)]
+            if not active:
+                # Jump to the next release time.
+                pending = [
+                    tasks[i].release_time
+                    for i in range(len(tasks))
+                    if tasks[i].name not in completion
+                ]
+                now = min(pending)
+                for i in range(len(tasks)):
+                    skip_empty_phases(i)
+                continue
+
+            # Global-lock arbitration: only one task may progress on a
+            # locked phase at a time; the others are parked for this slice.
+            locked_tasks = [
+                i for i in active if tasks[i].phases[phase_index[i]].locked
+            ]
+            lock_holder = min(locked_tasks) if locked_tasks else None
+            runnable = [
+                i
+                for i in active
+                if not tasks[i].phases[phase_index[i]].locked or i == lock_holder
+            ]
+
+            total_threads = sum(current_width(i) for i in runnable)
+            per_thread_rate = self.contention.per_thread_rate(total_threads)
+            if per_thread_rate <= 0:
+                raise ExecutionError("contention model produced a non-positive rate")
+
+            # Task progress rate = width * per-thread rate / team overhead.
+            rates = {}
+            for i in runnable:
+                width = current_width(i)
+                overhead = self.contention.team_overhead_factor(width)
+                rates[i] = width * per_thread_rate / overhead
+
+            # Time until the first runnable task finishes its phase, or until
+            # a new task is released (whichever comes first).
+            dt_phase = min(remaining[i] / rates[i] for i in runnable)
+            future_releases = [
+                tasks[i].release_time
+                for i in range(len(tasks))
+                if tasks[i].name not in completion and tasks[i].release_time > now
+            ]
+            dt_release = min(future_releases) - now if future_releases else float("inf")
+            dt = min(dt_phase, dt_release)
+
+            for i in runnable:
+                remaining[i] -= rates[i] * dt
+                busy_thread_time += current_width(i) * dt
+            now += dt
+            for i in range(len(tasks)):
+                skip_empty_phases(i)
+
+        makespan = max(completion.values(), default=0.0)
+        return ScheduleResult(
+            completion_times=completion, makespan=makespan, busy_thread_time=busy_thread_time
+        )
+
+    # -- convenience entry points used by the benchmark harness -----------------------
+    def run_one_by_one(self, tasks: Sequence[SimTask]) -> ScheduleResult:
+        """Run tasks strictly back-to-back (the paper's conventional baseline)."""
+        result_times: dict[str, float] = {}
+        offset = 0.0
+        busy = 0.0
+        for task in tasks:
+            single = self.run([SimTask(task.name, task.phases, release_time=0.0)])
+            result_times[task.name] = offset + single.completion_times[task.name]
+            offset += single.makespan
+            busy += single.busy_thread_time
+        return ScheduleResult(
+            completion_times=result_times, makespan=offset, busy_thread_time=busy
+        )
+
+    def run_parallel(self, tasks: Sequence[SimTask]) -> ScheduleResult:
+        """Run all tasks concurrently (the paper's proposed approach)."""
+        return self.run(list(tasks))

@@ -1,0 +1,56 @@
+"""Thin ``std::thread`` / ``std::async`` analogues.
+
+The paper's user-facing constructs are plain C++ ``std::thread`` and
+``std::async``; the Python equivalents here are intentionally minimal
+wrappers over :mod:`threading` and :mod:`concurrent.futures` so that the
+examples read like Listings 4 and 5 of the paper.  The QCOR-aware wrappers
+that also perform the per-thread runtime initialisation live in
+:mod:`repro.core.threading_api`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Callable, Iterable, TypeVar
+
+__all__ = ["std_thread", "std_async", "join_all"]
+
+R = TypeVar("R")
+
+#: Shared executor backing std_async (lazily created, grown on demand).
+_async_executor: concurrent.futures.ThreadPoolExecutor | None = None
+_async_lock = threading.Lock()
+
+
+def std_thread(target: Callable[..., object], *args, **kwargs) -> threading.Thread:
+    """Create **and start** a thread running ``target(*args, **kwargs)``.
+
+    Mirrors ``std::thread t(foo);`` — construction starts execution; the
+    caller is responsible for ``join()``.
+    """
+    thread = threading.Thread(target=target, args=args, kwargs=kwargs)
+    thread.start()
+    return thread
+
+
+def std_async(fn: Callable[..., R], *args, **kwargs) -> "concurrent.futures.Future[R]":
+    """Launch ``fn`` asynchronously and return a future (``std::async`` analogue).
+
+    The launch policy is always the equivalent of ``std::launch::async``: the
+    callable starts running immediately on a pool thread.
+    """
+    global _async_executor
+    with _async_lock:
+        if _async_executor is None:
+            _async_executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=32, thread_name_prefix="repro-async"
+            )
+        executor = _async_executor
+    return executor.submit(fn, *args, **kwargs)
+
+
+def join_all(threads: Iterable[threading.Thread]) -> None:
+    """Join every thread in ``threads`` (convenience for examples/tests)."""
+    for thread in threads:
+        thread.join()

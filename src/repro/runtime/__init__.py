@@ -1,0 +1,55 @@
+"""XACC-like runtime substrate.
+
+This subpackage provides the services QCOR builds on:
+
+* :class:`AcceleratorBuffer` — measurement-result container (``qalloc``'s
+  return value is a :class:`~repro.runtime.qreg.qreg` wrapping one).
+* :class:`Accelerator` — backend interface; :class:`QppAccelerator` is the
+  Quantum++-style state-vector backend used in the paper's evaluation,
+  :class:`NoisyAccelerator` adds density-matrix noise, and
+  :class:`RemoteAccelerator` emulates a queued cloud backend (useful with
+  ``std::async``-style launches).
+* :class:`ServiceRegistry` — the ``xacc::getService`` /
+  ``xacc::getAccelerator`` mechanism, including the *cloneable vs shared
+  singleton* distinction at the heart of the paper's data-race analysis.
+* :func:`qalloc` — qubit-register allocation backed by a global buffer map
+  (thread-safe or legacy behaviour depending on configuration).
+"""
+
+from .buffer import AcceleratorBuffer
+from .accelerator import Accelerator, Cloneable
+from .qpp_accelerator import QppAccelerator
+from .noisy_accelerator import NoisyAccelerator
+from .remote_accelerator import RemoteAccelerator, RemoteJob
+from .service_registry import (
+    ServiceRegistry,
+    get_registry,
+    get_service,
+    get_accelerator,
+    register_service,
+    reset_registry,
+)
+from .allocation import qalloc, allocated_buffer_count, clear_allocated_buffers, get_allocated_buffer
+from .qreg import qreg, QubitRef
+
+__all__ = [
+    "AcceleratorBuffer",
+    "Accelerator",
+    "Cloneable",
+    "QppAccelerator",
+    "NoisyAccelerator",
+    "RemoteAccelerator",
+    "RemoteJob",
+    "ServiceRegistry",
+    "get_registry",
+    "get_service",
+    "get_accelerator",
+    "register_service",
+    "reset_registry",
+    "qalloc",
+    "allocated_buffer_count",
+    "clear_allocated_buffers",
+    "get_allocated_buffer",
+    "qreg",
+    "QubitRef",
+]

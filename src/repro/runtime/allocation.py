@@ -1,0 +1,72 @@
+"""Qubit-register allocation (``qalloc``) and the global buffer map.
+
+The paper's first data-race example is ``qalloc()``: the original
+implementation inserts into a global ``std::map`` without synchronisation, so
+concurrent allocations corrupt the map.  This module reproduces both sides:
+
+* in thread-safe mode, insertions are protected by a module-level lock
+  (Listing 6 of the paper), and
+* in legacy mode, the insertion happens without the lock inside a race
+  detector scope so tests and the ablation benchmark can observe the unsafe
+  concurrent accesses that motivated the fix.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..config import get_config
+from ..exceptions import AllocationError
+from .buffer import AcceleratorBuffer
+from .qreg import qreg
+
+__all__ = [
+    "qalloc",
+    "get_allocated_buffer",
+    "allocated_buffer_count",
+    "clear_allocated_buffers",
+]
+
+#: Global map of allocated buffers, keyed by buffer name (the analogue of
+#: XACC's ``allocated_buffers`` global ``std::map``).
+_allocated_buffers: dict[str, AcceleratorBuffer] = {}
+
+#: The mutex from Listing 6 of the paper.
+_allocation_lock = threading.Lock()
+
+
+def qalloc(n_qubits: int) -> qreg:
+    """Allocate an ``n_qubits`` register and track it in the global buffer map."""
+    if n_qubits < 1:
+        raise AllocationError(f"qalloc requires at least 1 qubit, got {n_qubits}")
+    buffer = AcceleratorBuffer(n_qubits)
+    if get_config().thread_safe:
+        with _allocation_lock:
+            _allocated_buffers[buffer.name] = buffer
+    else:
+        from ..core.race_detector import get_race_detector
+
+        with get_race_detector().access("allocated_buffers", safe=False):
+            _allocated_buffers[buffer.name] = buffer
+    return qreg(buffer)
+
+
+def get_allocated_buffer(name: str) -> AcceleratorBuffer:
+    """Look up a previously allocated buffer by name."""
+    with _allocation_lock:
+        try:
+            return _allocated_buffers[name]
+        except KeyError as exc:
+            raise AllocationError(f"no allocated buffer named {name!r}") from exc
+
+
+def allocated_buffer_count() -> int:
+    """Number of live allocations (used by tests and the race demonstrations)."""
+    with _allocation_lock:
+        return len(_allocated_buffers)
+
+
+def clear_allocated_buffers() -> None:
+    """Drop every tracked allocation (test helper)."""
+    with _allocation_lock:
+        _allocated_buffers.clear()

@@ -1,0 +1,91 @@
+"""User-facing qubit register handle (``qreg``).
+
+``qalloc(n)`` returns a :class:`qreg`.  Inside a ``@qpu`` kernel the register
+is indexed (``q[0]``, ``q[1]``) to name the qubits a gate acts on and
+``q.size()`` drives loops, exactly like the XASM kernels in the paper's
+listings.  After execution, ``q.counts()`` / ``q.print()`` expose the
+measurement results stored on the underlying
+:class:`~repro.runtime.buffer.AcceleratorBuffer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import AllocationError
+from .buffer import AcceleratorBuffer
+
+__all__ = ["qreg", "QubitRef"]
+
+
+@dataclass(frozen=True)
+class QubitRef:
+    """A reference to one qubit of a register (what ``q[i]`` evaluates to)."""
+
+    register: "qreg"
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.register.size():
+            raise AllocationError(
+                f"qubit index {self.index} out of range for a "
+                f"{self.register.size()}-qubit register"
+            )
+
+    def __int__(self) -> int:
+        return self.index
+
+    def __index__(self) -> int:
+        return self.index
+
+    def __repr__(self) -> str:
+        return f"{self.register.name()}[{self.index}]"
+
+
+class qreg:  # noqa: N801 - lower-case to mirror the QCOR type name
+    """A handle to an allocated qubit register."""
+
+    def __init__(self, buffer: AcceleratorBuffer):
+        self._buffer = buffer
+
+    # -- structure ------------------------------------------------------------
+    def size(self) -> int:
+        """Number of qubits in the register."""
+        return self._buffer.size
+
+    def __len__(self) -> int:
+        return self._buffer.size
+
+    def __getitem__(self, index: int) -> QubitRef:
+        return QubitRef(self, int(index))
+
+    def __iter__(self):
+        return (QubitRef(self, i) for i in range(self.size()))
+
+    def name(self) -> str:
+        return self._buffer.name
+
+    @property
+    def buffer(self) -> AcceleratorBuffer:
+        """The underlying results buffer."""
+        return self._buffer
+
+    # -- results ----------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Measurement histogram accumulated by kernel executions."""
+        return self._buffer.get_measurement_counts()
+
+    def exp_val_z(self) -> float:
+        """Average all-qubit Z parity of the recorded measurements."""
+        return self._buffer.expectation_value_z()
+
+    def print(self) -> None:
+        """Print the underlying buffer (Listing 2 style)."""
+        self._buffer.print()
+
+    def reset(self) -> None:
+        """Clear recorded results so the register can be reused."""
+        self._buffer.reset()
+
+    def __repr__(self) -> str:
+        return f"qreg(name={self.name()!r}, size={self.size()})"

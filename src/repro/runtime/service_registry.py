@@ -1,0 +1,162 @@
+"""Service registry: the ``xacc::getService`` / ``xacc::getAccelerator`` layer.
+
+Two behaviours co-exist, selected by the global ``thread_safe`` configuration
+flag, because demonstrating the *difference* is part of reproducing the
+paper:
+
+* **Thread-safe mode** (the paper's contribution): registry lookups are
+  protected by a lock, and services that are :class:`Cloneable` are
+  instantiated fresh on every lookup, so concurrent threads never share a
+  simulator instance.
+* **Legacy mode**: lookups are unlocked (their accesses are recorded by the
+  race detector) and every lookup returns the same shared instance — the
+  original QCOR/XACC behaviour whose data races the paper analyses.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Mapping
+
+from ..config import get_config
+from ..exceptions import ServiceNotFoundError
+from .accelerator import Accelerator, Cloneable
+
+__all__ = [
+    "ServiceRegistry",
+    "get_registry",
+    "reset_registry",
+    "register_service",
+    "get_service",
+    "get_accelerator",
+]
+
+
+class ServiceRegistry:
+    """Maps ``(kind, name)`` to service factories and shared instances."""
+
+    def __init__(self) -> None:
+        self._factories: dict[tuple[str, str], Callable[[], object]] = {}
+        self._shared_instances: dict[tuple[str, str], object] = {}
+        self._lock = threading.RLock()
+        self._register_builtins()
+
+    # -- registration ------------------------------------------------------------
+    def register(self, kind: str, name: str, factory: Callable[[], object]) -> None:
+        """Register a service factory under ``(kind, name)``."""
+        key = (kind.lower(), name.lower())
+        with self._lock:
+            self._factories[key] = factory
+            self._shared_instances.pop(key, None)
+
+    def registered_names(self, kind: str) -> list[str]:
+        """Names registered under ``kind`` (sorted)."""
+        kind = kind.lower()
+        with self._lock:
+            return sorted(name for (k, name) in self._factories if k == kind)
+
+    def has_service(self, kind: str, name: str) -> bool:
+        return (kind.lower(), name.lower()) in self._factories
+
+    # -- lookup ---------------------------------------------------------------------
+    def get_service(self, kind: str, name: str) -> object:
+        """Resolve a service instance.
+
+        Cloneable services yield a fresh instance per call in thread-safe
+        mode; everything else is a shared singleton.  In legacy mode even
+        cloneable services are shared (reproducing the original behaviour).
+        """
+        key = (kind.lower(), name.lower())
+        thread_safe = get_config().thread_safe
+        factory = self._factories.get(key)
+        if factory is None:
+            raise ServiceNotFoundError(
+                f"no service {name!r} registered under kind {kind!r}; "
+                f"known: {self.registered_names(kind)}"
+            )
+        if thread_safe:
+            with self._lock:
+                return self._resolve(key, factory, clone_allowed=True)
+        # Legacy path: no lock, shared instances, races recorded.
+        from ..core.race_detector import get_race_detector
+
+        with get_race_detector().access("service_registry", safe=False):
+            return self._resolve(key, factory, clone_allowed=False)
+
+    def _resolve(
+        self, key: tuple[str, str], factory: Callable[[], object], clone_allowed: bool
+    ) -> object:
+        shared = self._shared_instances.get(key)
+        if shared is None:
+            shared = factory()
+            self._shared_instances[key] = shared
+        if clone_allowed and isinstance(shared, Cloneable):
+            return shared.clone()
+        return shared
+
+    def get_accelerator(
+        self, name: str | None = None, options: Mapping[str, object] | None = None
+    ) -> Accelerator:
+        """``xacc::getAccelerator``: resolve and initialise a backend."""
+        resolved_name = name or get_config().default_accelerator
+        service = self.get_service("accelerator", resolved_name)
+        if not isinstance(service, Accelerator):
+            raise ServiceNotFoundError(
+                f"service {resolved_name!r} is not an Accelerator "
+                f"(got {type(service).__name__})"
+            )
+        service.initialize(options or {})
+        return service
+
+    # -- built-ins ------------------------------------------------------------------------
+    def _register_builtins(self) -> None:
+        from .noisy_accelerator import NoisyAccelerator
+        from .qpp_accelerator import QppAccelerator
+        from .remote_accelerator import RemoteAccelerator
+
+        self.register("accelerator", "qpp", QppAccelerator)
+        self.register("accelerator", "noisy-qpp", NoisyAccelerator)
+        self.register("accelerator", "remote-qpp", RemoteAccelerator)
+
+
+# ---------------------------------------------------------------------------
+# Module-level singleton registry
+# ---------------------------------------------------------------------------
+
+_registry: ServiceRegistry | None = None
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> ServiceRegistry:
+    """Return the process-wide registry (created on first use)."""
+    global _registry
+    if _registry is None:
+        with _registry_lock:
+            if _registry is None:
+                _registry = ServiceRegistry()
+    return _registry
+
+
+def reset_registry() -> ServiceRegistry:
+    """Replace the process-wide registry with a fresh one (test helper)."""
+    global _registry
+    with _registry_lock:
+        _registry = ServiceRegistry()
+        return _registry
+
+
+def register_service(kind: str, name: str, factory: Callable[[], object]) -> None:
+    """Register a service on the process-wide registry."""
+    get_registry().register(kind, name, factory)
+
+
+def get_service(kind: str, name: str) -> object:
+    """Resolve a service from the process-wide registry."""
+    return get_registry().get_service(kind, name)
+
+
+def get_accelerator(
+    name: str | None = None, options: Mapping[str, object] | None = None
+) -> Accelerator:
+    """Resolve an accelerator from the process-wide registry."""
+    return get_registry().get_accelerator(name, options)

@@ -1,0 +1,53 @@
+"""Dense quantum-circuit simulation substrate.
+
+This subpackage is the stand-in for Quantum++ (the ``qpp`` backend the paper
+uses).  It provides:
+
+* :class:`StateVector` — dense state-vector simulation with vectorised NumPy
+  gate kernels (no Python loops over amplitudes).
+* :mod:`~repro.simulator.gate_application` — the low-level kernels, with
+  specialised fast paths for single-qubit, controlled and diagonal gates.
+* :mod:`~repro.simulator.sampling` — measurement sampling into count
+  histograms matching QCOR's ``AcceleratorBuffer`` output.
+* :class:`DensityMatrix` and :mod:`~repro.simulator.noise` — mixed-state
+  simulation with CPTP noise channels.
+* :class:`ParallelSimulationEngine` — the "inner simulator level
+  parallelism" of the paper: shot- and chunk-level worker pools sized by an
+  ``OMP_NUM_THREADS``-like knob.
+* :class:`SimulationCostModel` — an analytic cost model used by the
+  ``modeled`` execution mode to regenerate the paper's figures
+  deterministically.
+"""
+
+from .statevector import StateVector
+from .sampling import sample_counts, counts_from_statevector, format_bitstring
+from .density import DensityMatrix
+from .noise import (
+    NoiseModel,
+    KrausChannel,
+    depolarizing_channel,
+    bit_flip_channel,
+    phase_flip_channel,
+    amplitude_damping_channel,
+)
+from .unitary import circuit_unitary
+from .parallel_engine import ParallelSimulationEngine
+from .cost_model import SimulationCostModel, CircuitCost
+
+__all__ = [
+    "StateVector",
+    "DensityMatrix",
+    "sample_counts",
+    "counts_from_statevector",
+    "format_bitstring",
+    "NoiseModel",
+    "KrausChannel",
+    "depolarizing_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "amplitude_damping_channel",
+    "circuit_unitary",
+    "ParallelSimulationEngine",
+    "SimulationCostModel",
+    "CircuitCost",
+]

@@ -1,0 +1,159 @@
+"""Noise channels and noise models.
+
+Channels are completely-positive trace-preserving (CPTP) maps given by Kraus
+operators; :class:`NoiseModel` attaches channels to gate names so the
+density-matrix backend can interleave them after each gate — a minimal but
+faithful analogue of the noisy backends QCOR can target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import NoiseModelError
+from ..ir.instruction import Instruction
+
+__all__ = [
+    "KrausChannel",
+    "NoiseModel",
+    "depolarizing_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "amplitude_damping_channel",
+]
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+@dataclass(frozen=True)
+class KrausChannel:
+    """A CPTP channel defined by its Kraus operators."""
+
+    name: str
+    kraus_operators: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if not self.kraus_operators:
+            raise NoiseModelError(f"channel {self.name!r} has no Kraus operators")
+        dim = self.kraus_operators[0].shape[0]
+        total = np.zeros((dim, dim), dtype=complex)
+        for op in self.kraus_operators:
+            if op.shape != (dim, dim):
+                raise NoiseModelError(
+                    f"channel {self.name!r} has Kraus operators of inconsistent shape"
+                )
+            total += op.conj().T @ op
+        if not np.allclose(total, np.eye(dim), atol=1e-8):
+            raise NoiseModelError(
+                f"channel {self.name!r} is not trace preserving (sum K†K != I)"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        return int(math.log2(self.kraus_operators[0].shape[0]))
+
+
+def _validated_probability(p: float, what: str) -> float:
+    if not 0.0 <= p <= 1.0:
+        raise NoiseModelError(f"{what} must be in [0, 1], got {p}")
+    return float(p)
+
+
+def depolarizing_channel(p: float) -> KrausChannel:
+    """Single-qubit depolarizing channel with error probability ``p``."""
+    p = _validated_probability(p, "depolarizing probability")
+    ops = (
+        math.sqrt(1.0 - p) * _I,
+        math.sqrt(p / 3.0) * _X,
+        math.sqrt(p / 3.0) * _Y,
+        math.sqrt(p / 3.0) * _Z,
+    )
+    return KrausChannel("depolarizing", tuple(np.asarray(o, dtype=complex) for o in ops))
+
+
+def bit_flip_channel(p: float) -> KrausChannel:
+    """Single-qubit bit-flip (X) channel with flip probability ``p``."""
+    p = _validated_probability(p, "bit-flip probability")
+    ops = (math.sqrt(1.0 - p) * _I, math.sqrt(p) * _X)
+    return KrausChannel("bit_flip", tuple(np.asarray(o, dtype=complex) for o in ops))
+
+
+def phase_flip_channel(p: float) -> KrausChannel:
+    """Single-qubit phase-flip (Z) channel with flip probability ``p``."""
+    p = _validated_probability(p, "phase-flip probability")
+    ops = (math.sqrt(1.0 - p) * _I, math.sqrt(p) * _Z)
+    return KrausChannel("phase_flip", tuple(np.asarray(o, dtype=complex) for o in ops))
+
+
+def amplitude_damping_channel(gamma: float) -> KrausChannel:
+    """Single-qubit amplitude damping with decay probability ``gamma``."""
+    gamma = _validated_probability(gamma, "damping probability")
+    k0 = np.array([[1, 0], [0, math.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return KrausChannel("amplitude_damping", (k0, k1))
+
+
+@dataclass
+class NoiseModel:
+    """Associates noise channels with gate names.
+
+    ``default_single_qubit`` / ``default_two_qubit`` apply to every gate of
+    that arity unless the gate name has an explicit entry in ``per_gate``.
+    Channels attached to multi-qubit gates are applied to each qubit the gate
+    touches (a standard simplification for local noise).
+    """
+
+    default_single_qubit: KrausChannel | None = None
+    default_two_qubit: KrausChannel | None = None
+    per_gate: dict[str, KrausChannel] = field(default_factory=dict)
+
+    def add_channel(self, gate_name: str, channel: KrausChannel) -> "NoiseModel":
+        self.per_gate[gate_name.upper()] = channel
+        return self
+
+    def channels_for(self, instruction: Instruction) -> list[tuple[KrausChannel]]:
+        """Return the per-qubit channels to apply after ``instruction``.
+
+        The return value is a list of single-element tuples so the density
+        simulator can apply each channel with its own target; see
+        :meth:`repro.simulator.density.DensityMatrix.apply_circuit`.
+        """
+        channel = self.per_gate.get(instruction.name)
+        if channel is None:
+            if len(instruction.qubits) == 1:
+                channel = self.default_single_qubit
+            else:
+                channel = self.default_two_qubit
+        if channel is None:
+            return []
+        if channel.num_qubits == len(instruction.qubits):
+            return [_BoundChannel(channel, instruction.qubits)]
+        # Apply the single-qubit channel independently to each touched qubit.
+        return [_BoundChannel(channel, (q,)) for q in instruction.qubits]
+
+    @property
+    def is_trivial(self) -> bool:
+        return (
+            self.default_single_qubit is None
+            and self.default_two_qubit is None
+            and not self.per_gate
+        )
+
+
+class _BoundChannel:
+    """A channel bound to specific target qubits (internal helper)."""
+
+    def __init__(self, channel: KrausChannel, qubits: tuple[int, ...]):
+        self.channel = channel
+        self.qubits = tuple(qubits)
+        self.kraus_operators = channel.kraus_operators
+
+    def __iter__(self):
+        return iter(self.kraus_operators)

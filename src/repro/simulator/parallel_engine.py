@@ -1,0 +1,194 @@
+"""Inner-simulator parallelism (the paper's third level of parallelism).
+
+Quantum++ parallelises gate application and sampling with OpenMP; the number
+of threads is controlled with ``OMP_NUM_THREADS``.  This module provides the
+Python analogue used by :class:`repro.runtime.qpp_accelerator.QppAccelerator`:
+
+* **Shot-level parallelism** — independent sampling (and, for noisy or
+  mid-circuit-measurement workloads, independent trajectory simulation)
+  distributed over a thread pool.  Each worker gets its own RNG stream
+  derived from a ``numpy.random.SeedSequence`` spawn so results are
+  reproducible regardless of the worker count.
+* **Chunked state application** — large single-qubit gate updates are split
+  into contiguous chunks processed by multiple workers.  NumPy releases the
+  GIL inside the vectorised kernels, so chunks genuinely overlap for large
+  states; for small states the engine falls back to the serial kernel to
+  avoid pool overhead.
+
+The engine is purely thread-local: each accelerator clone owns its own
+engine, so two kernels running on different user threads never contend on
+shared simulator state (the property the paper's QPUManager establishes).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..config import get_config
+from ..exceptions import ExecutionError
+from ..ir.composite import CompositeInstruction
+from .sampling import sample_counts
+from .statevector import StateVector
+
+__all__ = ["ParallelSimulationEngine", "merge_counts", "split_shots"]
+
+#: States smaller than this (amplitudes) are not worth chunking across workers.
+_CHUNK_THRESHOLD = 1 << 16
+
+
+def split_shots(shots: int, workers: int) -> list[int]:
+    """Split ``shots`` into ``workers`` near-equal positive chunks."""
+    if shots <= 0:
+        raise ExecutionError(f"shots must be positive, got {shots}")
+    if workers <= 0:
+        raise ExecutionError(f"workers must be positive, got {workers}")
+    workers = min(workers, shots)
+    base, remainder = divmod(shots, workers)
+    return [base + (1 if i < remainder else 0) for i in range(workers)]
+
+
+def merge_counts(histograms: Iterable[dict[str, int]]) -> dict[str, int]:
+    """Merge per-worker count histograms into one."""
+    merged: dict[str, int] = {}
+    for histogram in histograms:
+        for key, value in histogram.items():
+            merged[key] = merged.get(key, 0) + int(value)
+    return merged
+
+
+@dataclass
+class ParallelSimulationEngine:
+    """Worker-pool wrapper for shot- and chunk-level simulator parallelism."""
+
+    #: Number of worker threads (the ``OMP_NUM_THREADS`` analogue).  ``None``
+    #: defers to the global configuration at call time.
+    num_threads: int | None = None
+
+    def effective_threads(self) -> int:
+        threads = self.num_threads if self.num_threads is not None else get_config().omp_num_threads
+        if threads <= 0:
+            raise ExecutionError(f"num_threads must be positive, got {threads}")
+        return threads
+
+    # -- shot-level parallelism ---------------------------------------------------
+    def sample_parallel(
+        self,
+        state: StateVector,
+        shots: int,
+        measured_qubits: Sequence[int] | None = None,
+        seed: int | None = None,
+    ) -> dict[str, int]:
+        """Sample ``shots`` outcomes using the worker pool.
+
+        The probability vector is computed once; each worker then draws its
+        chunk of shots from an independent RNG stream.
+        """
+        threads = self.effective_threads()
+        qubits = (
+            tuple(measured_qubits)
+            if measured_qubits is not None
+            else tuple(range(state.n_qubits))
+        )
+        probabilities = state.probabilities()
+        chunks = split_shots(shots, threads)
+        seeds = np.random.SeedSequence(seed).spawn(len(chunks))
+        if len(chunks) == 1:
+            return sample_counts(
+                probabilities, chunks[0], qubits, state.n_qubits, np.random.default_rng(seeds[0])
+            )
+
+        def draw(chunk_and_seed: tuple[int, np.random.SeedSequence]) -> dict[str, int]:
+            chunk, seq = chunk_and_seed
+            return sample_counts(
+                probabilities, chunk, qubits, state.n_qubits, np.random.default_rng(seq)
+            )
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            results = list(pool.map(draw, zip(chunks, seeds)))
+        return merge_counts(results)
+
+    def run_trajectories(
+        self,
+        n_qubits: int,
+        circuit: CompositeInstruction,
+        shots: int,
+        seed: int | None = None,
+        prepare: Callable[[], StateVector] | None = None,
+    ) -> dict[str, int]:
+        """Run ``shots`` independent trajectories (one full simulation each).
+
+        Used when the circuit contains mid-circuit resets (which make a
+        single-state + multinomial sampling approach incorrect).  Trajectory
+        counts are split over the worker pool.
+        """
+        threads = self.effective_threads()
+        measured = circuit.measured_qubits() or tuple(range(n_qubits))
+        chunks = split_shots(shots, threads)
+        seeds = np.random.SeedSequence(seed).spawn(len(chunks))
+
+        def run_chunk(chunk_and_seed: tuple[int, np.random.SeedSequence]) -> dict[str, int]:
+            chunk, seq = chunk_and_seed
+            rng = np.random.default_rng(seq)
+            histogram: dict[str, int] = {}
+            for _ in range(chunk):
+                state = prepare() if prepare is not None else StateVector(n_qubits)
+                for instruction in circuit:
+                    if instruction.is_measurement:
+                        continue
+                    if instruction.name == "RESET":
+                        outcome = state.measure(instruction.qubits[0], rng)
+                        if outcome == 1:
+                            from ..ir.gates import X
+
+                            state.apply(X([instruction.qubits[0]]))
+                        continue
+                    state.apply(instruction)
+                sample = state.sample(1, measured, rng)
+                for key, value in sample.items():
+                    histogram[key] = histogram.get(key, 0) + value
+            return histogram
+
+        if len(chunks) == 1:
+            return run_chunk((chunks[0], seeds[0]))
+        with concurrent.futures.ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            results = list(pool.map(run_chunk, zip(chunks, seeds)))
+        return merge_counts(results)
+
+    # -- chunk-level parallelism ----------------------------------------------------
+    def apply_single_qubit_chunked(
+        self, state: np.ndarray, matrix: np.ndarray, target: int
+    ) -> np.ndarray:
+        """Apply a single-qubit gate, splitting the state across workers.
+
+        Falls back to the serial kernel for small states where pool overhead
+        would dominate.  The split is along the *high* bits (above the target
+        qubit), so each chunk is an independent contiguous slab.
+        """
+        from .gate_application import apply_single_qubit
+
+        threads = self.effective_threads()
+        if threads == 1 or state.size < _CHUNK_THRESHOLD:
+            return apply_single_qubit(state, matrix, target)
+        view = state.reshape(-1, 2, 1 << target)
+        n_rows = view.shape[0]
+        workers = min(threads, n_rows)
+        boundaries = np.linspace(0, n_rows, workers + 1, dtype=int)
+
+        def work(span: tuple[int, int]) -> None:
+            lo, hi = span
+            if lo == hi:
+                return
+            block = view[lo:hi]
+            s0 = block[:, 0, :].copy()
+            s1 = block[:, 1, :]
+            block[:, 0, :] = matrix[0, 0] * s0 + matrix[0, 1] * s1
+            block[:, 1, :] = matrix[1, 0] * s0 + matrix[1, 1] * s1
+
+        spans = list(zip(boundaries[:-1], boundaries[1:]))
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(work, spans))
+        return state

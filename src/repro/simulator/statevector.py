@@ -1,0 +1,229 @@
+"""Dense state-vector simulator (the Quantum++ stand-in).
+
+The :class:`StateVector` class owns the amplitude array and exposes gate
+application, measurement sampling, expectation values and collapse.  It is a
+pure-math object with no global state, which makes it trivially safe to use
+from multiple threads as long as each thread owns its own instance — exactly
+the property the paper's *cloneable accelerator* design relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ExecutionError
+from ..ir.composite import CompositeInstruction
+from ..ir.instruction import Instruction
+from . import gate_application
+from .sampling import sample_counts
+
+__all__ = ["StateVector"]
+
+
+class StateVector:
+    """Dense simulation of an ``n_qubits``-qubit pure state."""
+
+    def __init__(self, n_qubits: int, data: np.ndarray | None = None):
+        if n_qubits < 1:
+            raise ExecutionError(f"n_qubits must be at least 1, got {n_qubits}")
+        if n_qubits > 26:
+            raise ExecutionError(
+                f"refusing to allocate a {n_qubits}-qubit dense state "
+                "(exceeds the 26-qubit memory guard)"
+            )
+        self.n_qubits = int(n_qubits)
+        dim = 1 << self.n_qubits
+        if data is None:
+            self._data = np.zeros(dim, dtype=complex)
+            self._data[0] = 1.0
+        else:
+            data = np.asarray(data, dtype=complex).reshape(-1)
+            if data.size != dim:
+                raise ExecutionError(
+                    f"state of length {data.size} does not match {n_qubits} qubit(s)"
+                )
+            norm = np.linalg.norm(data)
+            if not np.isclose(norm, 1.0, atol=1e-8):
+                raise ExecutionError(f"state vector is not normalised (norm={norm:.6g})")
+            self._data = data.copy()
+
+    # -- basic accessors ---------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The raw amplitude array (a direct reference, not a copy)."""
+        return self._data
+
+    @property
+    def dim(self) -> int:
+        return self._data.size
+
+    def copy(self) -> "StateVector":
+        clone = StateVector.__new__(StateVector)
+        clone.n_qubits = self.n_qubits
+        clone._data = self._data.copy()
+        return clone
+
+    def amplitude(self, basis_state: int | str) -> complex:
+        """Amplitude of a basis state given as an index or a bitstring.
+
+        Bitstrings follow the buffer convention: character ``i`` is qubit
+        ``i`` (qubit 0 leftmost).
+        """
+        if isinstance(basis_state, str):
+            if len(basis_state) != self.n_qubits:
+                raise ExecutionError(
+                    f"bitstring length {len(basis_state)} does not match "
+                    f"{self.n_qubits} qubit(s)"
+                )
+            index = sum((1 << q) for q, bit in enumerate(basis_state) if bit == "1")
+        else:
+            index = int(basis_state)
+        if not 0 <= index < self.dim:
+            raise ExecutionError(f"basis index {index} out of range")
+        return complex(self._data[index])
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational basis state."""
+        return np.abs(self._data) ** 2
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._data))
+
+    def normalize(self) -> "StateVector":
+        norm = self.norm()
+        if norm == 0.0:
+            raise ExecutionError("cannot normalise the zero vector")
+        self._data /= norm
+        return self
+
+    def fidelity(self, other: "StateVector") -> float:
+        """``|<self|other>|^2``."""
+        if other.n_qubits != self.n_qubits:
+            raise ExecutionError("fidelity requires states of equal size")
+        return float(abs(np.vdot(self._data, other._data)) ** 2)
+
+    # -- evolution ------------------------------------------------------------------
+    def apply(self, instruction: Instruction) -> "StateVector":
+        """Apply a single unitary instruction (measure/reset/barrier are no-ops here)."""
+        if instruction.is_composite:
+            return self.apply_circuit(instruction)  # type: ignore[arg-type]
+        name = instruction.name
+        if name == "BARRIER":
+            return self
+        if name == "MEASURE":
+            # Terminal measurements are handled by sampling; mid-circuit
+            # measurement collapse is available via measure().
+            return self
+        if name == "RESET":
+            self.reset_qubit(instruction.qubits[0])
+            return self
+        self._data = gate_application.apply_gate(self._data, instruction)
+        return self
+
+    def apply_circuit(
+        self,
+        circuit: CompositeInstruction,
+        parameter_values: Mapping[str, float] | Sequence[float] | None = None,
+    ) -> "StateVector":
+        """Apply every instruction of ``circuit`` in order."""
+        if circuit.n_qubits > self.n_qubits:
+            raise ExecutionError(
+                f"circuit uses {circuit.n_qubits} qubit(s) but the state has "
+                f"only {self.n_qubits}"
+            )
+        if circuit.is_parameterized:
+            if parameter_values is None:
+                raise ExecutionError(
+                    "circuit has unbound parameters; provide parameter_values"
+                )
+            circuit = circuit.bind(parameter_values)
+        for instruction in circuit:
+            self.apply(instruction)
+        return self
+
+    def reset_qubit(self, qubit: int) -> "StateVector":
+        """Project qubit ``qubit`` onto |0> (flipping if it measured 1) and renormalise."""
+        outcome = self.measure(qubit)
+        if outcome == 1:
+            from ..ir.gates import X
+
+            self.apply(X([qubit]))
+        return self
+
+    # -- measurement ------------------------------------------------------------------
+    def probability_of_one(self, qubit: int) -> float:
+        """Marginal probability that ``qubit`` measures 1."""
+        if not 0 <= qubit < self.n_qubits:
+            raise ExecutionError(f"qubit {qubit} out of range")
+        view = self._data.reshape(-1, 2, 1 << qubit)
+        return float(np.sum(np.abs(view[:, 1, :]) ** 2))
+
+    def measure(self, qubit: int, rng: np.random.Generator | None = None) -> int:
+        """Projectively measure ``qubit``, collapsing the state; returns 0 or 1."""
+        rng = rng or np.random.default_rng()
+        p1 = self.probability_of_one(qubit)
+        outcome = int(rng.random() < p1)
+        view = self._data.reshape(-1, 2, 1 << qubit)
+        keep = outcome
+        drop = 1 - outcome
+        prob = p1 if outcome == 1 else 1.0 - p1
+        if prob <= 0.0:
+            raise ExecutionError("measurement outcome has zero probability")
+        view[:, drop, :] = 0.0
+        self._data /= np.sqrt(prob)
+        return outcome
+
+    def sample(
+        self,
+        shots: int,
+        measured_qubits: Iterable[int] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> dict[str, int]:
+        """Sample ``shots`` measurement outcomes without collapsing the state.
+
+        Returns a histogram mapping bitstrings (qubit 0 leftmost) to counts,
+        matching the ``AcceleratorBuffer`` output in the paper's Listing 2.
+        """
+        qubits = tuple(measured_qubits) if measured_qubits is not None else tuple(
+            range(self.n_qubits)
+        )
+        return sample_counts(self.probabilities(), shots, qubits, self.n_qubits, rng)
+
+    # -- observables --------------------------------------------------------------------
+    def expectation_z(self, qubits: Iterable[int]) -> float:
+        """Expectation of the tensor product of Z on ``qubits`` (exact)."""
+        qubits = tuple(qubits)
+        probs = self.probabilities()
+        indices = np.arange(self.dim)
+        parity = np.zeros(self.dim, dtype=np.int64)
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ExecutionError(f"qubit {q} out of range")
+            parity ^= (indices >> q) & 1
+        signs = 1.0 - 2.0 * parity
+        return float(np.dot(probs, signs))
+
+    def expectation(self, observable) -> float:
+        """Exact expectation value of a Pauli operator (see :mod:`repro.operators`)."""
+        from ..operators.pauli import PauliOperator, PauliTerm
+
+        if isinstance(observable, PauliTerm):
+            observable = PauliOperator([observable])
+        if not isinstance(observable, PauliOperator):
+            raise ExecutionError(
+                f"expected a PauliOperator/PauliTerm, got {type(observable).__name__}"
+            )
+        total = 0.0
+        for term in observable.terms:
+            if term.is_identity:
+                total += term.coefficient.real
+                continue
+            rotated = self.copy()
+            rotated.apply_circuit(term.basis_rotation_circuit(self.n_qubits))
+            total += term.coefficient.real * rotated.expectation_z(term.qubits)
+        return float(total)
+
+    def __repr__(self) -> str:
+        return f"StateVector(n_qubits={self.n_qubits})"

@@ -1,0 +1,86 @@
+"""Dense operator utilities: embedding local operators and circuit unitaries.
+
+These helpers are used by the density-matrix simulator, the Pauli-operator
+``to_matrix`` path and by tests that verify gate/circuit semantics against
+explicit matrices.  They are deliberately limited to small qubit counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ExecutionError, IRError
+from ..ir.composite import CompositeInstruction
+
+__all__ = ["embed_operator", "circuit_unitary"]
+
+_MAX_UNITARY_QUBITS = 12
+
+
+def embed_operator(matrix: np.ndarray, targets: Sequence[int], n_qubits: int) -> np.ndarray:
+    """Expand a local operator over ``targets`` to the full ``2^n`` space.
+
+    ``matrix`` follows the gate convention of :mod:`repro.ir.gates`: the
+    first target qubit is the least significant bit of the local index.
+    """
+    targets = tuple(int(t) for t in targets)
+    k = len(targets)
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2**k, 2**k):
+        raise ExecutionError(
+            f"operator shape {matrix.shape} does not match {k} target qubit(s)"
+        )
+    if len(set(targets)) != k:
+        raise ExecutionError(f"duplicate target qubits {targets}")
+    for t in targets:
+        if not 0 <= t < n_qubits:
+            raise ExecutionError(f"target qubit {t} out of range for {n_qubits} qubit(s)")
+    if n_qubits > _MAX_UNITARY_QUBITS + 1:
+        raise ExecutionError(
+            f"embed_operator is limited to {_MAX_UNITARY_QUBITS + 1} qubits"
+        )
+    dim = 1 << n_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    other_qubits = [q for q in range(n_qubits) if q not in targets]
+    # Enumerate basis indices of the untouched qubits once; each produces a
+    # block of the full operator equal to `matrix` scattered onto the touched
+    # positions.  Vectorised over the local dimension.
+    local_dim = 1 << k
+    local_indices = np.arange(local_dim)
+    # Map local index -> contribution to the global index from target qubits.
+    target_contrib = np.zeros(local_dim, dtype=np.int64)
+    for bit, qubit in enumerate(targets):
+        target_contrib |= ((local_indices >> bit) & 1) << qubit
+    for rest in range(1 << len(other_qubits)):
+        base = 0
+        for bit, qubit in enumerate(other_qubits):
+            base |= ((rest >> bit) & 1) << qubit
+        rows = base + target_contrib
+        full[np.ix_(rows, rows)] = matrix
+    return full
+
+
+def circuit_unitary(circuit: CompositeInstruction) -> np.ndarray:
+    """Return the full unitary of a measurement-free circuit.
+
+    Limited to :data:`_MAX_UNITARY_QUBITS` qubits; raises :class:`IRError`
+    beyond that or if the circuit contains measurements.
+    """
+    if circuit.n_measurements:
+        raise IRError("cannot build the unitary of a circuit containing measurements")
+    n = circuit.n_qubits
+    if n == 0:
+        return np.eye(1, dtype=complex)
+    if n > _MAX_UNITARY_QUBITS:
+        raise IRError(f"circuit_unitary is limited to {_MAX_UNITARY_QUBITS} qubits, got {n}")
+    unitary = np.eye(1 << n, dtype=complex)
+    for instruction in circuit:
+        if instruction.name in ("BARRIER",):
+            continue
+        if not instruction.is_unitary:
+            raise IRError(f"{instruction.name} has no unitary form")
+        full = embed_operator(instruction.matrix(), instruction.qubits, n)
+        unitary = full @ unitary
+    return unitary

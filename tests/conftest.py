@@ -1,0 +1,49 @@
+"""Shared pytest fixtures.
+
+Every test runs against a clean slate of the process-wide runtime state
+(configuration, service registry, QPUManager, race detector, allocation
+map): the paper's whole subject is shared mutable runtime state, so leaking
+it between tests would make failures order-dependent.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the suite from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.config import reset_config, set_config  # noqa: E402
+from repro.core.qpu_manager import QPUManager  # noqa: E402
+from repro.core.race_detector import reset_race_detector  # noqa: E402
+from repro.runtime.allocation import clear_allocated_buffers  # noqa: E402
+from repro.runtime.service_registry import reset_registry  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime_state():
+    """Reset every piece of process-global state before and after each test."""
+    reset_config()
+    set_config(seed=1234)
+    reset_registry()
+    QPUManager.reset_instance()
+    reset_race_detector()
+    clear_allocated_buffers()
+    yield
+    reset_config()
+    reset_registry()
+    QPUManager.reset_instance()
+    reset_race_detector()
+    clear_allocated_buffers()
+
+
+@pytest.fixture
+def small_shots():
+    """Configure a small shot count for tests that only need rough statistics."""
+    set_config(shots=128)
+    return 128

@@ -1,0 +1,88 @@
+"""Tests for the Bell, GHZ and QFT kernels."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bell import bell_circuit, bell_kernel, run_bell
+from repro.algorithms.ghz import ghz_circuit, run_ghz
+from repro.algorithms.qft import inverse_qft_circuit, qft_circuit
+from repro.core.api import qalloc
+from repro.exceptions import IRError
+from repro.simulator.statevector import StateVector
+
+
+class TestBell:
+    def test_circuit_structure_matches_listing1(self):
+        circuit = bell_circuit(2)
+        assert [i.name for i in circuit] == ["H", "CX", "MEASURE", "MEASURE"]
+
+    def test_kernel_and_circuit_agree(self):
+        assert bell_kernel.as_circuit(2) == bell_circuit(2)
+
+    def test_run_bell_produces_correlated_counts(self):
+        counts = run_bell(shots=1024)
+        assert set(counts) <= {"00", "11"}
+        assert sum(counts.values()) == 1024
+        # Listing 2 of the paper: roughly 50/50.
+        assert abs(counts.get("00", 0) - 512) < 120
+
+    def test_run_bell_with_existing_register(self):
+        q = qalloc(2)
+        counts = run_bell(q, shots=64)
+        assert q.counts() == counts
+
+    def test_wider_bell_chain(self):
+        circuit = bell_circuit(4).without_measurements()
+        state = StateVector(4)
+        state.apply_circuit(circuit)
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_ghz_state_concentrates_on_extremes(self, n):
+        state = StateVector(n)
+        state.apply_circuit(ghz_circuit(n, measure=False))
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_run_ghz_counts(self):
+        counts = run_ghz(3, shots=256)
+        assert set(counts) <= {"000", "111"}
+        assert sum(counts.values()) == 256
+
+    def test_measure_flag(self):
+        assert ghz_circuit(3, measure=False).n_measurements == 0
+        assert ghz_circuit(3, measure=True).n_measurements == 3
+
+
+class TestQFT:
+    def test_qft_matches_dft_matrix(self):
+        n = 3
+        unitary = qft_circuit(n).to_unitary()
+        dim = 1 << n
+        omega = np.exp(2j * np.pi / dim)
+        dft = np.array([[omega ** (j * k) for k in range(dim)] for j in range(dim)]) / np.sqrt(dim)
+        assert np.allclose(unitary, dft, atol=1e-10)
+
+    def test_inverse_qft_is_adjoint(self):
+        n = 4
+        forward = qft_circuit(n).to_unitary()
+        backward = inverse_qft_circuit(n).to_unitary()
+        assert np.allclose(backward @ forward, np.eye(1 << n), atol=1e-10)
+
+    def test_qft_over_custom_qubit_subset(self):
+        circuit = qft_circuit([2, 3])
+        assert circuit.qubits_used() == frozenset({2, 3})
+
+    def test_qft_requires_at_least_one_qubit(self):
+        with pytest.raises(IRError):
+            qft_circuit([])
+
+    def test_qft_on_basis_state_gives_uniform_distribution(self):
+        state = StateVector(3)
+        state.apply_circuit(qft_circuit(3))
+        assert np.allclose(state.probabilities(), np.full(8, 1 / 8), atol=1e-10)

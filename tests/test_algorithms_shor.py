@@ -1,0 +1,165 @@
+"""Tests for Shor's algorithm (kernel construction, post-processing, drivers)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.parallel_shor import parallel_shor_factor
+from repro.algorithms.shor import (
+    continued_fraction_period,
+    modular_exponentiation_permutation,
+    period_finding_circuit,
+    run_order_finding,
+    shor_factor,
+)
+from repro.config import set_config
+from repro.exceptions import ConfigurationError
+
+
+class TestModularExponentiationPermutation:
+    def test_permutation_multiplies_modulo_n(self):
+        perm = modular_exponentiation_permutation(a=2, power=1, N=15, n_bits=4)
+        for y in range(15):
+            assert perm[y] == (2 * y) % 15
+        assert perm[15] == 15  # padding value untouched
+
+    def test_power_is_applied(self):
+        perm = modular_exponentiation_permutation(a=2, power=3, N=15, n_bits=4)
+        for y in range(15):
+            assert perm[y] == (pow(2, 3, 15) * y) % 15
+
+    def test_result_is_a_bijection(self):
+        perm = modular_exponentiation_permutation(a=7, power=2, N=15, n_bits=4)
+        assert sorted(perm) == list(range(16))
+
+    def test_insufficient_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            modular_exponentiation_permutation(a=2, power=1, N=15, n_bits=3)
+
+    def test_non_coprime_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            modular_exponentiation_permutation(a=5, power=1, N=15, n_bits=4)
+
+
+class TestPeriodFindingCircuit:
+    def test_register_layout(self):
+        circuit = period_finding_circuit(15, 2)
+        n = 4
+        t = 8
+        assert circuit.n_qubits == n + t
+        # Only the counting register is measured.
+        assert set(circuit.measured_qubits()) == set(range(n, n + t))
+
+    def test_custom_counting_register(self):
+        circuit = period_finding_circuit(15, 2, counting_qubits=4)
+        assert circuit.n_qubits == 8
+
+    def test_contains_one_controlled_multiplication_per_counting_qubit(self):
+        circuit = period_finding_circuit(7, 2)
+        cmults = [i for i in circuit if i.name.startswith("CMULT")]
+        assert len(cmults) == 6  # t = 2 * ceil(log2(7)) = 6
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            period_finding_circuit(15, 1)
+        with pytest.raises(ConfigurationError):
+            period_finding_circuit(15, 5)  # gcd(5, 15) != 1
+
+    def test_measurement_distribution_peaks_at_multiples_of_2t_over_r(self):
+        """The counting register concentrates near k * 2^t / r (r = 4 for 2 mod 15)."""
+        from repro.simulator.statevector import StateVector
+
+        circuit = period_finding_circuit(15, 2)
+        state = StateVector(circuit.n_qubits)
+        state.apply_circuit(circuit.without_measurements())
+        counts = state.sample(2000, measured_qubits=circuit.measured_qubits(),
+                              rng=np.random.default_rng(0))
+        t = 8
+        peaks = {0, 64, 128, 192}  # k * 256 / 4
+        observed = 0
+        for bitstring, count in counts.items():
+            value = sum((1 << i) for i, bit in enumerate(bitstring) if bit == "1")
+            if value in peaks:
+                observed += count
+        assert observed / 2000 > 0.95
+
+
+class TestClassicalPostProcessing:
+    def test_continued_fraction_recovers_period(self):
+        # measured / 2^t = 192/256 = 3/4 -> denominator 4.
+        assert continued_fraction_period(192, 8, 15) == 4
+        assert continued_fraction_period(64, 8, 15) == 4
+
+    def test_zero_measurement_is_uninformative(self):
+        assert continued_fraction_period(0, 8, 15) is None
+
+    def test_half_measurement_gives_divisor_of_period(self):
+        # 128/256 = 1/2: denominator 2 divides the true period 4.
+        assert continued_fraction_period(128, 8, 15) == 2
+
+    def test_invalid_t_bits(self):
+        with pytest.raises(ConfigurationError):
+            continued_fraction_period(1, 0, 15)
+
+
+class TestOrderFindingAndFactoring:
+    def test_order_finding_n15_a7(self):
+        set_config(seed=11)
+        result = run_order_finding(15, 7, shots=10)
+        assert result.period == 4
+        assert result.factors == (3, 5)
+        assert result.succeeded
+
+    def test_order_finding_n15_a2(self):
+        set_config(seed=3)
+        result = run_order_finding(15, 2, shots=10)
+        assert result.period == 4
+        assert result.factors == (3, 5)
+
+    def test_order_finding_n7_a2_finds_odd_period(self):
+        """The Figure 5 workload: N=7, a=2 has period 3 (odd, so no factors)."""
+        set_config(seed=5)
+        result = run_order_finding(7, 2, shots=10)
+        assert result.period == 3
+        assert not result.succeeded
+
+    def test_shor_factor_even_number_short_circuits(self):
+        result = shor_factor(12)
+        assert result.factors == (2, 6)
+
+    def test_shor_factor_with_lucky_gcd_base(self):
+        result = shor_factor(15, bases=[5])
+        assert set(result.factors) == {3, 5}
+
+    def test_shor_factor_full_quantum_path(self):
+        set_config(seed=21)
+        result = shor_factor(15, shots=10, bases=[7, 2])
+        assert result.factors == (3, 5)
+
+    def test_shor_factor_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            shor_factor(3)
+
+    def test_parallel_shor_factor(self):
+        set_config(seed=13)
+        result = parallel_shor_factor(15, n_tasks=2, shots=10, bases=[2, 7])
+        assert result.factors == (3, 5)
+
+    def test_parallel_shor_lucky_base_short_circuits_without_kernels(self):
+        result = parallel_shor_factor(15, bases=[6, 2])
+        assert set(result.factors) == {3, 5}
+
+    def test_parallel_shor_validation(self):
+        with pytest.raises(ConfigurationError):
+            parallel_shor_factor(15, n_tasks=0)
+        with pytest.raises(ConfigurationError):
+            parallel_shor_factor(2)
+
+    def test_gcd_consistency_of_returned_factors(self):
+        set_config(seed=29)
+        result = shor_factor(21, shots=12, bases=[2, 5])
+        if result.succeeded:
+            for factor in result.factors:
+                assert 21 % factor == 0
+                assert 1 < factor < 21

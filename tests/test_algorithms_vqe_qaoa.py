@@ -1,0 +1,119 @@
+"""Tests for the VQE deuteron example and QAOA MaxCut."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.qaoa import (
+    cut_value,
+    maxcut_hamiltonian,
+    qaoa_circuit,
+    run_qaoa_maxcut,
+)
+from repro.algorithms.vqe import (
+    deuteron_ansatz_circuit,
+    deuteron_hamiltonian,
+    run_deuteron_vqe,
+)
+from repro.exceptions import ConfigurationError
+from repro.simulator.statevector import StateVector
+
+
+class TestDeuteronVQE:
+    def test_hamiltonian_ground_state_energy(self):
+        assert deuteron_hamiltonian().ground_state_energy(2) == pytest.approx(-1.74886, abs=1e-4)
+
+    def test_ansatz_structure_matches_listing3(self):
+        circuit = deuteron_ansatz_circuit()
+        assert [i.name for i in circuit] == ["X", "RY", "CX"]
+        assert circuit.is_parameterized
+
+    def test_vqe_converges_to_ground_state_with_lbfgs(self):
+        result = run_deuteron_vqe(optimizer_name="l-bfgs")
+        assert result.optimal_energy == pytest.approx(result.exact_ground_energy, abs=1e-3)
+        assert result.error < 1e-3
+
+    def test_vqe_converges_with_nelder_mead(self):
+        result = run_deuteron_vqe(optimizer_name="nelder-mead")
+        assert result.optimal_energy == pytest.approx(result.exact_ground_energy, abs=1e-3)
+
+    def test_vqe_with_parameter_shift_gradient(self):
+        result = run_deuteron_vqe(optimizer_name="l-bfgs", gradient_strategy="parameter-shift")
+        assert result.error < 1e-3
+
+    def test_sampled_vqe_lands_near_ground_state(self):
+        # A non-zero starting angle keeps Nelder-Mead's initial simplex larger
+        # than the shot noise; SPSA would be the natural choice on hardware.
+        result = run_deuteron_vqe(
+            optimizer_name="nelder-mead", exact=False, shots=4096, initial_theta=0.4
+        )
+        assert result.optimal_energy == pytest.approx(result.exact_ground_energy, abs=0.25)
+
+    def test_result_records_evaluations(self):
+        result = run_deuteron_vqe()
+        assert result.function_evaluations > 0
+
+
+def triangle() -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_edges_from([(0, 1), (1, 2), (0, 2)])
+    return graph
+
+
+class TestQAOA:
+    def test_maxcut_hamiltonian_energy_tracks_cut_value(self):
+        graph = triangle()
+        H = maxcut_hamiltonian(graph)
+        matrix = H.to_matrix(3)
+        # Energy of a computational basis state = -(cut value).
+        for index in range(8):
+            assignment = "".join("1" if (index >> i) & 1 else "0" for i in range(3))
+            assert matrix[index, index].real == pytest.approx(-cut_value(graph, assignment))
+
+    def test_cut_value_with_weights(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=2.5)
+        assert cut_value(graph, "01") == pytest.approx(2.5)
+        assert cut_value(graph, "00") == pytest.approx(0.0)
+
+    def test_qaoa_circuit_layer_structure(self):
+        circuit = qaoa_circuit(triangle(), [0.4], [0.3])
+        names = [i.name for i in circuit]
+        assert names.count("H") == 3       # initial superposition
+        assert names.count("RX") == 3      # one mixer rotation per node
+        assert names.count("RZ") == 3      # one cost rotation per edge
+        assert names.count("CX") == 6
+
+    def test_qaoa_angle_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            qaoa_circuit(triangle(), [0.1, 0.2], [0.3])
+        with pytest.raises(ConfigurationError):
+            qaoa_circuit(triangle(), [], [])
+
+    def test_qaoa_state_is_normalised(self):
+        state = StateVector(3)
+        state.apply_circuit(qaoa_circuit(triangle(), [0.2, 0.5], [0.1, 0.3]))
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_run_qaoa_on_triangle_reaches_good_cut(self):
+        result = run_qaoa_maxcut(triangle(), p=2, seed=7)
+        assert result.max_possible_cut == pytest.approx(2.0)
+        assert result.best_cut_value >= 1.9
+        assert result.approximation_ratio >= 0.95
+
+    def test_run_qaoa_on_path_graph(self):
+        graph = nx.path_graph(4)
+        result = run_qaoa_maxcut(graph, p=2, seed=3)
+        assert result.max_possible_cut == pytest.approx(3.0)
+        assert result.best_cut_value >= 2.5
+
+    def test_run_qaoa_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_qaoa_maxcut(triangle(), p=0)
+        with pytest.raises(ConfigurationError):
+            maxcut_hamiltonian(nx.Graph())
+
+    def test_np_argmax_bitstring_matches_graph_size(self):
+        result = run_qaoa_maxcut(triangle(), p=1, seed=11)
+        assert len(result.best_bitstring) == 3
+        assert isinstance(result.optimal_angles, np.ndarray)

@@ -1,0 +1,170 @@
+"""Tests for the benchmark workloads, harness, figures and reporting."""
+
+import pytest
+
+from repro.benchmark.figures import (
+    PAPER_FIGURE3,
+    PAPER_FIGURE4,
+    PAPER_FIGURE5_ONE_BY_ONE,
+    PAPER_FIGURE5_PARALLEL,
+    figure3,
+    figure4,
+    figure5,
+)
+from repro.benchmark.harness import BenchmarkHarness
+from repro.benchmark.reporting import figure_to_csv, format_figure, format_table
+from repro.benchmark.workloads import (
+    bell_workload,
+    figure3_workload,
+    figure4_workload,
+    figure5_workload,
+    shor_workload,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestWorkloads:
+    def test_bell_workload_structure(self):
+        workload = figure3_workload()
+        assert workload.n_tasks == 2
+        for task in workload.tasks:
+            assert task.n_qubits == 2
+            assert task.shots == 1024
+
+    def test_shor_figure4_workload(self):
+        workload = figure4_workload()
+        assert workload.n_tasks == 2
+        assert {t.name for t in workload.tasks} == {"shor_N15_a2", "shor_N15_a7"}
+        assert all(t.n_qubits == 12 for t in workload.tasks)
+        assert all(t.shots == 10 for t in workload.tasks)
+
+    def test_figure5_workload_has_unique_names(self):
+        workload = figure5_workload()
+        names = [t.name for t in workload.tasks]
+        assert len(set(names)) == 2
+        assert all(t.n_qubits == 9 for t in workload.tasks)
+
+    def test_circuits_are_buildable(self):
+        for workload in (bell_workload(), shor_workload([(15, 2)])):
+            for circuit in workload.circuits():
+                assert circuit.n_gates > 0
+
+
+class TestHarnessModeled:
+    def test_variants_produce_positive_durations(self):
+        harness = BenchmarkHarness(mode="modeled")
+        workload = figure3_workload()
+        one_by_one, parallel = harness.compare(workload, total_threads=12)
+        assert one_by_one.duration > 0
+        assert parallel.duration > 0
+        assert one_by_one.variant == "one-by-one"
+        assert parallel.variant == "parallel"
+        assert parallel.threads_per_task == 6
+
+    def test_parallel_beats_one_by_one_at_equal_threads(self):
+        harness = BenchmarkHarness(mode="modeled")
+        for workload in (figure3_workload(), figure4_workload()):
+            one_by_one, parallel = harness.compare(workload, total_threads=24)
+            assert parallel.duration < one_by_one.duration
+
+    def test_modeled_results_are_deterministic(self):
+        harness = BenchmarkHarness(mode="modeled")
+        a = harness.run_variant(figure3_workload(), "parallel", 24).duration
+        b = harness.run_variant(figure3_workload(), "parallel", 24).duration
+        assert a == b
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkHarness(mode="modeled").run_variant(figure3_workload(), "magic", 4)
+
+    def test_invalid_thread_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkHarness(mode="modeled").run_variant(figure3_workload(), "parallel", 0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkHarness(mode="warp").run_variant(figure3_workload(), "parallel", 2)
+
+
+class TestHarnessReal:
+    def test_real_mode_runs_the_bell_workload(self):
+        harness = BenchmarkHarness(mode="real")
+        result = harness.run_variant(bell_workload(shots=32), "parallel", 2)
+        assert result.mode == "real"
+        assert result.duration > 0
+        assert set(result.details["per_task_seconds"]) == {"bell_0", "bell_1"}
+
+
+class TestFigures:
+    def test_figure3_reproduces_the_paper_shape(self):
+        series = figure3(mode="modeled")
+        measured = series.measured()
+        assert measured["one-by-one 12 threads"] == pytest.approx(1.0)
+        # 24 threads does not help a single kernel ...
+        assert measured["one-by-one 24 threads"] == pytest.approx(1.0, abs=0.15)
+        # ... but parallel execution does, and more threads help it further.
+        assert measured["parallel 2 x (6 threads/task)"] > 1.1
+        assert measured["parallel 2 x (12 threads/task)"] > measured["parallel 2 x (6 threads/task)"]
+        assert series.paper() == PAPER_FIGURE3
+
+    def test_figure4_reproduces_the_paper_shape(self):
+        series = figure4(mode="modeled")
+        measured = series.measured()
+        assert measured["one-by-one 24 threads"] == pytest.approx(1.0, abs=0.15)
+        assert measured["parallel 2 x (6 threads/task)"] > 1.0
+        assert measured["parallel 2 x (12 threads/task)"] > 1.0
+        assert series.paper() == PAPER_FIGURE4
+
+    def test_figure5_reproduces_the_paper_shape(self):
+        series = figure5(mode="modeled")
+        measured = series.measured()
+        one_by_one = [
+            measured[f"one-by-one {t} threads"] for t in PAPER_FIGURE5_ONE_BY_ONE
+        ]
+        parallel = [
+            measured[f"parallel 2 x ({t // 2} threads/task)"] for t in PAPER_FIGURE5_PARALLEL
+        ]
+        # Strong scaling is monotone non-decreasing up to the physical cores.
+        assert one_by_one[0] < one_by_one[1] < one_by_one[2] < one_by_one[3]
+        # 24 threads is roughly flat vs 12 threads.
+        assert one_by_one[4] == pytest.approx(one_by_one[3], rel=0.15)
+        # Parallel beats one-by-one at every total thread count.
+        for o, p in zip(one_by_one, parallel):
+            assert p > o
+        # Within ~25% of the paper's reported speed-ups everywhere.
+        assert series.max_relative_error() < 0.25
+
+    def test_figure_point_lookup_and_errors(self):
+        series = figure3(mode="modeled")
+        point = series.point("one-by-one 24 threads")
+        assert point.paper_speedup == pytest.approx(0.96)
+        with pytest.raises(ConfigurationError):
+            series.point("nonexistent configuration")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bbb" in lines[0]
+
+    def test_format_figure_contains_paper_and_measured(self):
+        series = figure3(mode="modeled")
+        text = format_figure(series)
+        assert "Figure 3" in text
+        assert "paper speed-up" in text
+        assert "one-by-one 24 threads" in text
+
+    def test_figure_to_csv(self):
+        series = figure3(mode="modeled")
+        csv = figure_to_csv(series)
+        assert csv.startswith("configuration,paper_speedup,measured_speedup,duration")
+        assert len(csv.strip().splitlines()) == 1 + len(series.points)
+
+    def test_benchmark_cli_main(self, capsys):
+        from repro.benchmark.__main__ import main
+
+        assert main(["fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output

@@ -1,0 +1,135 @@
+"""Tests for the @qpu kernel decorator and the tracing DSL."""
+
+import threading
+
+import pytest
+
+from repro import qalloc
+from repro.compiler import dsl
+from repro.compiler.dsl import CX, H, Measure, Ry, X, active_trace, trace_context
+from repro.compiler.kernel import QuantumKernel, qpu
+from repro.exceptions import CompilationError
+from repro.ir.parameter import Parameter
+
+
+@qpu
+def bell(q):
+    H(q[0])
+    CX(q[0], q[1])
+    for i in range(q.size()):
+        Measure(q[i])
+
+
+@qpu
+def ansatz(q, theta):
+    X(q[0])
+    Ry(q[1], theta)
+    CX(q[1], q[0])
+
+
+class TestTracing:
+    def test_as_circuit_with_integer_register(self):
+        circuit = bell.as_circuit(2)
+        assert [i.name for i in circuit] == ["H", "CX", "MEASURE", "MEASURE"]
+
+    def test_as_circuit_with_qreg(self):
+        q = qalloc(2)
+        circuit = bell.as_circuit(q)
+        assert circuit.n_qubits == 2
+
+    def test_classical_arguments_become_gate_parameters(self):
+        circuit = ansatz.as_circuit(2, 0.4)
+        assert circuit[1].name == "RY"
+        assert circuit[1].parameters[0] == pytest.approx(0.4)
+
+    def test_symbolic_arguments_stay_symbolic(self):
+        circuit = ansatz.as_circuit(2, Parameter("theta"))
+        assert circuit.is_parameterized
+
+    def test_adjoint_strips_measurements_and_reverses(self):
+        inverse = bell.adjoint(2)
+        assert [i.name for i in inverse] == ["CX", "H"]
+
+    def test_xasm_rendering(self):
+        assert "H(q[0]);" in bell.xasm(2)
+
+    def test_gate_call_outside_kernel_raises(self):
+        with pytest.raises(CompilationError):
+            H(0)
+
+    def test_active_trace_is_none_outside_kernel(self):
+        assert active_trace() is None
+
+    def test_trace_context_restores_previous_trace(self):
+        with trace_context("outer", 1) as outer:
+            H(0)
+            with trace_context("inner", 1) as inner:
+                X(0)
+            H(0)
+        assert [i.name for i in outer] == ["H", "H"]
+        assert [i.name for i in inner] == ["X"]
+
+    def test_traces_are_thread_local(self):
+        errors = []
+
+        def per_thread(name):
+            try:
+                with trace_context(name, 1) as circuit:
+                    for _ in range(50):
+                        H(0)
+                    assert len(circuit) == 50
+            except Exception as exc:  # pragma: no cover - captured for assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=per_thread, args=(f"t{i}",)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_tracing_register_bounds_checked(self):
+        @qpu
+        def bad(q):
+            H(q[5])
+
+        with pytest.raises(CompilationError):
+            bad.as_circuit(2)
+
+
+class TestExecution:
+    def test_calling_kernel_executes_and_fills_register(self):
+        q = qalloc(2)
+        counts = bell(q, shots=256)
+        assert sum(counts.values()) == 256
+        assert set(counts) <= {"00", "11"}
+        assert q.counts() == counts
+
+    def test_execution_count_increments(self):
+        q = qalloc(2)
+        before = bell.execution_count
+        bell(q, shots=16)
+        assert bell.execution_count == before + 1
+
+    def test_first_argument_must_be_qreg(self):
+        with pytest.raises(CompilationError):
+            bell(2)  # type: ignore[arg-type]
+
+    def test_dsl_exports_every_documented_gate(self):
+        for name in dsl.__all__:
+            assert hasattr(dsl, name)
+
+
+class TestXasmSourceKernels:
+    def test_kernel_from_source(self):
+        kernel = qpu(source="H(q[0]); CX(q[0], q[1]); Measure(q[0]); Measure(q[1]);", name="bell_src")
+        circuit = kernel.as_circuit(2)
+        assert [i.name for i in circuit] == ["H", "CX", "MEASURE", "MEASURE"]
+
+    def test_kernel_requires_body_or_source(self):
+        with pytest.raises(CompilationError):
+            QuantumKernel()
+
+    def test_repr_mentions_origin(self):
+        assert "python" in repr(bell)
+        assert "xasm" in repr(qpu(source="H(q[0]);"))

@@ -1,0 +1,75 @@
+"""Tests for the XASM lexer."""
+
+import pytest
+
+from repro.compiler.lexer import Token, tokenize
+from repro.exceptions import CompilationError
+
+
+def types(source: str) -> list[str]:
+    return [t.type for t in tokenize(source)]
+
+
+def values(source: str) -> list[str]:
+    return [t.value for t in tokenize(source) if t.type != "EOF"]
+
+
+class TestTokenization:
+    def test_simple_gate_call(self):
+        assert types("H(q[0]);") == [
+            "IDENT",
+            "LPAREN",
+            "IDENT",
+            "LBRACKET",
+            "NUMBER",
+            "RBRACKET",
+            "RPAREN",
+            "SEMICOLON",
+            "EOF",
+        ]
+
+    def test_numbers_integer_float_exponent(self):
+        assert values("1 2.5 1e-3 0.5e2") == ["1", "2.5", "1e-3", "0.5e2"]
+
+    def test_operators(self):
+        assert types("+ - * / % < <= > >= == = ++ --")[:-1] == [
+            "PLUS",
+            "MINUS",
+            "STAR",
+            "SLASH",
+            "PERCENT",
+            "LT",
+            "LE",
+            "GT",
+            "GE",
+            "EQ",
+            "ASSIGN",
+            "INCREMENT",
+            "DECREMENT",
+        ]
+
+    def test_comments_skipped(self):
+        assert values("H(q[0]); // a comment\nX(q[1]);")[:1] == ["H"]
+        assert "comment" not in " ".join(values("H(q[0]); // a comment"))
+
+    def test_line_and_column_positions(self):
+        tokens = tokenize("H(q[0]);\n  CX(q[0], q[1]);")
+        cx = next(t for t in tokens if t.value == "CX")
+        assert cx.line == 2
+        assert cx.column == 3
+
+    def test_identifiers_with_underscores(self):
+        assert values("my_angle_2")[0] == "my_angle_2"
+
+    def test_unexpected_character_raises_with_location(self):
+        with pytest.raises(CompilationError) as excinfo:
+            tokenize("H(q[0]); @")
+        assert excinfo.value.line == 1
+
+    def test_always_ends_with_eof(self):
+        assert tokenize("")[-1].type == "EOF"
+        assert tokenize("H(q[0]);")[-1].type == "EOF"
+
+    def test_token_repr(self):
+        token = Token("IDENT", "H", 1, 1)
+        assert "IDENT" in repr(token)

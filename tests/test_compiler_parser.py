@@ -1,0 +1,134 @@
+"""Tests for the XASM-subset compiler."""
+
+import math
+
+import pytest
+
+from repro.compiler.parser import compile_xasm
+from repro.exceptions import CompilationError
+
+BELL_SOURCE = """
+H(q[0]);
+CX(q[0], q[1]);
+for (int i = 0; i < q.size(); i++) {
+  Measure(q[i]);
+}
+"""
+
+
+class TestGateCalls:
+    def test_bell_kernel_from_the_paper(self):
+        circuit = compile_xasm(BELL_SOURCE, n_qubits=2, name="bell")
+        assert [i.name for i in circuit] == ["H", "CX", "MEASURE", "MEASURE"]
+        assert circuit.n_qubits == 2
+
+    def test_parameterized_gate_with_literal(self):
+        circuit = compile_xasm("Ry(q[1], 0.5);", n_qubits=2)
+        assert circuit[0].name == "RY"
+        assert circuit[0].parameters == (0.5,)
+
+    def test_pi_constant_and_arithmetic(self):
+        circuit = compile_xasm("Rz(q[0], pi / 2); Rx(q[0], 2 * pi);", n_qubits=1)
+        assert circuit[0].parameters[0] == pytest.approx(math.pi / 2)
+        assert circuit[1].parameters[0] == pytest.approx(2 * math.pi)
+
+    def test_negative_angles(self):
+        circuit = compile_xasm("Rx(q[0], -0.25);", n_qubits=1)
+        assert circuit[0].parameters[0] == pytest.approx(-0.25)
+
+    def test_kernel_parameter_substitution(self):
+        circuit = compile_xasm("Ry(q[1], theta);", n_qubits=2, parameters={"theta": 0.7})
+        assert circuit[0].parameters[0] == pytest.approx(0.7)
+
+    def test_unbound_kernel_parameter_stays_symbolic(self):
+        circuit = compile_xasm("Ry(q[0], theta);", n_qubits=1)
+        assert circuit.is_parameterized
+        assert {p.name for p in circuit.free_parameters} == {"theta"}
+
+    def test_scaled_symbolic_parameter(self):
+        circuit = compile_xasm("Rz(q[0], 2 * theta);", n_qubits=1)
+        bound = circuit.bind({"theta": 0.3})
+        assert bound[0].parameters[0] == pytest.approx(0.6)
+
+    def test_using_directive_is_ignored(self):
+        circuit = compile_xasm("using qcor::xasm;\nH(q[0]);", n_qubits=1)
+        assert [i.name for i in circuit] == ["H"]
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_xasm("FLIB(q[0]);", n_qubits=1)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_xasm("H(q[0])", n_qubits=1)
+
+    def test_custom_register_name(self):
+        circuit = compile_xasm("H(reg[0]);", register_name="reg", n_qubits=1)
+        assert circuit[0].name == "H"
+
+
+class TestForLoops:
+    def test_loop_over_register_size(self):
+        circuit = compile_xasm("for (int i = 0; i < q.size(); i++) { H(q[i]); }", n_qubits=3)
+        assert [i.name for i in circuit] == ["H", "H", "H"]
+        assert [i.qubits[0] for i in circuit] == [0, 1, 2]
+
+    def test_loop_with_literal_bound(self):
+        circuit = compile_xasm("for (int k = 0; k < 2; k++) { X(q[k]); }", n_qubits=4)
+        assert len(circuit) == 2
+
+    def test_loop_with_le_comparison(self):
+        circuit = compile_xasm("for (int k = 0; k <= 2; k++) { X(q[k]); }", n_qubits=4)
+        assert len(circuit) == 3
+
+    def test_descending_loop(self):
+        circuit = compile_xasm("for (int k = 2; k >= 0; k--) { X(q[k]); }", n_qubits=3)
+        assert [i.qubits[0] for i in circuit] == [2, 1, 0]
+
+    def test_empty_loop_body_still_validated(self):
+        circuit = compile_xasm("for (int k = 0; k < 0; k++) { H(q[k]); } X(q[0]);", n_qubits=1)
+        assert [i.name for i in circuit] == ["X"]
+
+    def test_nested_loops(self):
+        source = """
+        for (int i = 0; i < 2; i++) {
+          for (int j = 0; j < 2; j++) {
+            CPhase(q[i], q[2 + j], 0.1);
+          }
+        }
+        """
+        circuit = compile_xasm(source, n_qubits=4)
+        assert len(circuit) == 4
+        assert {inst.qubits for inst in circuit} == {(0, 2), (0, 3), (1, 2), (1, 3)}
+
+    def test_loop_variable_arithmetic_in_index(self):
+        circuit = compile_xasm("for (int i = 0; i < 2; i++) { CX(q[i], q[i + 1]); }", n_qubits=3)
+        assert [inst.qubits for inst in circuit] == [(0, 1), (1, 2)]
+
+    def test_q_size_requires_known_width(self):
+        with pytest.raises(CompilationError):
+            compile_xasm("for (int i = 0; i < q.size(); i++) { H(q[i]); }")
+
+    def test_mismatched_loop_variable_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_xasm("for (int i = 0; j < 2; i++) { H(q[0]); }", n_qubits=1)
+
+    def test_unsupported_update_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_xasm("for (int i = 0; i < 2; i = i) { H(q[0]); }", n_qubits=1)
+
+
+class TestSemantics:
+    def test_compiled_bell_matches_builder_bell(self):
+        from repro.algorithms.bell import bell_circuit
+
+        compiled = compile_xasm(BELL_SOURCE, n_qubits=2)
+        assert compiled == bell_circuit(2)
+
+    def test_width_inferred_from_indices_when_not_given(self):
+        circuit = compile_xasm("H(q[3]);")
+        assert circuit.n_qubits == 4
+
+    def test_symbolic_index_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_xasm("H(q[theta]);", n_qubits=2)

@@ -1,0 +1,107 @@
+"""Tests for the OpenQASM 2 subset parser/exporter."""
+
+import math
+
+import pytest
+
+from repro.compiler.qasm2 import parse_qasm2, to_qasm2
+from repro.exceptions import CompilationError
+from repro.ir.builder import CircuitBuilder
+
+BELL_QASM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"""
+
+
+class TestParsing:
+    def test_bell_program(self):
+        circuit = parse_qasm2(BELL_QASM)
+        assert [i.name for i in circuit] == ["H", "CX", "MEASURE", "MEASURE"]
+        assert circuit.n_qubits == 2
+
+    def test_parameterized_gates(self):
+        circuit = parse_qasm2("qreg q[1]; rx(0.5) q[0]; rz(pi/2) q[0];")
+        assert circuit[0].parameters[0] == pytest.approx(0.5)
+        assert circuit[1].parameters[0] == pytest.approx(math.pi / 2)
+
+    def test_measure_whole_register(self):
+        circuit = parse_qasm2("qreg q[3]; creg c[3]; h q[0]; measure q -> c;")
+        assert circuit.n_measurements == 3
+
+    def test_barrier(self):
+        circuit = parse_qasm2("qreg q[2]; h q[0]; barrier q[0], q[1]; cx q[0], q[1];")
+        assert circuit[1].name == "BARRIER"
+
+    def test_comments_and_blank_lines(self):
+        circuit = parse_qasm2("// bell\nqreg q[2];\n\nh q[0]; // superpose\ncx q[0], q[1];")
+        assert len(circuit) == 2
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CompilationError):
+            parse_qasm2("qreg q[1]; frobnicate q[0];")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(CompilationError):
+            parse_qasm2("qreg q[2]; h q[5];")
+
+    def test_gate_before_register_rejected(self):
+        with pytest.raises(CompilationError):
+            parse_qasm2("h q[0]; qreg q[1];")
+
+    def test_custom_gate_definition_rejected(self):
+        with pytest.raises(CompilationError):
+            parse_qasm2("qreg q[1]; gate mygate a { h a; }")
+
+    def test_no_register_rejected(self):
+        with pytest.raises(CompilationError):
+            parse_qasm2("OPENQASM 2.0;")
+
+    def test_multiple_registers_are_laid_out_consecutively(self):
+        circuit = parse_qasm2("qreg a[2]; qreg b[2]; cx a[1], b[0];")
+        assert circuit[0].qubits == (1, 2)
+
+
+class TestExportRoundTrip:
+    def test_export_contains_declarations(self):
+        circuit = CircuitBuilder(2).h(0).cx(0, 1).measure_all().build()
+        text = to_qasm2(circuit)
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[2];" in text
+        assert "h q[0];" in text
+        assert "measure q[1] -> c[1];" in text
+
+    def test_round_trip_preserves_structure(self):
+        circuit = (
+            CircuitBuilder(3)
+            .h(0)
+            .cx(0, 1)
+            .rz(2, 0.25)
+            .ccx(0, 1, 2)
+            .swap(1, 2)
+            .measure_all()
+            .build()
+        )
+        restored = parse_qasm2(to_qasm2(circuit))
+        assert [i.name for i in restored] == [i.name for i in circuit]
+        assert [i.qubits for i in restored] == [i.qubits for i in circuit]
+
+    def test_export_rejects_symbolic_circuits(self):
+        from repro.ir.parameter import Parameter
+
+        circuit = CircuitBuilder(1).rx(0, Parameter("t")).build()
+        with pytest.raises(CompilationError):
+            to_qasm2(circuit)
+
+    def test_export_rejects_gates_without_qasm_equivalent(self):
+        import numpy as np
+
+        circuit = CircuitBuilder(1).unitary(np.eye(2), [0]).build()
+        with pytest.raises(CompilationError):
+            to_qasm2(circuit)

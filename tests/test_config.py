@@ -1,0 +1,81 @@
+"""Tests for the global configuration."""
+
+import os
+
+import pytest
+
+from repro.config import (
+    Configuration,
+    configure,
+    default_num_threads,
+    get_config,
+    reset_config,
+    set_config,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestConfiguration:
+    def test_defaults(self):
+        config = Configuration()
+        assert config.default_accelerator == "qpp"
+        assert config.shots == 1024
+        assert config.thread_safe is True
+        assert config.execution_mode == "real"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(shots=0).validate()
+        with pytest.raises(ConfigurationError):
+            Configuration(omp_num_threads=0).validate()
+        with pytest.raises(ConfigurationError):
+            Configuration(execution_mode="quantum").validate()
+        with pytest.raises(ConfigurationError):
+            Configuration(seed=-1).validate()
+
+    def test_replace_returns_validated_copy(self):
+        config = Configuration().replace(shots=10)
+        assert config.shots == 10
+        with pytest.raises(ConfigurationError):
+            Configuration().replace(shots=-1)
+
+
+class TestGlobalConfig:
+    def test_set_config_updates_global(self):
+        set_config(shots=77)
+        assert get_config().shots == 77
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_config(bogus=1)
+        with pytest.raises(ConfigurationError):
+            with configure(bogus=1):
+                pass
+
+    def test_reset_restores_defaults(self):
+        set_config(shots=5)
+        reset_config()
+        assert get_config().shots == 1024
+
+    def test_configure_context_manager_restores(self):
+        set_config(shots=200)
+        with configure(shots=8, execution_mode="modeled") as config:
+            assert config.shots == 8
+            assert get_config().execution_mode == "modeled"
+        assert get_config().shots == 200
+        assert get_config().execution_mode == "real"
+
+    def test_configure_restores_on_exception(self):
+        set_config(shots=200)
+        with pytest.raises(RuntimeError):
+            with configure(shots=8):
+                raise RuntimeError("boom")
+        assert get_config().shots == 200
+
+    def test_default_num_threads_honours_env(self, monkeypatch):
+        monkeypatch.setenv("OMP_NUM_THREADS", "9")
+        assert default_num_threads() == 9
+        monkeypatch.setenv("OMP_NUM_THREADS", "not-a-number")
+        assert default_num_threads() == (os.cpu_count() or 1)
+        monkeypatch.delenv("OMP_NUM_THREADS")
+        assert default_num_threads() == (os.cpu_count() or 1)

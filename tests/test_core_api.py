@@ -1,0 +1,128 @@
+"""Tests for the user-facing core API (initialize / qalloc / execute_circuit)."""
+
+import pytest
+
+import repro
+from repro.algorithms.bell import bell_circuit
+from repro.config import set_config
+from repro.core import api
+from repro.core.qpu_manager import QPUManager
+from repro.core.race_detector import get_race_detector
+from repro.exceptions import ExecutionError, NotInitializedError
+from repro.ir.builder import CircuitBuilder
+from repro.ir.parameter import Parameter
+from repro.operators.pauli import X as PX
+from repro.operators.pauli import Z as PZ
+from repro.runtime.qpp_accelerator import QppAccelerator
+
+
+class TestInitialize:
+    def test_initialize_registers_current_thread(self):
+        qpu = repro.initialize()
+        assert repro.is_initialized()
+        assert QPUManager.get_instance().get_qpu() is qpu
+
+    def test_initialize_with_backend_name_and_shots(self):
+        qpu = repro.initialize("qpp", shots=99, options={"threads": 2})
+        assert isinstance(qpu, QppAccelerator)
+        assert repro.get_shots() == 99
+        assert qpu.num_threads == 2
+
+    def test_initialize_with_accelerator_instance(self):
+        mine = QppAccelerator({"threads": 4})
+        assert repro.initialize(mine) is mine
+        assert repro.get_qpu() is mine
+
+    def test_finalize_clears_registration(self):
+        repro.initialize()
+        repro.finalize()
+        assert not repro.is_initialized()
+
+    def test_get_qpu_auto_initializes_when_not_strict(self):
+        assert not repro.is_initialized()
+        qpu = repro.get_qpu()
+        assert isinstance(qpu, QppAccelerator)
+        assert repro.is_initialized()
+
+    def test_strict_initialization_requires_explicit_call(self):
+        set_config(strict_initialization=True)
+        with pytest.raises(NotInitializedError):
+            repro.get_qpu()
+        repro.initialize()
+        assert repro.get_qpu() is not None
+
+    def test_legacy_mode_uses_shared_global(self):
+        set_config(thread_safe=False)
+        first = repro.get_qpu()
+        second = repro.get_qpu()
+        assert first is second
+        assert get_race_detector().unsafe_entries.get("global_qpu", 0) >= 1
+
+
+class TestShotsAndAllocation:
+    def test_set_and_get_shots(self):
+        repro.set_shots(321)
+        assert repro.get_shots() == 321
+
+    def test_qalloc_reexport(self):
+        q = repro.qalloc(4)
+        assert q.size() == 4
+
+
+class TestExecuteCircuit:
+    def test_execute_into_qreg(self):
+        q = repro.qalloc(2)
+        counts = repro.execute_circuit(bell_circuit(2), q, shots=128)
+        assert sum(counts.values()) == 128
+        assert q.counts() == counts
+
+    def test_execute_returns_delta_not_cumulative(self):
+        q = repro.qalloc(2)
+        first = repro.execute_circuit(bell_circuit(2), q, shots=64)
+        second = repro.execute_circuit(bell_circuit(2), q, shots=64)
+        assert sum(first.values()) == 64
+        assert sum(second.values()) == 64
+        assert q.buffer.total_shots() == 128
+
+    def test_execute_with_explicit_accelerator(self):
+        q = repro.qalloc(2)
+        accelerator = QppAccelerator({"threads": 1})
+        counts = repro.execute_circuit(bell_circuit(2), q, shots=16, accelerator=accelerator)
+        assert sum(counts.values()) == 16
+
+    def test_execute_into_raw_buffer(self):
+        from repro.runtime.buffer import AcceleratorBuffer
+
+        buffer = AcceleratorBuffer(2)
+        counts = repro.execute_circuit(bell_circuit(2), buffer, shots=8)
+        assert sum(counts.values()) == 8
+
+
+class TestObserveExpectation:
+    def test_exact_expectation_of_plus_state(self):
+        ansatz = CircuitBuilder(1).h(0).build()
+        assert repro.observe_expectation(ansatz, PX(0), exact=True) == pytest.approx(1.0)
+        assert repro.observe_expectation(ansatz, PZ(0), exact=True) == pytest.approx(0.0, abs=1e-12)
+
+    def test_sampled_expectation_close_to_exact(self):
+        ansatz = CircuitBuilder(2).x(0).build()
+        observable = 0.5 * PZ(0) - 0.25 * PZ(1)
+        sampled = repro.observe_expectation(ansatz, observable, shots=2048, exact=False)
+        exact = repro.observe_expectation(ansatz, observable, exact=True)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_constant_term_included(self):
+        ansatz = CircuitBuilder(1).build()
+        assert repro.observe_expectation(ansatz, 2.5 + PZ(0), exact=True) == pytest.approx(3.5)
+
+    def test_parameterized_ansatz_requires_values(self):
+        ansatz = CircuitBuilder(1).ry(0, Parameter("t")).build()
+        with pytest.raises(ExecutionError):
+            repro.observe_expectation(ansatz, PZ(0), exact=True)
+        value = repro.observe_expectation(ansatz, PZ(0), parameters=[3.14159265], exact=True)
+        assert value == pytest.approx(-1.0, abs=1e-6)
+
+    def test_module_alias_consistency(self):
+        # The package-level re-exports must be the same objects as core.api's.
+        assert repro.initialize is api.initialize
+        assert repro.qalloc is api.qalloc

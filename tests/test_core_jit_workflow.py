@@ -1,0 +1,214 @@
+"""Tests for the Section VII extensions: async JIT compilation and workflows."""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.algorithms.bell import bell_circuit
+from repro.core.jit import AsyncKernelCompiler, compile_and_execute_async
+from repro.core.workflow import Workflow, result_of
+from repro.exceptions import CompilationError, ConfigurationError, ExecutionError
+from repro.ir.builder import CircuitBuilder
+
+
+def redundant_circuit():
+    """A circuit the optimiser can visibly shrink."""
+    return (
+        CircuitBuilder(2)
+        .h(0)
+        .h(0)
+        .h(0)
+        .rz(1, 0.2)
+        .rz(1, -0.2)
+        .cx(0, 1)
+        .measure_all()
+        .build()
+    )
+
+
+class TestAsyncKernelCompiler:
+    def test_compilation_removes_redundant_gates(self):
+        with AsyncKernelCompiler() as compiler:
+            result = compiler.compile(redundant_circuit(), effort=1)
+        assert result.gate_reduction >= 3
+        assert result.optimized.n_measurements == 2
+        assert result.compile_seconds >= 0.0
+
+    def test_higher_effort_applies_more_passes(self):
+        with AsyncKernelCompiler() as compiler:
+            low = compiler.compile(redundant_circuit(), effort=1)
+            high = compiler.compile(redundant_circuit(), effort=3)
+        assert len(high.passes_applied) > len(low.passes_applied)
+
+    def test_async_handle_returns_immediately_then_completes(self):
+        with AsyncKernelCompiler(synthetic_latency_per_effort=0.05) as compiler:
+            handle = compiler.compile_async(redundant_circuit(), effort=2)
+            # The handle exists before compilation finished (latency 0.1s total).
+            assert handle.kernel_name == "circuit"
+            result = handle.result(timeout=10)
+            assert handle.done()
+            assert result.effort == 2
+
+    def test_execute_when_ready_runs_the_optimised_kernel(self):
+        q = repro.qalloc(2)
+        with AsyncKernelCompiler() as compiler:
+            handle = compiler.compile_async(redundant_circuit(), effort=2)
+            counts = handle.execute_when_ready(q, shots=128, timeout=30)
+        assert sum(counts.values()) == 128
+        assert set(counts) <= {"00", "11"}
+
+    def test_compile_and_execute_async_helper(self):
+        q = repro.qalloc(2)
+        counts = compile_and_execute_async(redundant_circuit(), q, effort=2, shots=64)
+        assert sum(counts.values()) == 64
+
+    def test_main_thread_can_overlap_with_compilation(self):
+        with AsyncKernelCompiler(synthetic_latency_per_effort=0.1) as compiler:
+            handle = compiler.compile_async(redundant_circuit(), effort=2)
+            overlapped = sum(i for i in range(1000))  # classical work
+            assert overlapped == 499500
+            assert handle.result(timeout=10).gate_reduction >= 3
+
+    def test_validation(self):
+        compiler = AsyncKernelCompiler()
+        with pytest.raises(CompilationError):
+            compiler.compile_async(redundant_circuit(), effort=0)
+        with pytest.raises(CompilationError):
+            compiler.compile_async("not a circuit")  # type: ignore[arg-type]
+        with pytest.raises(CompilationError):
+            AsyncKernelCompiler(max_workers=0)
+        compiler.shutdown()
+
+    def test_jobs_submitted_counter(self):
+        with AsyncKernelCompiler() as compiler:
+            compiler.compile_async(redundant_circuit())
+            compiler.compile_async(redundant_circuit())
+            assert compiler.jobs_submitted == 2
+
+
+class TestWorkflow:
+    def test_linear_pipeline_passes_results_downstream(self):
+        workflow = Workflow("pipeline")
+        workflow.add_task("generate", lambda: 21)
+        workflow.add_task(
+            "double", lambda x: x * 2, result_of("generate"), depends_on=["generate"]
+        )
+        outcome = workflow.run()
+        assert outcome["double"] == 42
+        assert outcome.completion_order.index("generate") < outcome.completion_order.index("double")
+
+    def test_independent_branches_run_concurrently(self):
+        active = {"count": 0, "max": 0}
+        lock = threading.Lock()
+
+        def slow_task():
+            with lock:
+                active["count"] += 1
+                active["max"] = max(active["max"], active["count"])
+            time.sleep(0.05)
+            with lock:
+                active["count"] -= 1
+            return True
+
+        workflow = Workflow()
+        for i in range(3):
+            workflow.add_task(f"branch{i}", slow_task)
+        workflow.run()
+        assert active["max"] >= 2
+
+    def test_quantum_tasks_in_a_workflow(self):
+        def run_bell_task(shots):
+            q = repro.qalloc(2)
+            from repro.algorithms.bell import bell_kernel
+
+            return bell_kernel(q, shots=shots)
+
+        def total_shots(counts_a, counts_b):
+            return sum(counts_a.values()) + sum(counts_b.values())
+
+        workflow = Workflow("quantum", resource_limits={"qpu": 2})
+        workflow.add_task("bell_a", run_bell_task, 64, resource="qpu")
+        workflow.add_task("bell_b", run_bell_task, 64, resource="qpu")
+        workflow.add_task(
+            "analyse",
+            total_shots,
+            result_of("bell_a"),
+            result_of("bell_b"),
+            depends_on=["bell_a", "bell_b"],
+        )
+        outcome = workflow.run()
+        assert outcome["analyse"] == 128
+
+    def test_resource_limit_serialises_qpu_tasks(self):
+        active = {"count": 0, "max": 0}
+        lock = threading.Lock()
+
+        def qpu_task():
+            with lock:
+                active["count"] += 1
+                active["max"] = max(active["max"], active["count"])
+            time.sleep(0.03)
+            with lock:
+                active["count"] -= 1
+
+        workflow = Workflow(resource_limits={"qpu": 1})
+        for i in range(3):
+            workflow.add_task(f"q{i}", qpu_task, resource="qpu")
+        workflow.run()
+        assert active["max"] == 1
+
+    def test_cycle_detection(self):
+        workflow = Workflow()
+        workflow.add_task("a", lambda: 1, depends_on=["b"])
+        workflow.add_task("b", lambda: 2, depends_on=["a"])
+        with pytest.raises(ConfigurationError):
+            workflow.run()
+
+    def test_unknown_dependency_rejected(self):
+        workflow = Workflow()
+        workflow.add_task("a", lambda: 1, depends_on=["ghost"])
+        with pytest.raises(ConfigurationError):
+            workflow.validate()
+
+    def test_reference_without_dependency_rejected(self):
+        workflow = Workflow()
+        workflow.add_task("a", lambda: 1)
+        workflow.add_task("b", lambda x: x, result_of("a"))  # missing depends_on
+        with pytest.raises(ConfigurationError):
+            workflow.validate()
+
+    def test_duplicate_task_name_rejected(self):
+        workflow = Workflow()
+        workflow.add_task("a", lambda: 1)
+        with pytest.raises(ConfigurationError):
+            workflow.add_task("a", lambda: 2)
+
+    def test_failure_propagates_and_skips_dependents(self):
+        calls = []
+
+        def boom():
+            raise RuntimeError("task failed")
+
+        workflow = Workflow()
+        workflow.add_task("bad", boom)
+        workflow.add_task("after", lambda: calls.append("ran"), depends_on=["bad"])
+        with pytest.raises(ExecutionError):
+            workflow.run()
+        assert calls == []
+
+    def test_critical_path_length(self):
+        workflow = Workflow()
+        workflow.add_task("a", lambda: 1)
+        workflow.add_task("b", lambda: 2, depends_on=["a"])
+        workflow.add_task("c", lambda: 3, depends_on=["b"])
+        workflow.add_task("d", lambda: 4)
+        assert workflow.critical_path_length() == 3
+
+    def test_durations_and_wall_time_recorded(self):
+        workflow = Workflow()
+        workflow.add_task("sleepy", lambda: time.sleep(0.02))
+        outcome = workflow.run()
+        assert outcome.durations["sleepy"] >= 0.02
+        assert outcome.wall_time_seconds >= 0.02

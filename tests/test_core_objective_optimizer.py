@@ -1,0 +1,173 @@
+"""Tests for ObjectiveFunction and the classical optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import ObjectiveFunction, createObjectiveFunction
+from repro.core.optimizer import (
+    OptimizerResult,
+    SPSAOptimizer,
+    ScipyOptimizer,
+    createOptimizer,
+)
+from repro.exceptions import ConfigurationError, OptimizationError
+from repro.ir.builder import CircuitBuilder
+from repro.ir.parameter import Parameter
+from repro.operators.pauli import X, Y, Z
+
+
+def deuteron():
+    H = 5.907 - 2.1433 * X(0) * X(1) - 2.1433 * Y(0) * Y(1) + 0.21829 * Z(0) - 6.125 * Z(1)
+    ansatz = CircuitBuilder(2).x(0).ry(1, Parameter("theta")).cx(1, 0).build()
+    return H, ansatz
+
+
+class TestObjectiveFunction:
+    def test_evaluates_energy_at_given_angle(self):
+        H, ansatz = deuteron()
+        objective = createObjectiveFunction(ansatz, H, 2, 1, {"exact": True})
+        # theta = 0 leaves |01>: <Z0> = +1 on |...0>? evaluate and compare to matrix.
+        energy = objective([0.0])
+        state_energy = float(
+            np.real(
+                np.conj(_state(ansatz.bind([0.0]))) @ H.to_matrix(2) @ _state(ansatz.bind([0.0]))
+            )
+        )
+        assert energy == pytest.approx(state_energy, abs=1e-9)
+
+    def test_minimum_matches_exact_ground_state(self):
+        H, ansatz = deuteron()
+        objective = createObjectiveFunction(ansatz, H, 2, 1, {"exact": True})
+        thetas = np.linspace(-np.pi, np.pi, 201)
+        best = min(objective([t]) for t in thetas)
+        assert best == pytest.approx(H.ground_state_energy(2), abs=1e-3)
+
+    def test_evaluation_counter(self):
+        H, ansatz = deuteron()
+        objective = createObjectiveFunction(ansatz, H, 2, 1, {"exact": True})
+        objective([0.1])
+        objective([0.2])
+        assert objective.evaluation_count == 2
+
+    def test_wrong_parameter_count_rejected(self):
+        H, ansatz = deuteron()
+        objective = createObjectiveFunction(ansatz, H, 2, 1)
+        with pytest.raises(OptimizationError):
+            objective([0.1, 0.2])
+
+    def test_central_gradient_matches_numerical_slope(self):
+        H, ansatz = deuteron()
+        objective = createObjectiveFunction(
+            ansatz, H, 2, 1, {"exact": True, "gradient-strategy": "central", "step": 1e-4}
+        )
+        theta = 0.4
+        grad = objective.gradient([theta])
+        expected = (objective([theta + 1e-5]) - objective([theta - 1e-5])) / 2e-5
+        assert grad[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_parameter_shift_gradient_matches_central(self):
+        H, ansatz = deuteron()
+        central = createObjectiveFunction(ansatz, H, 2, 1, {"exact": True})
+        shifted = createObjectiveFunction(
+            ansatz, H, 2, 1, {"exact": True, "gradient-strategy": "parameter-shift"}
+        )
+        assert shifted.gradient([0.7])[0] == pytest.approx(central.gradient([0.7])[0], abs=1e-4)
+
+    def test_forward_gradient(self):
+        H, ansatz = deuteron()
+        objective = createObjectiveFunction(
+            ansatz, H, 2, 1, {"exact": True, "gradient-strategy": "forward", "step": 1e-5}
+        )
+        assert objective.gradient([0.3])[0] == pytest.approx(
+            createObjectiveFunction(ansatz, H, 2, 1, {"exact": True}).gradient([0.3])[0], abs=1e-3
+        )
+
+    def test_invalid_gradient_strategy_rejected(self):
+        H, ansatz = deuteron()
+        with pytest.raises(ConfigurationError):
+            createObjectiveFunction(ansatz, H, 2, 1, {"gradient-strategy": "magic"})
+
+    def test_callable_ansatz_factory(self):
+        H, _ = deuteron()
+
+        def factory(n_qubits, theta):
+            return CircuitBuilder(n_qubits).x(0).ry(1, theta).cx(1, 0).build()
+
+        objective = ObjectiveFunction(factory, H, 2, 1, {"exact": True})
+        reference = createObjectiveFunction(deuteron()[1], H, 2, 1, {"exact": True})
+        assert objective([0.25]) == pytest.approx(reference([0.25]), abs=1e-9)
+
+
+def _state(circuit):
+    from repro.simulator.statevector import StateVector
+
+    sv = StateVector(2)
+    sv.apply_circuit(circuit)
+    return sv.data
+
+
+class TestOptimizers:
+    def quadratic(self, x):
+        x = np.asarray(x, dtype=float)
+        return float(np.sum((x - np.array([1.0, -2.0])) ** 2))
+
+    @pytest.mark.parametrize("method", ["nelder-mead", "l-bfgs", "cobyla", "powell", "bfgs"])
+    def test_scipy_methods_minimise_quadratic(self, method):
+        optimizer = ScipyOptimizer(method, {"maxiter": 500})
+        result = optimizer.optimize(self.quadratic, initial_parameters=[0.0, 0.0])
+        assert result.optimal_value == pytest.approx(0.0, abs=1e-3)
+        assert result.optimal_parameters == pytest.approx([1.0, -2.0], abs=1e-2)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(OptimizationError):
+            ScipyOptimizer("genetic")
+
+    def test_create_optimizer_nlopt_mapping(self):
+        optimizer = createOptimizer("nlopt", {"nlopt-optimizer": "l-bfgs"})
+        assert isinstance(optimizer, ScipyOptimizer)
+        assert optimizer.method == "L-BFGS-B"
+
+    def test_create_optimizer_default(self):
+        assert isinstance(createOptimizer(), ScipyOptimizer)
+
+    def test_create_optimizer_spsa(self):
+        assert isinstance(createOptimizer("spsa"), SPSAOptimizer)
+
+    def test_create_optimizer_unknown_family(self):
+        with pytest.raises(OptimizationError):
+            createOptimizer("quantum-annealer")
+
+    def test_spsa_minimises_noisy_quadratic(self):
+        rng = np.random.default_rng(0)
+
+        def noisy(x):
+            return self.quadratic(x) + rng.normal(scale=0.01)
+
+        optimizer = SPSAOptimizer({"maxiter": 300, "seed": 1, "a": 0.3})
+        result = optimizer.optimize(noisy, initial_parameters=[0.0, 0.0])
+        assert result.optimal_value < 0.5
+
+    def test_result_unpacks_like_qcor(self):
+        optimizer = ScipyOptimizer("nelder-mead", {"maxiter": 200})
+        opt_val, opt_params = optimizer.optimize(self.quadratic, initial_parameters=[0.0, 0.0])
+        assert opt_val == pytest.approx(0.0, abs=1e-3)
+        assert len(opt_params) == 2
+
+    def test_initial_parameters_inferred_from_objective(self):
+        H, ansatz = deuteron()
+        objective = createObjectiveFunction(ansatz, H, 2, 1, {"exact": True})
+        result = createOptimizer("nlopt", {"nlopt-optimizer": "nelder-mead"}).optimize(objective)
+        assert isinstance(result, OptimizerResult)
+        assert result.optimal_value == pytest.approx(H.ground_state_energy(2), abs=1e-3)
+
+    def test_missing_parameter_count_rejected(self):
+        optimizer = ScipyOptimizer("nelder-mead")
+        with pytest.raises(OptimizationError):
+            optimizer.optimize(lambda x: float(np.sum(np.square(x))))
+
+    def test_gradient_used_by_lbfgs(self):
+        H, ansatz = deuteron()
+        objective = createObjectiveFunction(ansatz, H, 2, 1, {"exact": True})
+        result = createOptimizer("nlopt", {"nlopt-optimizer": "l-bfgs"}).optimize(objective)
+        assert result.optimal_value == pytest.approx(H.ground_state_energy(2), abs=1e-4)
+        assert result.history  # evaluations were recorded

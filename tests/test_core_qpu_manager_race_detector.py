@@ -1,0 +1,174 @@
+"""Tests for the QPUManager (Listing 8) and the race detector."""
+
+import threading
+
+import pytest
+
+from repro.config import set_config
+from repro.core.qpu_manager import QPUManager
+from repro.core.race_detector import RaceDetector, get_race_detector, reset_race_detector
+from repro.exceptions import NotInitializedError, ThreadSafetyViolation
+from repro.runtime.qpp_accelerator import QppAccelerator
+
+
+class TestQPUManager:
+    def test_singleton(self):
+        assert QPUManager.get_instance() is QPUManager.get_instance()
+
+    def test_reset_instance_produces_fresh_singleton(self):
+        first = QPUManager.get_instance()
+        second = QPUManager.reset_instance()
+        assert first is not second
+        assert QPUManager.get_instance() is second
+
+    def test_set_and_get_for_current_thread(self):
+        manager = QPUManager.get_instance()
+        qpu = QppAccelerator()
+        manager.set_qpu(qpu)
+        assert manager.get_qpu() is qpu
+        assert manager.has_qpu()
+
+    def test_get_without_registration_raises(self):
+        manager = QPUManager.get_instance()
+        with pytest.raises(NotInitializedError):
+            manager.get_qpu()
+
+    def test_remove_qpu(self):
+        manager = QPUManager.get_instance()
+        manager.set_qpu(QppAccelerator())
+        manager.remove_qpu()
+        assert not manager.has_qpu()
+
+    def test_explicit_thread_id(self):
+        manager = QPUManager.get_instance()
+        qpu = QppAccelerator()
+        manager.set_qpu(qpu, thread_id=12345)
+        assert manager.get_qpu(thread_id=12345) is qpu
+        assert not manager.has_qpu()  # current thread unaffected
+
+    def test_per_thread_isolation(self):
+        manager = QPUManager.get_instance()
+        observed = {}
+        barrier = threading.Barrier(6)
+
+        def worker(name):
+            qpu = QppAccelerator()
+            manager.set_qpu(qpu)
+            observed[name] = manager.get_qpu() is qpu
+            # Keep all six threads alive together so their idents are distinct.
+            barrier.wait(timeout=10)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(observed.values())
+        assert manager.active_thread_count() == 6
+        assert manager.distinct_instances() == 6
+
+    def test_clear(self):
+        manager = QPUManager.get_instance()
+        manager.set_qpu(QppAccelerator())
+        manager.clear()
+        assert manager.active_thread_count() == 0
+
+    def test_snapshot_is_a_copy(self):
+        manager = QPUManager.get_instance()
+        manager.set_qpu(QppAccelerator())
+        snapshot = manager.snapshot()
+        snapshot.clear()  # type: ignore[attr-defined]
+        assert manager.active_thread_count() == 1
+
+
+class TestRaceDetector:
+    def test_safe_access_records_nothing(self):
+        detector = RaceDetector()
+        with detector.access("resource", safe=True):
+            pass
+        assert detector.race_count() == 0
+        assert detector.unsafe_entries == {}
+
+    def test_unsafe_access_counted(self):
+        detector = RaceDetector()
+        with detector.access("resource", safe=False):
+            pass
+        assert detector.unsafe_entries["resource"] == 1
+        assert detector.race_count() == 0  # no overlap with a single thread
+
+    def test_concurrent_unsafe_access_detected(self):
+        detector = RaceDetector()
+        barrier = threading.Barrier(4)
+
+        def worker():
+            with detector.access("shared_map", safe=False):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert detector.race_count("shared_map") >= 1
+        assert "shared_map" in detector.resources_with_races()
+
+    def test_disjoint_resources_do_not_race(self):
+        detector = RaceDetector()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with detector.access(name, safe=False):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=worker, args=(f"r{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert detector.race_count() == 0
+
+    def test_raise_on_race_configuration(self):
+        set_config(raise_on_race=True)
+        detector = get_race_detector()
+        release = threading.Event()
+        started = threading.Event()
+        errors = []
+
+        def holder():
+            with detector.access("res", safe=False):
+                started.set()
+                release.wait(timeout=5)
+
+        def intruder():
+            try:
+                with detector.access("res", safe=False):
+                    pass
+            except ThreadSafetyViolation as exc:
+                errors.append(exc)
+
+        t0 = threading.Thread(target=holder)
+        t0.start()
+        started.wait(timeout=5)
+        t1 = threading.Thread(target=intruder)
+        t1.start()
+        t1.join()
+        release.set()
+        t0.join()
+        assert len(errors) == 1
+        assert errors[0].resource == "res"
+
+    def test_detection_disabled_by_configuration(self):
+        set_config(detect_races=False)
+        detector = get_race_detector()
+        with detector.access("res", safe=False):
+            pass
+        assert detector.unsafe_entries == {}
+
+    def test_clear_and_reset(self):
+        detector = get_race_detector()
+        with detector.access("res", safe=False):
+            pass
+        detector.clear()
+        assert detector.unsafe_entries == {}
+        fresh = reset_race_detector()
+        assert fresh is get_race_detector()

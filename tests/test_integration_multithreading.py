@@ -1,0 +1,234 @@
+"""Integration tests: the paper's listings and multi-threaded scenarios end to end.
+
+These tests exercise the full stack (DSL -> IR -> runtime -> simulator) the
+way the paper's evaluation does: multiple user threads each executing
+quantum kernels against their own per-thread QPU instance, plus the legacy
+(non-thread-safe) mode demonstrating why the contribution is needed.
+"""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+import repro
+from repro.algorithms.bell import bell_kernel
+from repro.algorithms.shor import run_order_finding
+from repro.compiler.dsl import CX, H, Measure
+from repro.config import set_config
+from repro.core.executor import KernelTask, run_one_by_one, run_parallel
+from repro.core.qpu_manager import QPUManager
+from repro.core.race_detector import get_race_detector
+from repro.core.threading_api import qcor_async, qcor_thread
+from repro.runtime.allocation import allocated_buffer_count
+
+
+def bell_foo(shots: int = 128) -> dict[str, int]:
+    """The ``foo()`` helper of Listings 4 and 5."""
+    q = repro.qalloc(2)
+    bell_kernel(q, shots=shots)
+    return q.counts()
+
+
+class TestPaperListings:
+    def test_listing1_single_source_bell(self):
+        """Listing 1/2: allocate, run the kernel, inspect the histogram."""
+        q = repro.qalloc(2)
+        bell_kernel(q, shots=1024)
+        counts = q.counts()
+        assert set(counts) <= {"00", "11"}
+        assert sum(counts.values()) == 1024
+        assert abs(counts.get("00", 0) - 512) < 120
+
+    def test_listing4_std_thread_two_bell_kernels(self):
+        results = []
+        lock = threading.Lock()
+
+        def foo():
+            counts = bell_foo()
+            with lock:
+                results.append(counts)
+
+        t0 = qcor_thread(foo)
+        t1 = qcor_thread(foo)
+        t0.join()
+        t1.join()
+        assert len(results) == 2
+        for counts in results:
+            assert sum(counts.values()) == 128
+
+    def test_listing5_std_async_bell_kernel(self):
+        future = qcor_async(lambda: (bell_foo(), 1)[1])
+        # "Other classical/quantum work" can happen here on the main thread.
+        main_thread_counts = bell_foo(shots=32)
+        assert future.result(timeout=60) == 1
+        assert sum(main_thread_counts.values()) == 32
+
+    def test_listing3_vqe_workflow(self):
+        from repro.algorithms.vqe import run_deuteron_vqe
+
+        result = run_deuteron_vqe(optimizer_name="l-bfgs")
+        assert result.error < 1e-3
+
+
+class TestMultiThreadedStress:
+    def test_many_threads_running_kernels_concurrently(self):
+        n_threads = 8
+        outcomes = {}
+        barrier = threading.Barrier(n_threads)
+        lock = threading.Lock()
+
+        def worker(index):
+            barrier.wait(timeout=30)
+            counts = bell_foo(shots=64)
+            with lock:
+                outcomes[index] = counts
+
+        threads = [qcor_thread(worker, i) for i in range(n_threads)]
+        for t in threads:
+            t.join()
+        assert len(outcomes) == n_threads
+        for counts in outcomes.values():
+            assert sum(counts.values()) == 64
+            assert set(counts) <= {"00", "11"}
+
+    def test_concurrent_qalloc_is_consistent_in_thread_safe_mode(self):
+        before = allocated_buffer_count()
+        n_threads, per_thread = 8, 25
+
+        def allocate():
+            for _ in range(per_thread):
+                repro.qalloc(2)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(lambda _: allocate(), range(n_threads)))
+        assert allocated_buffer_count() == before + n_threads * per_thread
+        assert get_race_detector().race_count("allocated_buffers") == 0
+
+    def test_legacy_mode_records_unsafe_allocation_accesses(self):
+        set_config(thread_safe=False)
+        n_threads = 8
+
+        def allocate():
+            for _ in range(50):
+                repro.qalloc(2)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(lambda _: allocate(), range(n_threads)))
+        detector = get_race_detector()
+        # Every allocation went through the unlocked (unsafe) code path; the
+        # overlap itself is timing dependent (the critical section is a single
+        # dict insert), so only the unsafe-entry accounting is asserted here —
+        # deterministic overlap detection is covered by the race-detector unit
+        # tests, which force it with barriers.
+        assert detector.unsafe_entries.get("allocated_buffers", 0) == n_threads * 50
+        assert detector.race_count("allocated_buffers") >= 0
+
+    def test_thread_safe_mode_gives_each_thread_a_distinct_accelerator(self):
+        instances = []
+        barrier = threading.Barrier(4)
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait(timeout=30)
+            with lock:
+                instances.append(id(repro.get_qpu()))
+            bell_foo(16)
+
+        threads = [qcor_thread(worker) for _ in range(4)]
+        for t in threads:
+            t.join()
+        assert len(set(instances)) == 4
+
+    def test_legacy_mode_shares_one_accelerator_across_threads(self):
+        set_config(thread_safe=False)
+        instances = []
+        lock = threading.Lock()
+
+        def worker():
+            with lock:
+                instances.append(id(repro.get_qpu()))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(instances)) == 1
+
+    def test_counts_unaffected_by_concurrency(self):
+        """Correctness check: per-thread results match the single-threaded ones."""
+        reference = bell_foo(shots=256)
+        futures = [qcor_async(bell_foo, 256) for _ in range(4)]
+        for future in futures:
+            counts = future.result(timeout=120)
+            assert set(counts) <= {"00", "11"}
+            assert sum(counts.values()) == sum(reference.values())
+
+
+class TestTaskLevelParallelismEndToEnd:
+    def test_two_shor_tasks_in_parallel_produce_valid_periods(self):
+        futures = [
+            qcor_async(run_order_finding, 15, 2, 10),
+            qcor_async(run_order_finding, 15, 7, 10),
+        ]
+        results = [f.result(timeout=300) for f in futures]
+        assert all(r.period in (2, 4) for r in results)
+        assert any(r.factors == (3, 5) for r in results)
+
+    def test_executor_variants_agree_on_results(self):
+        tasks = [
+            KernelTask(f"bell_{i}", lambda: bell_kernel.as_circuit(2), 2, shots=64)
+            for i in range(2)
+        ]
+        sequential = run_one_by_one(tasks, total_threads=2)
+        parallel = run_parallel(tasks, total_threads=2)
+        for report in (sequential, parallel):
+            for result in report.results:
+                assert sum(result.counts.values()) == 64
+                assert set(result.counts) <= {"00", "11"}
+
+    def test_qpu_manager_is_empty_after_parallel_run(self):
+        tasks = [
+            KernelTask(f"bell_{i}", lambda: bell_kernel.as_circuit(2), 2, shots=16)
+            for i in range(3)
+        ]
+        run_parallel(tasks, total_threads=3)
+        assert QPUManager.get_instance().active_thread_count() == 0
+
+
+class TestDslThreadIsolation:
+    def test_kernels_traced_on_different_threads_do_not_interleave(self):
+        """Two threads tracing kernels simultaneously must not mix gates —
+        the trace context is thread-local (unlike the legacy global state the
+        paper fixes)."""
+        mismatches = []
+        barrier = threading.Barrier(2)
+
+        def trace_many(flavour):
+            from repro.compiler.kernel import qpu
+
+            @qpu
+            def kernel(q):
+                barrier.wait(timeout=30)
+                for _ in range(100):
+                    if flavour == "h":
+                        H(q[0])
+                    else:
+                        CX(q[0], q[1])
+                Measure(q[0])
+
+            circuit = kernel.as_circuit(2)
+            expected = "H" if flavour == "h" else "CX"
+            if any(inst.name not in (expected, "MEASURE") for inst in circuit):
+                mismatches.append(flavour)
+
+        threads = [
+            threading.Thread(target=trace_many, args=("h",)),
+            threading.Thread(target=trace_many, args=("cx",)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not mismatches

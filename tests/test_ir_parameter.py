@@ -1,0 +1,101 @@
+"""Tests for symbolic parameters and affine parameter expressions."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterBindingError
+from repro.ir.parameter import Parameter, ParameterExpression, bind_value
+
+
+class TestParameter:
+    def test_equality_is_by_name(self):
+        assert Parameter("theta") == Parameter("theta")
+        assert Parameter("theta") != Parameter("phi")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Parameter("x")) == hash(Parameter("x"))
+        assert len({Parameter("x"), Parameter("x"), Parameter("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterBindingError):
+            Parameter("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ParameterBindingError):
+            Parameter(3)  # type: ignore[arg-type]
+
+    def test_bind_returns_value(self):
+        assert Parameter("theta").bind({"theta": 0.5}) == 0.5
+
+    def test_bind_missing_value_raises(self):
+        with pytest.raises(ParameterBindingError):
+            Parameter("theta").bind({"phi": 0.5})
+
+    def test_repr_is_name(self):
+        assert repr(Parameter("theta")) == "theta"
+
+    def test_parameters_property(self):
+        p = Parameter("a")
+        assert p.parameters == frozenset({p})
+
+
+class TestParameterExpression:
+    def test_scale_via_multiplication(self):
+        expr = 2.0 * Parameter("theta")
+        assert isinstance(expr, ParameterExpression)
+        assert expr.bind({"theta": 3.0}) == pytest.approx(6.0)
+
+    def test_right_and_left_multiplication_agree(self):
+        theta = Parameter("theta")
+        assert (theta * 2.0).bind({"theta": 1.5}) == (2.0 * theta).bind({"theta": 1.5})
+
+    def test_offset_via_addition(self):
+        expr = Parameter("theta") + 1.0
+        assert expr.bind({"theta": 0.25}) == pytest.approx(1.25)
+
+    def test_subtraction_both_sides(self):
+        theta = Parameter("theta")
+        assert (theta - 1.0).bind({"theta": 3.0}) == pytest.approx(2.0)
+        assert (1.0 - theta).bind({"theta": 3.0}) == pytest.approx(-2.0)
+
+    def test_negation(self):
+        assert (-Parameter("x")).bind({"x": 2.0}) == pytest.approx(-2.0)
+
+    def test_division(self):
+        assert (Parameter("x") / 4).bind({"x": 2.0}) == pytest.approx(0.5)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Parameter("x") / 0
+
+    def test_chained_affine_composition(self):
+        expr = (2.0 * Parameter("theta") + 1.0) * 3.0
+        assert expr.bind({"theta": 1.0}) == pytest.approx(9.0)
+
+    def test_expression_equality(self):
+        a = 2.0 * Parameter("t") + 1.0
+        b = 2.0 * Parameter("t") + 1.0
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_bind_missing_raises(self):
+        with pytest.raises(ParameterBindingError):
+            (2 * Parameter("t")).bind({})
+
+    def test_repr_mentions_parameter(self):
+        assert "theta" in repr(2.0 * Parameter("theta") + 0.5)
+
+
+class TestBindValue:
+    def test_floats_pass_through(self):
+        assert bind_value(1.5) == 1.5
+        assert bind_value(2) == 2.0
+
+    def test_symbolic_values_bound(self):
+        assert bind_value(Parameter("a"), {"a": math.pi}) == pytest.approx(math.pi)
+        assert bind_value(2 * Parameter("a"), {"a": 1.0}) == pytest.approx(2.0)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ParameterBindingError):
+            bind_value("not-a-parameter")  # type: ignore[arg-type]

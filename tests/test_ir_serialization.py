@@ -1,0 +1,82 @@
+"""Tests for circuit JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IRError
+from repro.ir.builder import CircuitBuilder
+from repro.ir.gates import PermutationGate, UnitaryGate
+from repro.ir.parameter import Parameter
+from repro.ir.serialization import (
+    circuit_from_dict,
+    circuit_from_json,
+    circuit_to_dict,
+    circuit_to_json,
+    instruction_from_dict,
+    instruction_to_dict,
+)
+
+
+def sample_circuit():
+    return (
+        CircuitBuilder(3, name="sample")
+        .h(0)
+        .cx(0, 1)
+        .rz(2, 0.75)
+        .ccx(0, 1, 2)
+        .measure_all()
+        .build()
+    )
+
+
+class TestRoundTrips:
+    def test_plain_circuit_round_trip(self):
+        circuit = sample_circuit()
+        assert circuit_from_dict(circuit_to_dict(circuit)) == circuit
+
+    def test_json_round_trip(self):
+        circuit = sample_circuit()
+        assert circuit_from_json(circuit_to_json(circuit)) == circuit
+
+    def test_symbolic_parameters_round_trip(self):
+        circuit = CircuitBuilder(1).rx(0, Parameter("theta")).ry(0, 2 * Parameter("phi") + 1).build()
+        restored = circuit_from_dict(circuit_to_dict(circuit))
+        assert restored.is_parameterized
+        assert {p.name for p in restored.free_parameters} == {"theta", "phi"}
+        bound_original = circuit.bind({"theta": 0.3, "phi": 0.2})
+        bound_restored = restored.bind({"theta": 0.3, "phi": 0.2})
+        assert bound_original == bound_restored
+
+    def test_unitary_gate_round_trip(self):
+        matrix = np.array([[0, 1], [1, 0]], dtype=complex)
+        circuit = CircuitBuilder(2).unitary(matrix, [1], name="MYX").build()
+        restored = circuit_from_dict(circuit_to_dict(circuit))
+        assert isinstance(restored[0], UnitaryGate)
+        assert np.allclose(restored[0].matrix(), matrix)
+
+    def test_permutation_gate_round_trip(self):
+        circuit = CircuitBuilder(2).permutation([0, 2, 1, 3], [0, 1]).build()
+        restored = circuit_from_dict(circuit_to_dict(circuit))
+        assert isinstance(restored[0], PermutationGate)
+        assert restored[0].permutation == (0, 2, 1, 3)
+
+    def test_metadata_preserved(self):
+        data = circuit_to_dict(sample_circuit())
+        assert data["name"] == "sample"
+        assert data["n_qubits"] == 3
+        assert len(data["instructions"]) == 7
+
+
+class TestInstructionLevel:
+    def test_instruction_round_trip(self):
+        original = sample_circuit()[1]
+        restored = instruction_from_dict(instruction_to_dict(original))
+        assert restored == original
+
+    def test_unknown_gate_name_rejected(self):
+        with pytest.raises(IRError):
+            instruction_from_dict({"name": "BOGUS", "qubits": [0], "parameters": []})
+
+    def test_bad_parameter_payload_rejected(self):
+        with pytest.raises(IRError):
+            instruction_from_dict({"name": "RX", "qubits": [0], "parameters": [{"weird": 1}]})

@@ -1,0 +1,92 @@
+"""Tests for the machine topology and contention models."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.affinity import PAPER_MACHINE, MachineTopology, detect_host_topology
+from repro.parallel.contention import ContentionModel, parallel_efficiency
+
+
+class TestMachineTopology:
+    def test_paper_machine_matches_the_evaluation_platform(self):
+        assert PAPER_MACHINE.physical_cores == 12
+        assert PAPER_MACHINE.smt_per_core == 2
+        assert PAPER_MACHINE.hardware_threads == 24
+        assert "3900X" in PAPER_MACHINE.name
+
+    def test_cores_for_and_smt_threads_for(self):
+        assert PAPER_MACHINE.cores_for(6) == 6
+        assert PAPER_MACHINE.cores_for(30) == 12
+        assert PAPER_MACHINE.smt_threads_for(6) == 0
+        assert PAPER_MACHINE.smt_threads_for(18) == 6
+        assert PAPER_MACHINE.smt_threads_for(64) == 12
+
+    def test_oversubscription(self):
+        assert PAPER_MACHINE.oversubscribed(24) == 0
+        assert PAPER_MACHINE.oversubscribed(30) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MachineTopology("bad", physical_cores=0)
+        with pytest.raises(ConfigurationError):
+            MachineTopology("bad", physical_cores=2, smt_per_core=0)
+
+    def test_host_detection_returns_sane_values(self):
+        host = detect_host_topology()
+        assert host.physical_cores >= 1
+        assert host.smt_per_core in (1, 2)
+
+
+class TestContentionModel:
+    def test_throughput_scales_linearly_up_to_physical_cores(self):
+        model = ContentionModel()
+        assert model.total_throughput(1) == pytest.approx(1.0)
+        assert model.total_throughput(6) == pytest.approx(6.0)
+        assert model.total_throughput(12) == pytest.approx(12.0)
+
+    def test_smt_threads_add_little_beyond_physical_cores(self):
+        model = ContentionModel()
+        gain = model.total_throughput(24) - model.total_throughput(12)
+        assert 0.0 <= gain < 6.0  # far below the 12 extra hardware threads
+
+    def test_throughput_never_negative_or_decreasing_by_much(self):
+        model = ContentionModel()
+        # The 12 -> 24 thread region must stay roughly flat (the paper's
+        # observation that 24 threads do not beat 12 for one kernel).
+        assert model.total_throughput(24) == pytest.approx(model.total_throughput(12), rel=0.2)
+
+    def test_per_thread_rate_decreases_with_load(self):
+        model = ContentionModel()
+        assert model.per_thread_rate(1) >= model.per_thread_rate(12) >= model.per_thread_rate(24)
+
+    def test_zero_threads_edge_case(self):
+        model = ContentionModel()
+        assert model.total_throughput(0) == 0.0
+        assert model.per_thread_rate(0) == 0.0
+
+    def test_team_overhead_grows_with_team_size(self):
+        model = ContentionModel()
+        assert model.team_overhead_factor(1) == pytest.approx(1.0)
+        assert model.team_overhead_factor(24) > model.team_overhead_factor(12) > 1.0
+        with pytest.raises(ConfigurationError):
+            model.team_overhead_factor(0)
+
+    def test_effective_speedup_with_background_load(self):
+        model = ContentionModel()
+        alone = model.effective_speedup(12, background_threads=0)
+        contended = model.effective_speedup(12, background_threads=12)
+        assert contended < alone
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContentionModel(smt_yield=1.5)
+        with pytest.raises(ConfigurationError):
+            ContentionModel(cache_penalty=-0.1)
+        with pytest.raises(ConfigurationError):
+            ContentionModel(sync_overhead_per_thread=-1)
+
+    def test_parallel_efficiency_helper(self):
+        assert parallel_efficiency(1) == pytest.approx(1.0)
+        assert 0.0 < parallel_efficiency(24) < parallel_efficiency(6) <= 1.0
+        with pytest.raises(ConfigurationError):
+            parallel_efficiency(0)

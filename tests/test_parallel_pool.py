@@ -1,0 +1,80 @@
+"""Tests for WorkerPool and OpenMP-style helpers."""
+
+import os
+import threading
+
+import pytest
+
+from repro.config import get_config, set_config
+from repro.exceptions import ConfigurationError
+from repro.parallel.pool import WorkerPool, omp_get_max_threads, omp_set_num_threads
+
+
+class TestOmpHelpers:
+    def test_get_max_threads_reads_config(self):
+        set_config(omp_num_threads=5)
+        assert omp_get_max_threads() == 5
+
+    def test_set_num_threads_updates_config_and_env(self):
+        omp_set_num_threads(3)
+        assert get_config().omp_num_threads == 3
+        assert os.environ.get("OMP_NUM_THREADS") == "3"
+
+
+class TestWorkerPool:
+    def test_map_preserves_order(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(lambda x: x * x, range(10)) == [x * x for x in range(10)]
+
+    def test_starmap(self):
+        with WorkerPool(2) as pool:
+            assert pool.starmap(lambda a, b: a + b, [(1, 2), (3, 4), (5, 6)]) == [3, 7, 11]
+
+    def test_submit_returns_future(self):
+        with WorkerPool(1) as pool:
+            assert pool.submit(lambda: 7).result(timeout=10) == 7
+
+    def test_imap_unordered_returns_all_results(self):
+        with WorkerPool(4) as pool:
+            results = set(pool.imap_unordered(lambda x: x + 1, range(8)))
+        assert results == set(range(1, 9))
+
+    def test_exceptions_propagate_from_map(self):
+        def boom(x):
+            raise RuntimeError("nope")
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError):
+                pool.map(boom, [1])
+
+    def test_pool_size_defaults_to_config(self):
+        set_config(omp_num_threads=6)
+        assert WorkerPool().num_workers == 6
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(0)
+        with pytest.raises(ConfigurationError):
+            WorkerPool(2, kind="fiber")
+
+    def test_thread_pool_actually_uses_multiple_threads(self):
+        seen = set()
+        barrier = threading.Barrier(4)
+
+        def record(_):
+            barrier.wait(timeout=10)
+            seen.add(threading.get_ident())
+            return True
+
+        with WorkerPool(4) as pool:
+            pool.map(record, range(4))
+        assert len(seen) == 4
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(1)
+        pool.submit(lambda: 1).result(timeout=10)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_repr(self):
+        assert "thread" in repr(WorkerPool(2))

@@ -1,0 +1,130 @@
+"""Tests for the discrete-event processor-sharing scheduler."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.contention import ContentionModel
+from repro.parallel.scheduler import ScheduleResult, SimTask, TaskScheduler, WorkPhase
+
+
+def scheduler(**kwargs) -> TaskScheduler:
+    return TaskScheduler(contention=ContentionModel(**kwargs))
+
+
+class TestWorkPhase:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkPhase(-1.0, 1)
+        with pytest.raises(ConfigurationError):
+            WorkPhase(1.0, 0)
+        with pytest.raises(ConfigurationError):
+            WorkPhase(1.0, 4, locked=True)
+
+    def test_from_cost_interleaves_phases(self):
+        task = SimTask.from_cost("t", parallel_work=120.0, serial_work=12.0,
+                                 locked_work=6.0, threads=4, n_chunks=3)
+        assert task.total_work == pytest.approx(138.0)
+        assert task.max_width == 4
+        kinds = [(p.width, p.locked) for p in task.phases[:3]]
+        assert kinds == [(1, True), (1, False), (4, False)]
+
+    def test_from_cost_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimTask.from_cost("t", 1.0, 1.0, threads=0)
+        with pytest.raises(ConfigurationError):
+            SimTask.from_cost("t", 1.0, 1.0, threads=1, n_chunks=0)
+
+
+class TestSchedulerBasics:
+    def test_empty_schedule(self):
+        assert scheduler().run([]).makespan == 0.0
+
+    def test_single_serial_task_time_equals_work(self):
+        task = SimTask("t", [WorkPhase(10.0, 1)])
+        result = scheduler().run([task])
+        assert result.makespan == pytest.approx(10.0)
+        assert result.completion_times["t"] == pytest.approx(10.0)
+
+    def test_parallel_phase_speeds_up_with_width(self):
+        serial = SimTask("s", [WorkPhase(120.0, 1)])
+        wide = SimTask("w", [WorkPhase(120.0, 12)])
+        t_serial = scheduler(sync_overhead_per_thread=0.0).run([serial]).makespan
+        t_wide = scheduler(sync_overhead_per_thread=0.0).run([wide]).makespan
+        assert t_wide == pytest.approx(t_serial / 12.0)
+
+    def test_duplicate_task_names_rejected(self):
+        task = SimTask("t", [WorkPhase(1.0, 1)])
+        with pytest.raises(ConfigurationError):
+            scheduler().run([task, SimTask("t", [WorkPhase(1.0, 1)])])
+
+    def test_release_times_delay_start(self):
+        late = SimTask("late", [WorkPhase(5.0, 1)], release_time=10.0)
+        result = scheduler().run([late])
+        assert result.completion_times["late"] == pytest.approx(15.0)
+
+    def test_zero_work_task_completes_immediately(self):
+        result = scheduler().run([SimTask("empty", [WorkPhase(0.0, 1)])])
+        assert result.makespan == pytest.approx(0.0)
+
+    def test_busy_thread_time_accumulates(self):
+        task = SimTask("t", [WorkPhase(10.0, 2)])
+        result = scheduler(sync_overhead_per_thread=0.0).run([task])
+        assert result.busy_thread_time == pytest.approx(10.0)
+
+    def test_speedup_over(self):
+        slow = ScheduleResult({}, makespan=10.0)
+        fast = ScheduleResult({}, makespan=5.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+
+class TestSharingBehaviour:
+    def test_two_serial_tasks_on_a_multicore_machine_overlap_fully(self):
+        tasks = [SimTask(f"t{i}", [WorkPhase(10.0, 1)]) for i in range(2)]
+        result = scheduler().run_parallel(tasks)
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_one_by_one_serialises(self):
+        tasks = [SimTask(f"t{i}", [WorkPhase(10.0, 1)]) for i in range(2)]
+        result = scheduler().run_one_by_one(tasks)
+        assert result.makespan == pytest.approx(20.0)
+        assert result.completion_times["t0"] == pytest.approx(10.0)
+        assert result.completion_times["t1"] == pytest.approx(20.0)
+
+    def test_oversubscription_slows_tasks_down(self):
+        # Two 12-wide tasks on a 12-core machine cannot both run at full rate.
+        tasks = [SimTask(f"t{i}", [WorkPhase(120.0, 12)]) for i in range(2)]
+        parallel = scheduler().run_parallel(tasks).makespan
+        alone = scheduler().run([tasks[0]]).makespan
+        assert parallel > alone
+        assert parallel < 2 * alone  # SMT still helps a bit
+
+    def test_locked_phases_serialise_across_tasks(self):
+        tasks = [
+            SimTask(f"t{i}", [WorkPhase(10.0, 1, locked=True)]) for i in range(3)
+        ]
+        result = scheduler().run_parallel(tasks)
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_locked_phase_does_not_block_unrelated_parallel_work(self):
+        locked = SimTask("locked", [WorkPhase(10.0, 1, locked=True)])
+        worker = SimTask("worker", [WorkPhase(10.0, 1)])
+        result = scheduler().run_parallel([locked, worker])
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_interleaved_tasks_overlap_serial_gaps(self):
+        """The paper's core effect: a concurrent kernel can use the cores the
+        other kernel's serial phases leave idle."""
+        def task(name):
+            return SimTask.from_cost(
+                name, parallel_work=120.0, serial_work=60.0, threads=12, n_chunks=16
+            )
+
+        one_by_one = scheduler().run_one_by_one([task("a"), task("b")]).makespan
+        parallel = scheduler().run_parallel([task("a"), task("b")]).makespan
+        assert parallel < one_by_one
+
+    def test_max_events_guard(self):
+        task = SimTask("t", [WorkPhase(1.0, 1)] * 10)
+        tight = TaskScheduler(max_events=2)
+        with pytest.raises(Exception):
+            tight.run([task])

@@ -1,0 +1,107 @@
+"""Tests for the service registry — the heart of the paper's data-race analysis."""
+
+import pytest
+
+from repro.config import set_config
+from repro.core.race_detector import get_race_detector
+from repro.exceptions import ServiceNotFoundError
+from repro.runtime.accelerator import Accelerator, Cloneable
+from repro.runtime.qpp_accelerator import QppAccelerator
+from repro.runtime.service_registry import (
+    ServiceRegistry,
+    get_accelerator,
+    get_registry,
+    get_service,
+    register_service,
+    reset_registry,
+)
+
+
+class _SharedService:
+    """A non-cloneable service, like the original XACC accelerator."""
+
+
+class _CloneableService(Cloneable):
+    """A cloneable service (the paper's fix)."""
+
+
+class TestRegistration:
+    def test_builtin_accelerators_registered(self):
+        registry = ServiceRegistry()
+        assert set(registry.registered_names("accelerator")) >= {"qpp", "noisy-qpp", "remote-qpp"}
+
+    def test_register_and_lookup_custom_service(self):
+        registry = ServiceRegistry()
+        registry.register("optimizer", "mine", _SharedService)
+        assert registry.has_service("optimizer", "mine")
+        assert isinstance(registry.get_service("optimizer", "mine"), _SharedService)
+
+    def test_lookup_is_case_insensitive(self):
+        registry = ServiceRegistry()
+        assert isinstance(registry.get_service("Accelerator", "QPP"), QppAccelerator)
+
+    def test_unknown_service_raises_with_known_names(self):
+        registry = ServiceRegistry()
+        with pytest.raises(ServiceNotFoundError) as excinfo:
+            registry.get_service("accelerator", "nope")
+        assert "qpp" in str(excinfo.value)
+
+    def test_module_level_registry_helpers(self):
+        reset_registry()
+        register_service("widget", "w", _SharedService)
+        assert isinstance(get_service("widget", "w"), _SharedService)
+        assert get_registry().has_service("widget", "w")
+
+
+class TestCloneableSemantics:
+    def test_cloneable_services_get_fresh_instances_in_thread_safe_mode(self):
+        registry = ServiceRegistry()
+        registry.register("thing", "c", _CloneableService)
+        first = registry.get_service("thing", "c")
+        second = registry.get_service("thing", "c")
+        assert first is not second
+
+    def test_non_cloneable_services_are_shared_singletons(self):
+        registry = ServiceRegistry()
+        registry.register("thing", "s", _SharedService)
+        assert registry.get_service("thing", "s") is registry.get_service("thing", "s")
+
+    def test_legacy_mode_shares_even_cloneable_services(self):
+        set_config(thread_safe=False)
+        registry = ServiceRegistry()
+        registry.register("thing", "c", _CloneableService)
+        assert registry.get_service("thing", "c") is registry.get_service("thing", "c")
+
+    def test_legacy_mode_lookups_are_recorded_as_unsafe(self):
+        set_config(thread_safe=False)
+        registry = ServiceRegistry()
+        registry.get_service("accelerator", "qpp")
+        assert get_race_detector().unsafe_entries.get("service_registry", 0) >= 1
+
+    def test_thread_safe_lookups_not_recorded(self):
+        registry = ServiceRegistry()
+        registry.get_service("accelerator", "qpp")
+        assert get_race_detector().unsafe_entries.get("service_registry", 0) == 0
+
+
+class TestGetAccelerator:
+    def test_default_accelerator_from_config(self):
+        accelerator = get_accelerator()
+        assert isinstance(accelerator, QppAccelerator)
+        assert accelerator.is_initialized
+
+    def test_options_forwarded(self):
+        accelerator = get_accelerator("qpp", {"threads": 3})
+        assert accelerator.num_threads == 3
+
+    def test_each_call_returns_new_instance_for_cloneable_backend(self):
+        assert get_accelerator("qpp") is not get_accelerator("qpp")
+
+    def test_non_accelerator_service_rejected(self):
+        registry = get_registry()
+        registry.register("accelerator", "fake", _SharedService)
+        with pytest.raises(ServiceNotFoundError):
+            get_accelerator("fake")
+
+    def test_accelerator_subclass_check(self):
+        assert isinstance(get_accelerator("noisy-qpp"), Accelerator)

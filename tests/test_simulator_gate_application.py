@@ -1,0 +1,147 @@
+"""Tests for the low-level gate-application kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.ir.gates import CCX, CPhase, CRZ, CX, CZ, H, RZ, Swap, X
+from repro.simulator.gate_application import (
+    apply_controlled_single_qubit,
+    apply_diagonal,
+    apply_gate,
+    apply_matrix,
+    apply_single_qubit,
+)
+from repro.simulator.unitary import embed_operator
+
+
+def random_state(n_qubits: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    state = rng.normal(size=1 << n_qubits) + 1j * rng.normal(size=1 << n_qubits)
+    return state / np.linalg.norm(state)
+
+
+class TestSingleQubit:
+    @pytest.mark.parametrize("target", [0, 1, 2])
+    def test_matches_dense_embedding(self, target):
+        state = random_state(3)
+        expected = embed_operator(H([0]).matrix(), [target], 3) @ state
+        result = apply_single_qubit(state.copy(), H([0]).matrix(), target)
+        assert np.allclose(result, expected)
+
+    def test_in_place_modification(self):
+        state = random_state(2)
+        out = apply_single_qubit(state, X([0]).matrix(), 0)
+        assert out is state
+
+    def test_norm_preserved(self):
+        state = random_state(4)
+        apply_single_qubit(state, H([0]).matrix(), 2)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ExecutionError):
+            apply_single_qubit(random_state(2), H([0]).matrix(), 5)
+
+    def test_invalid_matrix_shape_rejected(self):
+        with pytest.raises(ExecutionError):
+            apply_single_qubit(random_state(2), np.eye(4), 0)
+
+
+class TestControlledSingleQubit:
+    @pytest.mark.parametrize("control,target", [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2)])
+    def test_matches_dense_embedding(self, control, target):
+        state = random_state(3, seed=control * 10 + target)
+        expected = embed_operator(CX([0, 1]).matrix(), [control, target], 3) @ state
+        result = apply_controlled_single_qubit(state.copy(), X([0]).matrix(), control, target)
+        assert np.allclose(result, expected)
+
+    def test_control_zero_subspace_untouched(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0  # |q1=0, q0=0>
+        apply_controlled_single_qubit(state, X([0]).matrix(), 0, 1)
+        assert state[0] == pytest.approx(1.0)
+
+    def test_control_one_applies_payload(self):
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0  # q0 (control) = 1
+        apply_controlled_single_qubit(state, X([0]).matrix(), 0, 1)
+        assert state[3] == pytest.approx(1.0)
+
+    def test_duplicate_control_target_rejected(self):
+        with pytest.raises(ExecutionError):
+            apply_controlled_single_qubit(random_state(2), X([0]).matrix(), 1, 1)
+
+
+class TestDiagonalAndGeneral:
+    def test_diagonal_matches_dense(self):
+        state = random_state(3)
+        diag = np.exp(1j * np.array([0.1, 0.2, 0.3, 0.4]))
+        expected = embed_operator(np.diag(diag), [0, 2], 3) @ state
+        result = apply_diagonal(state.copy(), diag, [0, 2])
+        assert np.allclose(result, expected)
+
+    def test_diagonal_wrong_length_rejected(self):
+        with pytest.raises(ExecutionError):
+            apply_diagonal(random_state(2), np.ones(3), [0])
+
+    @pytest.mark.parametrize("targets", [(0, 1), (1, 0), (0, 2), (2, 1)])
+    def test_general_two_qubit_matches_dense(self, targets):
+        state = random_state(3, seed=7)
+        matrix = Swap([0, 1]).matrix()
+        expected = embed_operator(matrix, targets, 3) @ state
+        result = apply_matrix(state.copy(), matrix, targets)
+        assert np.allclose(result, expected)
+
+    def test_general_three_qubit_matches_dense(self):
+        state = random_state(4, seed=3)
+        matrix = CCX([0, 1, 2]).matrix()
+        targets = (3, 1, 0)
+        expected = embed_operator(matrix, targets, 4) @ state
+        result = apply_matrix(state.copy(), matrix, targets)
+        assert np.allclose(result, expected)
+
+    def test_matrix_shape_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            apply_matrix(random_state(2), np.eye(2), [0, 1])
+
+
+class TestApplyGateDispatch:
+    @pytest.mark.parametrize(
+        "instruction",
+        [
+            H([1]),
+            X([0]),
+            CX([0, 2]),
+            CZ([2, 1]),
+            CRZ([1, 0], [0.4]),
+            CPhase([0, 1], [0.7]),
+            RZ([2], [1.3]),
+            Swap([0, 2]),
+            CCX([0, 1, 2]),
+        ],
+        ids=lambda g: f"{g.name}{g.qubits}",
+    )
+    def test_dispatch_agrees_with_dense_embedding(self, instruction):
+        state = random_state(3, seed=11)
+        expected = embed_operator(instruction.matrix(), instruction.qubits, 3) @ state
+        result = apply_gate(state.copy(), instruction)
+        assert np.allclose(result, expected)
+
+    def test_measure_rejected(self):
+        from repro.ir.gates import Measure
+
+        with pytest.raises(ExecutionError):
+            apply_gate(random_state(1), Measure([0]))
+
+    def test_gate_sequence_matches_circuit_unitary(self):
+        from repro.ir.builder import CircuitBuilder
+        from repro.simulator.unitary import circuit_unitary
+
+        circuit = CircuitBuilder(3).h(0).cx(0, 1).t(1).ccx(0, 1, 2).rz(2, 0.3).swap(0, 2).build()
+        state = np.zeros(8, dtype=complex)
+        state[0] = 1.0
+        for instruction in circuit:
+            state = apply_gate(state, instruction)
+        expected = circuit_unitary(circuit)[:, 0]
+        assert np.allclose(state, expected, atol=1e-10)

@@ -1,0 +1,183 @@
+"""Tests for sampling, the density-matrix simulator and noise channels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError, NoiseModelError
+from repro.ir.builder import CircuitBuilder
+from repro.ir.gates import CX, H, X
+from repro.simulator.density import DensityMatrix
+from repro.simulator.noise import (
+    KrausChannel,
+    NoiseModel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    phase_flip_channel,
+)
+from repro.simulator.sampling import (
+    format_bitstring,
+    marginal_probabilities,
+    sample_counts,
+)
+from repro.simulator.statevector import StateVector
+
+
+class TestSampling:
+    def test_format_bitstring(self):
+        assert format_bitstring(0b101, (0, 1, 2)) == "101"
+        assert format_bitstring(0b101, (2, 0)) == "11"
+
+    def test_marginals_sum_to_one(self):
+        probs = np.full(8, 1 / 8)
+        marginals = marginal_probabilities(probs, (0, 2), 3)
+        assert sum(marginals.values()) == pytest.approx(1.0)
+        assert set(marginals) == {"00", "01", "10", "11"}
+
+    def test_marginals_of_correlated_state(self):
+        probs = np.zeros(4)
+        probs[0] = probs[3] = 0.5
+        marginals = marginal_probabilities(probs, (0,), 2)
+        assert marginals == pytest.approx({"0": 0.5, "1": 0.5})
+
+    def test_sample_counts_total_matches_shots(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        counts = sample_counts(probs, 1000, (0, 1), 2, np.random.default_rng(0))
+        assert sum(counts.values()) == 1000
+
+    def test_deterministic_distribution(self):
+        probs = np.zeros(4)
+        probs[2] = 1.0  # |q1=1, q0=0>
+        counts = sample_counts(probs, 50, (0, 1), 2, np.random.default_rng(0))
+        assert counts == {"01": 50}
+
+    def test_zero_shots_rejected(self):
+        with pytest.raises(ExecutionError):
+            sample_counts(np.array([1.0, 0.0]), 0, (0,), 1)
+
+    def test_no_measured_qubits_rejected(self):
+        with pytest.raises(ExecutionError):
+            sample_counts(np.array([1.0, 0.0]), 10, (), 1)
+
+    def test_reproducible_with_seeded_rng(self):
+        probs = np.full(4, 0.25)
+        a = sample_counts(probs, 100, (0, 1), 2, np.random.default_rng(42))
+        b = sample_counts(probs, 100, (0, 1), 2, np.random.default_rng(42))
+        assert a == b
+
+
+class TestDensityMatrix:
+    def test_initial_state_pure(self):
+        rho = DensityMatrix(2)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_unitary_evolution_matches_statevector(self):
+        circuit = CircuitBuilder(2).h(0).cx(0, 1).t(1).build()
+        rho = DensityMatrix(2)
+        rho.apply_circuit(circuit)
+        sv = StateVector(2)
+        sv.apply_circuit(circuit)
+        assert np.allclose(rho.probabilities(), sv.probabilities(), atol=1e-10)
+
+    def test_from_statevector(self):
+        sv = StateVector(1)
+        sv.apply(H([0]))
+        rho = DensityMatrix.from_statevector(sv)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.probabilities() == pytest.approx([0.5, 0.5])
+
+    def test_sampling(self):
+        rho = DensityMatrix(2)
+        rho.apply(H([0]))
+        rho.apply(CX([0, 1]))
+        counts = rho.sample(500, rng=np.random.default_rng(3))
+        assert set(counts) == {"00", "11"}
+
+    def test_expectation(self):
+        from repro.operators.pauli import Z
+
+        rho = DensityMatrix(1)
+        rho.apply(X([0]))
+        assert rho.expectation(Z(0)) == pytest.approx(-1.0)
+
+    def test_size_guard(self):
+        with pytest.raises(ExecutionError):
+            DensityMatrix(14)
+
+    def test_invalid_data_rejected(self):
+        with pytest.raises(ExecutionError):
+            DensityMatrix(1, data=np.array([[1.0, 0.0], [0.0, 1.0]]))  # trace 2
+
+
+class TestNoiseChannels:
+    @pytest.mark.parametrize(
+        "factory,p",
+        [
+            (depolarizing_channel, 0.1),
+            (bit_flip_channel, 0.2),
+            (phase_flip_channel, 0.3),
+            (amplitude_damping_channel, 0.25),
+        ],
+    )
+    def test_channels_are_trace_preserving(self, factory, p):
+        channel = factory(p)
+        total = sum(op.conj().T @ op for op in channel.kraus_operators)
+        assert np.allclose(total, np.eye(2), atol=1e-10)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(NoiseModelError):
+            depolarizing_channel(1.5)
+        with pytest.raises(NoiseModelError):
+            bit_flip_channel(-0.1)
+
+    def test_non_cptp_kraus_rejected(self):
+        with pytest.raises(NoiseModelError):
+            KrausChannel("bad", (np.eye(2) * 2,))
+
+    def test_bit_flip_flips_population(self):
+        rho = DensityMatrix(1)
+        rho.apply_channel(bit_flip_channel(0.3), [0])
+        assert rho.probabilities() == pytest.approx([0.7, 0.3])
+
+    def test_depolarizing_reduces_purity(self):
+        rho = DensityMatrix(1)
+        rho.apply(H([0]))
+        before = rho.purity()
+        rho.apply_channel(depolarizing_channel(0.2), [0])
+        assert rho.purity() < before
+
+    def test_amplitude_damping_decays_excited_state(self):
+        rho = DensityMatrix(1)
+        rho.apply(X([0]))
+        rho.apply_channel(amplitude_damping_channel(0.4), [0])
+        assert rho.probabilities() == pytest.approx([0.4, 0.6])
+
+
+class TestNoiseModel:
+    def test_default_channel_applied_per_gate(self):
+        model = NoiseModel(default_single_qubit=bit_flip_channel(0.5))
+        circuit = CircuitBuilder(1).x(0).build()
+        rho = DensityMatrix(1)
+        rho.apply_circuit(circuit, noise_model=model)
+        # X then 50% bit flip -> 50/50.
+        assert rho.probabilities() == pytest.approx([0.5, 0.5])
+
+    def test_per_gate_channel_overrides_default(self):
+        model = NoiseModel(default_single_qubit=bit_flip_channel(0.0))
+        model.add_channel("X", bit_flip_channel(1.0))
+        circuit = CircuitBuilder(1).x(0).build()
+        rho = DensityMatrix(1)
+        rho.apply_circuit(circuit, noise_model=model)
+        # X then a certain flip back -> ground state.
+        assert rho.probabilities() == pytest.approx([1.0, 0.0])
+
+    def test_single_qubit_channel_broadcast_over_two_qubit_gate(self):
+        model = NoiseModel(default_two_qubit=depolarizing_channel(0.1))
+        bound = model.channels_for(CX([0, 1]))
+        assert len(bound) == 2
+        assert {b.qubits for b in bound} == {(0,), (1,)}
+
+    def test_trivial_model(self):
+        assert NoiseModel().is_trivial
+        assert not NoiseModel(default_single_qubit=bit_flip_channel(0.1)).is_trivial

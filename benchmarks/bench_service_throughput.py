@@ -1,0 +1,159 @@
+"""Service benchmark — broker-with-cache vs naive per-thread execution.
+
+Measures what the :class:`repro.service.QuantumJobService` buys on repeated
+variational workloads (the dominant traffic shape: an optimiser or many
+tenants resubmitting the same ansatz): a warm result cache answers repeat
+jobs without touching a simulator, and batching coalesces concurrent
+identical submissions into one backend execution.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.qaoa import qaoa_circuit
+from repro.ir.builder import CircuitBuilder
+from repro.runtime.buffer import AcceleratorBuffer
+from repro.runtime.service_registry import get_accelerator
+from repro.service import QuantumJobService
+
+#: Repeat submissions per workload — the "optimiser loop" shape.
+REPEATS = 20
+
+
+def vqe_workload():
+    """A hardware-efficient VQE ansatz (8 qubits, 3 RY+CX layers)."""
+    n_qubits, layers = 8, 3
+    builder = CircuitBuilder(n_qubits, name="hwe_ansatz")
+    for layer in range(layers):
+        for qubit in range(n_qubits):
+            builder.ry(qubit, 0.3 + 0.1 * layer + 0.05 * qubit)
+        for qubit in range(n_qubits - 1):
+            builder.cx(qubit, qubit + 1)
+    for qubit in range(n_qubits):
+        builder.measure(qubit)
+    return builder.build(), 4096
+
+
+def qaoa_workload():
+    """One QAOA layer for MaxCut on an 8-node ring (8 qubits)."""
+    return qaoa_circuit(nx.cycle_graph(8), gammas=[0.8], betas=[0.4]), 2048
+
+
+WORKLOADS = {"vqe": vqe_workload, "qaoa": qaoa_workload}
+
+
+def naive_repeated_execution(circuit, shots, repeats: int = REPEATS) -> None:
+    """The pre-broker behaviour: every request re-simulates from scratch."""
+    qpu = get_accelerator("qpp")
+    for _ in range(repeats):
+        buffer = AcceleratorBuffer(max(circuit.n_qubits, 1))
+        qpu.execute(buffer, circuit, shots=shots)
+
+
+def broker_repeated_jobs(service, circuit, shots, repeats: int = REPEATS):
+    handles = [service.submit(circuit, shots=shots) for _ in range(repeats)]
+    return [handle.result(timeout=60) for handle in handles]
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def test_naive_repeated_execution(benchmark, workload):
+    """Baseline: one fresh simulation per repeated request."""
+    circuit, shots = WORKLOADS[workload]()
+    benchmark.pedantic(
+        naive_repeated_execution, args=(circuit, shots), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def test_broker_warm_cache_repeated_jobs(benchmark, workload):
+    """Broker with a warm cache: repeats are subsampled cache hits."""
+    circuit, shots = WORKLOADS[workload]()
+    with QuantumJobService(workers=4) as service:
+        service.submit(circuit, shots=shots).result(timeout=60)  # warm the cache
+        benchmark.pedantic(
+            broker_repeated_jobs, args=(service, circuit, shots), rounds=3, iterations=1
+        )
+        stats = service.metrics()
+    benchmark.extra_info["cache_hit_rate"] = stats.cache_hit_rate
+    benchmark.extra_info["executions"] = stats.executions
+    assert stats.executions == 1  # only the warming run ever hit the backend
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def test_warm_cache_is_at_least_5x_faster_than_naive(workload):
+    """Acceptance: broker+cache resolves repeated identical jobs ≥5× faster."""
+    circuit, shots = WORKLOADS[workload]()
+
+    started = time.perf_counter()
+    naive_repeated_execution(circuit, shots)
+    naive_seconds = time.perf_counter() - started
+
+    with QuantumJobService(workers=4) as service:
+        service.submit(circuit, shots=shots).result(timeout=60)
+        started = time.perf_counter()
+        results = broker_repeated_jobs(service, circuit, shots)
+        broker_seconds = time.perf_counter() - started
+
+    assert all(r.from_cache for r in results)
+    assert all(r.total_counts() == shots for r in results)
+    speedup = naive_seconds / broker_seconds
+    print(
+        f"\n[{workload}] naive {naive_seconds * 1e3:.1f} ms vs broker "
+        f"{broker_seconds * 1e3:.1f} ms for {REPEATS} repeats -> {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"warm-cache broker only {speedup:.1f}x faster than naive re-execution"
+    )
+
+
+def test_multiclient_throughput_broker_vs_naive(benchmark):
+    """16 client threads, each submitting the same QAOA job repeatedly.
+
+    The broker serves the flood with one execution plus cache hits and
+    coalescing; the report's extra_info records both wall clocks so the
+    comparison lands in the benchmark JSON.
+    """
+    circuit, shots = qaoa_workload()
+    n_clients = 16
+    per_client = 4
+
+    def hammer_broker():
+        with QuantumJobService(workers=4, max_pending=256) as service:
+            barrier = threading.Barrier(n_clients)
+
+            def client():
+                barrier.wait()
+                for _ in range(per_client):
+                    service.submit(circuit, shots=shots).result(timeout=60)
+
+            threads = [threading.Thread(target=client) for _ in range(n_clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return service.metrics()
+
+    metrics = benchmark.pedantic(hammer_broker, rounds=3, iterations=1)
+
+    started = time.perf_counter()
+    qpu = get_accelerator("qpp")
+    for _ in range(n_clients * per_client):
+        buffer = AcceleratorBuffer(circuit.n_qubits)
+        qpu.execute(buffer, circuit, shots=shots)
+    naive_seconds = time.perf_counter() - started
+
+    benchmark.extra_info["naive_seconds_same_traffic"] = naive_seconds
+    benchmark.extra_info["broker_executions"] = metrics.executions
+    benchmark.extra_info["broker_cache_hit_rate"] = metrics.cache_hit_rate
+    # 64 client jobs must collapse to a handful of backend executions.
+    assert metrics.completed == n_clients * per_client
+    assert metrics.executions <= 4

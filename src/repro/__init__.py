@@ -48,6 +48,7 @@ from .exceptions import (
     ExecutionError,
     AllocationError,
     ServiceNotFoundError,
+    ServiceOverloadedError,
     NotInitializedError,
     ThreadSafetyViolation,
     OptimizationError,
@@ -80,6 +81,15 @@ from .runtime import (
     get_accelerator,
     qreg,
 )
+from .service import (
+    QuantumJobService,
+    JobHandle,
+    JobPriority,
+    JobResult,
+    ResultCache,
+    MetricsSnapshot,
+    job_key,
+)
 
 __all__ = [
     "__version__",
@@ -98,6 +108,7 @@ __all__ = [
     "AllocationError",
     "ServiceNotFoundError",
     "NotInitializedError",
+    "ServiceOverloadedError",
     "ThreadSafetyViolation",
     "OptimizationError",
     # kernels and execution
@@ -144,4 +155,12 @@ __all__ = [
     "RemoteAccelerator",
     "get_accelerator",
     "qreg",
+    # job broker service
+    "QuantumJobService",
+    "JobHandle",
+    "JobPriority",
+    "JobResult",
+    "ResultCache",
+    "MetricsSnapshot",
+    "job_key",
 ]

@@ -79,4 +79,18 @@ __all__ = [
     "WorkflowResult",
     "WorkflowTask",
     "result_of",
+    "QuantumJobService",
+    "JobPriority",
 ]
+
+_SERVICE_EXPORTS = {"QuantumJobService", "JobPriority"}
+
+
+def __getattr__(name: str):
+    """Forward broker exports lazily — the service layer is built *on top of*
+    this package, so importing it eagerly here would invert the layering."""
+    if name in _SERVICE_EXPORTS:
+        from .. import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

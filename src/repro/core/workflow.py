@@ -195,13 +195,16 @@ class Workflow:
             # Launch every ready task whose resource still has capacity.
             for name in sorted(pending):
                 task = self._tasks[name]
-                if any(dep not in results for dep in task.depends_on):
-                    continue
+                # Failure propagation must precede the readiness check: a
+                # failed dependency never lands in `results`, so checking
+                # readiness first would leave its dependents pending forever.
                 if any(dep in failures for dep in task.depends_on):
                     pending.discard(name)
                     failures[name] = ExecutionError(
                         f"upstream dependency of {name!r} failed"
                     )
+                    continue
+                if any(dep not in results for dep in task.depends_on):
                     continue
                 limit = self.resource_limits.get(task.resource)
                 if limit is not None and resource_in_use.get(task.resource, 0) >= limit:

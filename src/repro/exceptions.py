@@ -78,6 +78,22 @@ class AcceleratorError(RuntimeLayerError):
     """Raised by accelerator backends for invalid configuration or state."""
 
 
+class ServiceOverloadedError(RuntimeLayerError):
+    """Raised when the job broker's bounded queue rejects a submission.
+
+    Carries the observed queue depth and the bound so callers implementing
+    client-side backoff can size their retry delay.
+    """
+
+    def __init__(self, depth: int, max_pending: int):
+        self.depth = depth
+        self.max_pending = max_pending
+        super().__init__(
+            f"job queue is full ({depth}/{max_pending} pending); "
+            "retry later or use submit() to block for a slot"
+        )
+
+
 class NotInitializedError(RuntimeLayerError):
     """Raised when a thread uses the runtime before calling ``initialize()``.
 

@@ -70,9 +70,11 @@ class ServiceRegistry:
         thread_safe = get_config().thread_safe
         factory = self._factories.get(key)
         if factory is None:
+            # The requested kind appears verbatim (lookups are
+            # case-insensitive, but the message must echo what was asked).
             raise ServiceNotFoundError(
                 f"no service {name!r} registered under kind {kind!r}; "
-                f"known: {self.registered_names(kind)}"
+                f"known {kind!r} services: {self.registered_names(kind)}"
             )
         if thread_safe:
             with self._lock:

@@ -1,0 +1,42 @@
+"""repro.service — a high-throughput quantum job broker.
+
+This subsystem layers a multi-tenant execution service on top of the
+thread-safe runtime the paper contributes.  Client threads submit circuit
+jobs to a :class:`QuantumJobService` and receive :class:`JobHandle` futures;
+a dispatcher pool of worker threads — each holding its own accelerator clone
+through the QPUManager — drains a bounded priority queue.  Identical jobs
+are deduplicated twice: concurrently-pending ones coalesce into a single
+backend execution (:mod:`repro.service.batching`), and repeated ones are
+served from a bounded LRU result cache with shot-count reconciliation
+(:mod:`repro.service.cache`).  :mod:`repro.service.metrics` exposes
+throughput, queue-depth, cache and latency counters.
+"""
+
+from .batching import BatchingJobQueue, PendingBatch
+from .broker import QuantumJobService
+from .cache import CachedResult, CacheStats, ResultCache, subsample_counts
+from .dispatcher import DispatcherPool
+from .job import JobHandle, JobPriority, JobResult, JobSpec
+from .keys import circuit_content_hash, config_fingerprint, job_key
+from .metrics import BackendLatency, MetricsSnapshot, ServiceMetrics
+
+__all__ = [
+    "QuantumJobService",
+    "JobHandle",
+    "JobPriority",
+    "JobResult",
+    "JobSpec",
+    "BatchingJobQueue",
+    "PendingBatch",
+    "DispatcherPool",
+    "ResultCache",
+    "CachedResult",
+    "CacheStats",
+    "subsample_counts",
+    "job_key",
+    "circuit_content_hash",
+    "config_fingerprint",
+    "ServiceMetrics",
+    "MetricsSnapshot",
+    "BackendLatency",
+]

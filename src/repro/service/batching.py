@@ -1,0 +1,179 @@
+"""Priority queue that coalesces identical pending jobs into batches.
+
+The broker's queue holds :class:`PendingBatch` objects, each the fusion of
+every not-yet-dispatched job with the same canonical key.  Submitting a job
+whose key matches a pending batch *attaches* to it instead of adding queue
+depth — one backend execution (at the largest requested shot count) will
+resolve all attached handles.  Once a worker claims a batch it stops
+accepting riders, so a result can never be published before a late rider
+attaches.
+
+Backpressure is expressed in client jobs (attached riders count): ``put``
+blocks until depth drops below the bound, ``put(block=False)`` raises
+:class:`~repro.exceptions.ServiceOverloadedError` immediately.  Priorities
+are served lowest-value-first; a high-priority rider promotes its whole
+batch (lazily — stale heap entries are skipped on pop).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from ..exceptions import ExecutionError, ServiceOverloadedError
+from .job import JobHandle, JobSpec
+
+__all__ = ["PendingBatch", "BatchingJobQueue"]
+
+
+class PendingBatch:
+    """All currently-pending jobs sharing one canonical key."""
+
+    def __init__(self, spec: JobSpec):
+        self.key = spec.key
+        #: Representative circuit/backend (identical across riders by key).
+        self.spec = spec
+        self.handles: list[JobHandle] = []
+        self.priority = spec.priority
+        self.claimed = False
+        #: Priority of this batch's newest (best) heap entry; entries filed
+        #: under a worse value are stale and skipped on pop.
+        self.pushed_priority = int(spec.priority)
+
+    def attach(self, handle: JobHandle) -> None:
+        self.handles.append(handle)
+        if handle.spec.priority < self.priority:
+            self.priority = handle.spec.priority
+
+    @property
+    def target_shots(self) -> int:
+        """Shots one execution must produce to satisfy every rider."""
+        return max(handle.shots for handle in self.handles)
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+
+class BatchingJobQueue:
+    """Bounded, priority-ordered, coalescing job queue."""
+
+    def __init__(self, max_pending: int = 64):
+        if max_pending < 1:
+            raise ExecutionError(f"max_pending must be at least 1, got {max_pending}")
+        self.max_pending = int(max_pending)
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._pending: dict[str, PendingBatch] = {}
+        self._heap: list[tuple[int, int, PendingBatch]] = []
+        self._tiebreak = itertools.count()
+        self._depth = 0  # client jobs awaiting dispatch (riders included)
+        self._closed = False
+
+    # -- producer side ------------------------------------------------------------
+    def put(
+        self, handle: JobHandle, block: bool = True, timeout: float | None = None
+    ) -> str:
+        """Enqueue ``handle``; returns ``"queued"`` or ``"coalesced"``.
+
+        Raises :class:`ServiceOverloadedError` when the queue is full and
+        ``block`` is false (or the timeout elapses), and
+        :class:`ExecutionError` after :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("job queue is closed; the service was shut down")
+            # Coalescing does not add depth, so riders bypass backpressure.
+            batch = self._pending.get(handle.key)
+            if batch is not None and not batch.claimed:
+                self._attach(batch, handle)
+                return "coalesced"
+            if self._depth >= self.max_pending:
+                if not block:
+                    raise ServiceOverloadedError(self._depth, self.max_pending)
+                deadline_ok = self._not_full.wait_for(
+                    lambda: self._closed or self._depth < self.max_pending,
+                    timeout=timeout,
+                )
+                if self._closed:
+                    raise ExecutionError("job queue is closed; the service was shut down")
+                if not deadline_ok:
+                    raise ServiceOverloadedError(self._depth, self.max_pending)
+                # Re-check for a batch that appeared while we waited.
+                batch = self._pending.get(handle.key)
+                if batch is not None and not batch.claimed:
+                    self._attach(batch, handle)
+                    return "coalesced"
+            batch = PendingBatch(handle.spec)
+            batch.attach(handle)
+            self._pending[handle.key] = batch
+            self._push(batch)
+            self._depth += 1
+            self._not_empty.notify()
+            return "queued"
+
+    def _attach(self, batch: PendingBatch, handle: JobHandle) -> None:
+        """Add a rider (lock held); re-file the batch if the rider promoted it.
+
+        Without the re-push, :meth:`_pop_live` would discard the batch's only
+        heap entry as stale (its filed priority no longer matches) and the
+        batch — riders, depth and all — would never dispatch.
+        """
+        batch.attach(handle)
+        if int(batch.priority) < batch.pushed_priority:
+            self._push(batch)
+        self._depth += 1
+
+    def _push(self, batch: PendingBatch) -> None:
+        batch.pushed_priority = int(batch.priority)
+        heapq.heappush(self._heap, (batch.pushed_priority, next(self._tiebreak), batch))
+
+    # -- consumer side ------------------------------------------------------------
+    def get(self, timeout: float | None = None) -> PendingBatch | None:
+        """Claim the highest-priority batch; ``None`` on close-and-drained/timeout."""
+        with self._lock:
+            while True:
+                batch = self._pop_live()
+                if batch is not None:
+                    batch.claimed = True
+                    del self._pending[batch.key]
+                    self._depth -= len(batch)
+                    self._not_full.notify_all()
+                    return batch
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    def _pop_live(self) -> PendingBatch | None:
+        while self._heap:
+            priority, _, batch = heapq.heappop(self._heap)
+            if batch.claimed or self._pending.get(batch.key) is not batch:
+                continue  # stale entry from a lazy promotion
+            if priority != int(batch.priority):
+                continue  # superseded by a promoted entry still in the heap
+            return batch
+        return None
+
+    # -- lifecycle / introspection ---------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting jobs and wake every waiter."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def depth(self) -> int:
+        """Client jobs currently awaiting dispatch (riders included)."""
+        with self._lock:
+            return self._depth
+
+    def pending_batches(self) -> int:
+        with self._lock:
+            return len(self._pending)

@@ -1,0 +1,352 @@
+"""QuantumJobService: the multi-tenant job broker over the thread-safe runtime.
+
+The broker turns the paper's thread-safe runtime (per-thread accelerator
+clones, locked registry and allocation) into an actual service: many client
+threads submit circuit-execution jobs and get futures back, while a fixed
+dispatcher pool drains a bounded priority queue.  Three mechanisms keep the
+backend work well below one execution per request:
+
+1. **Result cache** — jobs are keyed by a content hash of (circuit, backend,
+   config); a repeat submission is answered from the cache, subsampled down
+   to the requested shot count, without touching a simulator.  Requests for
+   *more* shots than cached trigger a top-up run of only the missing shots.
+2. **Batch coalescing** — identical jobs that are concurrently pending fuse
+   into one :class:`~repro.service.batching.PendingBatch`; a single backend
+   execution at the largest requested shot count resolves every rider.
+3. **Backpressure** — the queue bounds pending client jobs; ``submit``
+   blocks for a slot, ``try_submit`` returns ``None`` immediately (and the
+   rejection is counted in the metrics snapshot).
+
+Typical use::
+
+    with QuantumJobService(backend="qpp", workers=4) as service:
+        handles = [service.submit(circuit, shots=1024) for _ in range(16)]
+        histograms = [handle.counts() for handle in handles]
+        print(service.metrics().cache_hit_rate)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping
+
+import numpy as np
+
+from ..config import get_config
+from ..exceptions import (
+    ExecutionError,
+    ServiceNotFoundError,
+    ServiceOverloadedError,
+)
+from ..ir.composite import CompositeInstruction
+from ..runtime.accelerator import Accelerator
+from ..runtime.buffer import AcceleratorBuffer
+from .batching import BatchingJobQueue, PendingBatch
+from .cache import ResultCache, subsample_counts
+from .dispatcher import DispatcherPool
+from .job import JobHandle, JobPriority, JobResult, JobSpec
+from .keys import job_key
+from .metrics import MetricsSnapshot, ServiceMetrics
+
+__all__ = ["QuantumJobService"]
+
+
+class QuantumJobService:
+    """High-throughput broker dispatching quantum jobs to a worker pool."""
+
+    def __init__(
+        self,
+        backend: str | None = None,
+        workers: int = 4,
+        max_pending: int = 64,
+        cache_capacity: int = 256,
+        enable_cache: bool = True,
+        backend_options: Mapping[str, object] | None = None,
+        name: str = "job-broker",
+        auto_start: bool = True,
+    ):
+        self.name = name
+        #: When False, jobs queue up until an explicit :meth:`start` — useful
+        #: for deterministic batching tests and delayed-start deployments.
+        self.auto_start = auto_start
+        self.backend = (backend or get_config().default_accelerator).lower()
+        # Fail at construction, not in a worker thread where clients would
+        # only ever observe result() timeouts.
+        from ..runtime.service_registry import get_registry
+
+        if not get_registry().has_service("accelerator", self.backend):
+            raise ServiceNotFoundError(
+                f"no accelerator {self.backend!r} registered; "
+                f"known: {get_registry().registered_names('accelerator')}"
+            )
+        self.backend_options = dict(backend_options or {})
+        self._queue = BatchingJobQueue(max_pending=max_pending)
+        self._cache: ResultCache | None = (
+            ResultCache(cache_capacity) if enable_cache else None
+        )
+        self._metrics = ServiceMetrics()
+        self._pool = DispatcherPool(
+            self._queue,
+            self._process_batch,
+            workers=workers,
+            backend=self.backend,
+            backend_options=self.backend_options,
+            name=name,
+            on_init_failure=self._worker_init_failed,
+        )
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._shut_down = False
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> "QuantumJobService":
+        """Start the dispatcher pool (idempotent; ``submit`` also starts it)."""
+        with self._state_lock:
+            if self._shut_down:
+                raise ExecutionError(f"service {self.name!r} has been shut down")
+            if not self._started:
+                self._pool.start()
+                self._started = True
+        return self
+
+    def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting jobs; workers drain the queue, then exit."""
+        with self._state_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            started = self._started
+        self._queue.close()
+        if started:
+            if wait:
+                self._pool.join(timeout)
+        else:
+            # No worker ever ran (auto_start=False): jobs queued before this
+            # shutdown would otherwise strand their clients forever.
+            self._drain_and_fail(
+                ExecutionError(
+                    f"service {self.name!r} was shut down before its "
+                    "dispatcher pool started"
+                )
+            )
+
+    def __enter__(self) -> "QuantumJobService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- submission ----------------------------------------------------------------
+    def submit(
+        self,
+        circuit: CompositeInstruction,
+        shots: int | None = None,
+        priority: JobPriority = JobPriority.NORMAL,
+        timeout: float | None = None,
+    ) -> JobHandle:
+        """Submit a job, blocking while the queue is full.
+
+        Raises :class:`ServiceOverloadedError` only if ``timeout`` elapses
+        while waiting for a queue slot.
+        """
+        return self._submit(circuit, shots, priority, block=True, timeout=timeout)
+
+    def try_submit(
+        self,
+        circuit: CompositeInstruction,
+        shots: int | None = None,
+        priority: JobPriority = JobPriority.NORMAL,
+    ) -> JobHandle | None:
+        """Non-blocking submit: ``None`` when backpressure rejects the job."""
+        try:
+            return self._submit(circuit, shots, priority, block=False, timeout=None)
+        except ServiceOverloadedError:
+            return None
+
+    def _submit(
+        self,
+        circuit: CompositeInstruction,
+        shots: int | None,
+        priority: JobPriority,
+        block: bool,
+        timeout: float | None,
+    ) -> JobHandle:
+        if self._shut_down:
+            raise ExecutionError(f"service {self.name!r} has been shut down")
+        if circuit.is_parameterized:
+            raise ExecutionError(
+                f"circuit {circuit.name!r} has unbound parameters; bind before submitting"
+            )
+        if self.auto_start:
+            self.start()
+        resolved_shots = shots if shots is not None else get_config().shots
+        spec = JobSpec(
+            key=job_key(circuit, self.backend, self.backend_options),
+            circuit=circuit,
+            backend=self.backend,
+            shots=resolved_shots,
+            n_qubits=max(circuit.n_qubits, 1),
+            priority=JobPriority(priority),
+            options=self.backend_options,
+        )
+        handle = JobHandle(spec)
+        self._metrics.increment("submitted")
+
+        # Fast path: serve entirely from the cache, no queueing at all.
+        if self._cache is not None:
+            entry = self._cache.lookup(spec.key, spec.shots)
+            if entry is not None and entry.shots >= spec.shots:
+                counts = subsample_counts(entry.counts, spec.shots, self._rng())
+                handle._resolve(
+                    JobResult(
+                        counts=counts,
+                        shots=spec.shots,
+                        backend=entry.backend,
+                        key=spec.key,
+                        from_cache=True,
+                    )
+                )
+                self._metrics.increment("cache_hits")
+                self._metrics.increment("completed")
+                self._metrics.increment("served_shots", spec.shots)
+                return handle
+            # A partial entry stays put: the dispatcher tops it up with only
+            # the missing shots when the batch reaches a worker.
+
+        try:
+            outcome = self._queue.put(handle, block=block, timeout=timeout)
+        except ServiceOverloadedError:
+            self._metrics.increment("rejected")
+            raise
+        if outcome == "coalesced":
+            self._metrics.increment("coalesced")
+        return handle
+
+    # -- batch execution (runs on dispatcher threads) -------------------------------
+    def _process_batch(self, batch: PendingBatch, qpu: Accelerator) -> None:
+        spec = batch.spec
+        try:
+            target_shots = batch.target_shots
+            full_counts, execution_seconds, from_cache = self._counts_for(
+                spec, target_shots, qpu
+            )
+            if from_cache:
+                # Warmed between submit and dispatch (a racing worker or an
+                # earlier batch): these jobs did no backend work either, so
+                # they count as cache hits alongside the submit-time ones.
+                self._metrics.increment("cache_hits", len(batch))
+            total = sum(full_counts.values())
+            coalesced = len(batch) > 1
+            for handle in batch.handles:
+                counts = (
+                    subsample_counts(full_counts, handle.shots, self._rng())
+                    if handle.shots < total
+                    else dict(full_counts)
+                )
+                handle._resolve(
+                    JobResult(
+                        counts=counts,
+                        shots=handle.shots,
+                        backend=spec.backend,
+                        key=spec.key,
+                        from_cache=from_cache,
+                        coalesced=coalesced,
+                        execution_seconds=execution_seconds,
+                    )
+                )
+                self._metrics.increment("completed")
+                self._metrics.increment("served_shots", handle.shots)
+        except BaseException as exc:  # resolve every rider, never hang a client
+            for handle in batch.handles:
+                handle._fail(exc)
+            self._metrics.increment("failed", len(batch))
+
+    def _counts_for(
+        self, spec: JobSpec, target_shots: int, qpu: Accelerator
+    ) -> tuple[dict[str, int], float, bool]:
+        """Obtain a histogram with at least ``target_shots`` observations.
+
+        Serves from the cache when possible, otherwise executes only the
+        missing shots and merges them in.  Loops because the cache entry can
+        be *evicted between the peek and the merge* under churn — the merged
+        result is re-checked so a client can never receive a short
+        histogram.  Returns (counts, execution seconds, served-purely-from-
+        cache).
+        """
+        execution_seconds = 0.0
+        executed_any = False
+        while True:
+            entry = self._cache.peek(spec.key) if self._cache is not None else None
+            cached_shots = entry.shots if entry is not None else 0
+            if entry is not None and cached_shots >= target_shots:
+                return entry.counts, execution_seconds, not executed_any
+            missing = target_shots - cached_shots
+            buffer = AcceleratorBuffer(spec.n_qubits)
+            started = time.perf_counter()
+            qpu.execute(buffer, spec.circuit, shots=missing)
+            elapsed = time.perf_counter() - started
+            execution_seconds += elapsed
+            executed_any = True
+            self._metrics.increment("executions")
+            self._metrics.increment("executed_shots", missing)
+            self._metrics.observe_latency(spec.backend, elapsed)
+            fresh = buffer.get_measurement_counts()
+            if self._cache is None:
+                return fresh, execution_seconds, False
+            merged = self._cache.top_up(spec.key, fresh, spec.backend)
+            if merged.shots >= target_shots:
+                return merged.counts, execution_seconds, False
+            # The base entry vanished mid-merge; run the remainder.
+
+    def _worker_init_failed(self, error: BaseException) -> None:
+        """Dispatcher callback: a worker died in its ``initialize()`` call.
+
+        Once *every* worker is gone nothing will ever drain the queue, so
+        instead of letting clients block forever on their handles, close the
+        queue and fail every pending job with the initialization error.
+        """
+        if not self._pool.all_workers_failed_init():
+            return  # degraded but alive: the surviving workers keep serving
+        self._queue.close()
+        failure = ExecutionError(
+            f"service {self.name!r}: all dispatcher workers failed to "
+            f"initialize backend {self.backend!r}: {error}"
+        )
+        failure.__cause__ = error
+        self._drain_and_fail(failure)
+
+    def _drain_and_fail(self, failure: BaseException) -> None:
+        """Fail every batch still in the (closed) queue with ``failure``."""
+        while True:
+            batch = self._queue.get(timeout=0)
+            if batch is None:
+                return
+            for handle in batch.handles:
+                handle._fail(failure)
+            self._metrics.increment("failed", len(batch))
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(get_config().seed)
+
+    # -- introspection ----------------------------------------------------------------
+    def metrics(self) -> MetricsSnapshot:
+        """Consistent snapshot of throughput, queue, cache and latency stats."""
+        return self._metrics.snapshot(
+            queue_depth=self._queue.depth(),
+            active_workers=self._pool.alive_count(),
+            cache=self._cache.stats() if self._cache is not None else None,
+        )
+
+    @property
+    def cache(self) -> ResultCache | None:
+        return self._cache
+
+    def queue_depth(self) -> int:
+        return self._queue.depth()
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumJobService(name={self.name!r}, backend={self.backend!r}, "
+            f"workers={self._pool.size}, queue_depth={self._queue.depth()})"
+        )

@@ -1,0 +1,120 @@
+"""Job descriptions, priorities, results and the user-facing handle.
+
+A *job* is one client request: run this circuit on this backend with this
+many shots.  The broker may satisfy it without any backend execution (cache
+hit), by attaching it to an identical pending job (coalescing), or by
+dispatching a fresh execution; the :class:`JobResult` records which path was
+taken so benchmarks and tests can assert on the broker's behaviour, not just
+its outputs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..exceptions import ExecutionError
+from ..ir.composite import CompositeInstruction
+
+__all__ = ["JobPriority", "JobSpec", "JobResult", "JobHandle"]
+
+
+class JobPriority(enum.IntEnum):
+    """Scheduling priority; lower values are served first."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Immutable description of one submitted job."""
+
+    key: str
+    circuit: CompositeInstruction
+    backend: str
+    shots: int
+    n_qubits: int
+    priority: JobPriority = JobPriority.NORMAL
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.shots <= 0:
+            raise ExecutionError(f"shots must be positive, got {self.shots}")
+        if self.n_qubits < 1:
+            raise ExecutionError(f"jobs need at least 1 qubit, got {self.n_qubits}")
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job: the histogram plus how the broker produced it."""
+
+    #: Measurement histogram with exactly ``shots`` total observations.
+    counts: Mapping[str, int]
+    #: Number of shots the client asked for (and ``counts`` sums to).
+    shots: int
+    #: Backend that produced (or originally produced) the counts.
+    backend: str
+    #: Canonical job key the result was filed under.
+    key: str
+    #: True when no backend execution happened for this job at all.
+    from_cache: bool = False
+    #: True when this job shared a single backend execution with others.
+    coalesced: bool = False
+    #: Wall-clock seconds of the backend execution serving this job
+    #: (0.0 for pure cache hits).
+    execution_seconds: float = 0.0
+
+    def total_counts(self) -> int:
+        return sum(self.counts.values())
+
+
+class JobHandle:
+    """Future-like handle returned by :meth:`QuantumJobService.submit`."""
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self._future: "concurrent.futures.Future[JobResult]" = concurrent.futures.Future()
+
+    # -- metadata ---------------------------------------------------------------
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    @property
+    def shots(self) -> int:
+        return self.spec.shots
+
+    # -- future protocol -------------------------------------------------------
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block until the job resolves; raises the job's error if it failed."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        return self._future.exception(timeout)
+
+    def counts(self, timeout: float | None = None) -> dict[str, int]:
+        """Convenience: block and return just the histogram."""
+        return dict(self.result(timeout).counts)
+
+    def add_done_callback(self, fn) -> None:
+        self._future.add_done_callback(lambda _future: fn(self))
+
+    # -- resolution (broker-side) ------------------------------------------------
+    def _resolve(self, result: JobResult) -> None:
+        if not self._future.done():
+            self._future.set_result(result)
+
+    def _fail(self, error: BaseException) -> None:
+        if not self._future.done():
+            self._future.set_exception(error)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"JobHandle(key={self.key[:12]}…, shots={self.shots}, {state})"

@@ -1,0 +1,67 @@
+"""Canonical job keys: content hashes identifying equivalent executions.
+
+Two job submissions are *equivalent* — and may therefore share one cache
+entry or one batched backend execution — when they run the same circuit on
+the same backend under the same execution-relevant configuration.  The key
+deliberately excludes the requested shot count: a cached 4096-shot histogram
+can serve a 256-shot request by subsampling, and a 8192-shot request by a
+top-up run, so shots are reconciled per request rather than baked into the
+identity (see :mod:`repro.service.cache`).
+
+The circuit portion of the key is a hash over the canonical JSON form
+produced by :mod:`repro.ir.serialization`, with the circuit *name* removed:
+``bell`` and ``bell_copy`` containing identical instructions are the same
+work.  The configuration portion fingerprints the backend name plus whatever
+options the broker passes to the backend (noise model parameters, simulator
+thread count is excluded — it changes speed, not distributions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from ..ir.composite import CompositeInstruction
+from ..ir.serialization import circuit_to_dict
+
+__all__ = ["job_key", "circuit_content_hash", "config_fingerprint"]
+
+#: Backend options that do not affect measurement distributions and must not
+#: fragment the cache (they tune performance, not physics).
+_NON_SEMANTIC_OPTIONS = frozenset({"threads", "latency-seconds"})
+
+
+def _canonical_json(payload: object) -> str:
+    """Serialize ``payload`` deterministically (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def circuit_content_hash(circuit: CompositeInstruction) -> str:
+    """SHA-256 over the circuit's instructions and width, ignoring its name."""
+    payload = circuit_to_dict(circuit)
+    payload.pop("name", None)
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(
+    backend: str, options: Mapping[str, object] | None = None
+) -> str:
+    """Fingerprint of the execution environment a result depends on."""
+    semantic = {
+        key: value
+        for key, value in (options or {}).items()
+        if key not in _NON_SEMANTIC_OPTIONS
+    }
+    payload = {"backend": backend.lower(), "options": semantic}
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def job_key(
+    circuit: CompositeInstruction,
+    backend: str,
+    options: Mapping[str, object] | None = None,
+) -> str:
+    """Canonical key for (circuit content, backend, config) — shots excluded."""
+    combined = circuit_content_hash(circuit) + ":" + config_fingerprint(backend, options)
+    return hashlib.sha256(combined.encode("utf-8")).hexdigest()

@@ -1,0 +1,133 @@
+"""Broker metrics: counters, per-backend latency, and point-in-time snapshots.
+
+All mutation goes through one lock; :meth:`ServiceMetrics.snapshot` returns
+an immutable :class:`MetricsSnapshot` so monitoring code can read a
+consistent view without holding up the dispatch path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .cache import CacheStats
+
+__all__ = ["BackendLatency", "MetricsSnapshot", "ServiceMetrics"]
+
+
+@dataclass(frozen=True)
+class BackendLatency:
+    """Aggregate execution latency observed on one backend."""
+
+    executions: int
+    total_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.executions if self.executions else 0.0
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Consistent view of the broker's counters at one instant."""
+
+    #: Jobs accepted by submit/try_submit (including cache hits and riders).
+    submitted: int = 0
+    #: Jobs whose handle resolved successfully.
+    completed: int = 0
+    #: Jobs whose handle resolved with an error.
+    failed: int = 0
+    #: try_submit calls bounced by backpressure.
+    rejected: int = 0
+    #: Jobs that attached to an already-pending identical batch.
+    coalesced: int = 0
+    #: Jobs fully served from the result cache (no backend work at all).
+    cache_hits: int = 0
+    #: Backend executions dispatched (batches, including top-up runs).
+    executions: int = 0
+    #: Shots actually simulated on backends.
+    executed_shots: int = 0
+    #: Shots delivered to clients (≥ executed when the cache is earning its keep).
+    served_shots: int = 0
+    #: Client jobs awaiting dispatch at snapshot time.
+    queue_depth: int = 0
+    #: Dispatcher threads alive at snapshot time.
+    active_workers: int = 0
+    #: Seconds since the service started.
+    uptime_seconds: float = 0.0
+    #: Cache counter snapshot.
+    cache: CacheStats = field(default_factory=CacheStats)
+    #: Per-backend execution latency aggregates.
+    backend_latency: Mapping[str, BackendLatency] = field(default_factory=dict)
+
+    @property
+    def throughput_jobs_per_second(self) -> float:
+        return self.completed / self.uptime_seconds if self.uptime_seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of submitted jobs fully served from the cache.
+
+        Delegates to the per-lookup cache stats (every submit performs one
+        lookup), so coalesced riders count as the misses they are — mixing
+        per-job hits with per-*batch* executions would overstate the rate.
+        """
+        return self.cache.hit_rate
+
+
+class ServiceMetrics:
+    """Lock-protected mutable counters behind the snapshot API."""
+
+    _COUNTERS = (
+        "submitted",
+        "completed",
+        "failed",
+        "rejected",
+        "coalesced",
+        "cache_hits",
+        "executions",
+        "executed_shots",
+        "served_shots",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self._COUNTERS}
+        self._latency: dict[str, list[float]] = {}  # backend -> [executions, seconds]
+        self._started = time.monotonic()
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        if counter not in self._counts:
+            raise KeyError(f"unknown metrics counter {counter!r}")
+        with self._lock:
+            self._counts[counter] += amount
+
+    def observe_latency(self, backend: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self._latency.setdefault(backend, [0, 0.0])
+            bucket[0] += 1
+            bucket[1] += seconds
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        active_workers: int = 0,
+        cache: CacheStats | None = None,
+    ) -> MetricsSnapshot:
+        with self._lock:
+            counts = dict(self._counts)
+            latency = {
+                backend: BackendLatency(executions=int(n), total_seconds=seconds)
+                for backend, (n, seconds) in self._latency.items()
+            }
+            uptime = time.monotonic() - self._started
+        return MetricsSnapshot(
+            queue_depth=queue_depth,
+            active_workers=active_workers,
+            uptime_seconds=uptime,
+            cache=cache or CacheStats(),
+            backend_latency=latency,
+            **counts,
+        )

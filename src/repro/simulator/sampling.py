@@ -74,10 +74,17 @@ def sample_counts(
     marginals = marginal_probabilities(probabilities, qubits, n_qubits)
     keys = list(marginals.keys())
     probs = np.array([marginals[k] for k in keys], dtype=float)
+    # Float drift can push |amplitude|^2 a few ulp outside [0, 1] (or the
+    # total away from 1 after long gate sequences); multinomial rejects even
+    # one-ulp violations, so clip and renormalise unconditionally.
+    probs = np.clip(probs, 0.0, None)
     total = probs.sum()
-    if not np.isclose(total, 1.0, atol=1e-6):
-        # Guard against drift from long gate sequences; renormalise.
-        probs = probs / total
+    if total <= 0.0 or not np.isfinite(total):
+        raise ExecutionError(f"probability vector sums to {total}, cannot sample")
+    probs = probs / total
+    # Division can still leave sum(probs[:-1]) > 1 by an ulp; let the last
+    # bin absorb the residual exactly.
+    probs[-1] = max(0.0, 1.0 - probs[:-1].sum())
     draws = rng.multinomial(shots, probs)
     return {key: int(count) for key, count in zip(keys, draws) if count > 0}
 

@@ -18,6 +18,30 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+def pytest_configure(config):
+    """Register the ``slow`` marker used to keep tier-1 runs fast."""
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running integration/benchmark test; deselected by default, "
+        "run with `-m slow` (or `-m 'slow or not slow'` for everything)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow``-marked tests unless the user opted in via ``-m``.
+
+    Tier-1 (`pytest -x -q`) must finish fast; the full suite stays reachable
+    with ``-m slow`` without anyone having to remember a custom flag.
+    """
+    markexpr = config.getoption("markexpr", default="") or ""
+    if "slow" in markexpr:
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: run with -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 from repro.config import reset_config, set_config  # noqa: E402
 from repro.core.qpu_manager import QPUManager  # noqa: E402
 from repro.core.race_detector import reset_race_detector  # noqa: E402

@@ -14,7 +14,9 @@ from repro.algorithms.qft import qft_circuit
 from repro.algorithms.shor import period_finding_circuit
 from repro.compiler.parser import compile_xasm
 from repro.ir.builder import CircuitBuilder
+from repro.ir.parameter import Parameter
 from repro.ir.transforms import default_pass_manager
+from repro.simulator.execution_plan import compile_parametric_plan, compile_plan
 from repro.simulator.statevector import StateVector
 
 _BELL_SOURCE = """
@@ -64,6 +66,41 @@ def test_shor_period_finding_simulation(benchmark):
         return state.sample(10)
 
     benchmark(run)
+
+
+@pytest.mark.parametrize("n_qubits", [6, 10], ids=lambda n: f"{n}q")
+def test_qft_plan_replay(benchmark, n_qubits):
+    """QFT evolution through a pre-compiled execution plan (vs the naive
+    gate-by-gate numbers from test_qft_statevector_evolution)."""
+    plan = compile_plan(qft_circuit(n_qubits), n_qubits)
+
+    def run():
+        return plan.execute(plan.new_state())
+
+    benchmark(run)
+
+
+def test_parametric_ansatz_plan_rebind(benchmark):
+    """One optimiser iteration: re-bind the cached plan's rotations + replay."""
+    n_qubits, layers = 8, 3
+    builder = CircuitBuilder(n_qubits, name="hwe_ansatz")
+    names = []
+    for layer in range(layers):
+        for qubit in range(n_qubits):
+            name = f"t{layer}_{qubit}"
+            names.append(name)
+            builder.ry(qubit, Parameter(name))
+        for qubit in range(n_qubits - 1):
+            builder.cx(qubit, qubit + 1)
+    circuit = builder.build()
+    plan = compile_parametric_plan(circuit, n_qubits)
+    values = [0.1 * i for i in range(len(names))]
+
+    def iteration():
+        bound = plan.bind(values)
+        return bound.execute(bound.new_state())
+
+    benchmark(iteration)
 
 
 def test_xasm_compilation_throughput(benchmark):

@@ -209,16 +209,22 @@ def observe_expectation(
     if isinstance(observable, PauliTerm):
         observable = PauliOperator([observable])
     circuit = ansatz
-    if circuit.is_parameterized:
-        if parameters is None:
-            raise ExecutionError("ansatz has unbound parameters; provide values")
-        circuit = circuit.bind(parameters)
+    symbolic = circuit.is_parameterized
+    if symbolic and parameters is None:
+        raise ExecutionError("ansatz has unbound parameters; provide values")
     n_qubits = register_size or max(circuit.n_qubits, observable.n_qubits, 1)
 
     if exact:
+        # Compiled-plan fast path: for a symbolic ansatz the plan is cached
+        # against the *unbound* circuit and only its rotation matrices are
+        # re-bound per call — the VQE/QAOA optimiser hot loop.
+        body = circuit if circuit.n_measurements == 0 else circuit.without_measurements()
         state = StateVector(n_qubits)
-        state.apply_circuit(circuit.without_measurements())
+        state.run(body, parameter_values=parameters if symbolic else None)
         return state.expectation(observable)
+
+    if symbolic:
+        circuit = circuit.bind(parameters)
 
     qpu = get_qpu()
     energy = float(observable.constant.real)

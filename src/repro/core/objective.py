@@ -129,13 +129,27 @@ class ObjectiveFunction:
     # -- evaluation ------------------------------------------------------------------------
     def __call__(self, parameters: Sequence[float]) -> float:
         """Estimate the energy at ``parameters``."""
-        circuit = self.ansatz_circuit(parameters)
+        symbolic = self._ansatz_circuit is not None and self._ansatz_circuit.is_parameterized
+        if symbolic:
+            # Pass the *symbolic* ansatz down with its values: the exact
+            # path then reuses one cached parametric execution plan across
+            # every optimiser iteration instead of re-binding and
+            # re-dispatching the whole circuit per evaluation.
+            values = [float(p) for p in parameters]
+            if len(values) != self.n_parameters:
+                raise OptimizationError(
+                    f"expected {self.n_parameters} parameter(s), got {len(values)}"
+                )
+            circuit, values_arg = self._ansatz_circuit, values
+        else:
+            circuit, values_arg = self.ansatz_circuit(parameters), None
         self._record_evaluation()
         return observe_expectation(
             circuit,
             self.observable,
             register_size=self.register_size,
             shots=self.shots if self.shots is not None else get_config().shots,
+            parameters=values_arg,
             exact=self.exact,
         )
 

@@ -8,6 +8,7 @@ matrix-defined gates store their matrices as nested ``[real, imag]`` pairs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -24,6 +25,7 @@ __all__ = [
     "circuit_from_dict",
     "circuit_to_json",
     "circuit_from_json",
+    "circuit_content_hash",
     "instruction_to_dict",
     "instruction_from_dict",
 ]
@@ -114,3 +116,19 @@ def circuit_to_json(circuit: CompositeInstruction, **json_kwargs: Any) -> str:
 def circuit_from_json(text: str) -> CompositeInstruction:
     """Deserialize a circuit from a JSON string."""
     return circuit_from_dict(json.loads(text))
+
+
+def circuit_content_hash(circuit: CompositeInstruction, include_name: bool = False) -> str:
+    """SHA-256 over the circuit's canonical JSON form.
+
+    By default the circuit *name* is excluded: ``bell`` and ``bell_copy``
+    containing identical instructions are the same work.  This is the one
+    canonical content identity shared by the job broker's result cache
+    (:mod:`repro.service.keys`) and the simulator's execution-plan cache
+    (:mod:`repro.simulator.plan_cache`).
+    """
+    payload = circuit_to_dict(circuit)
+    if not include_name:
+        payload.pop("name", None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -332,10 +332,16 @@ class QuantumJobService:
     # -- introspection ----------------------------------------------------------------
     def metrics(self) -> MetricsSnapshot:
         """Consistent snapshot of throughput, queue, cache and latency stats."""
+        from ..simulator.plan_cache import get_plan_cache
+
         return self._metrics.snapshot(
             queue_depth=self._queue.depth(),
             active_workers=self._pool.alive_count(),
             cache=self._cache.stats() if self._cache is not None else None,
+            # The dispatcher's accelerator clones all consult the shared
+            # content-hash-keyed plan cache: repeat jobs (cache-missed or
+            # top-ups) skip circuit compilation entirely.
+            plan_cache=get_plan_cache().stats(),
         )
 
     @property

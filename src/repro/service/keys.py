@@ -23,7 +23,7 @@ import json
 from typing import Mapping
 
 from ..ir.composite import CompositeInstruction
-from ..ir.serialization import circuit_to_dict
+from ..ir.serialization import circuit_content_hash
 
 __all__ = ["job_key", "circuit_content_hash", "config_fingerprint"]
 
@@ -37,11 +37,9 @@ def _canonical_json(payload: object) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
 
 
-def circuit_content_hash(circuit: CompositeInstruction) -> str:
-    """SHA-256 over the circuit's instructions and width, ignoring its name."""
-    payload = circuit_to_dict(circuit)
-    payload.pop("name", None)
-    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+# circuit_content_hash is re-exported from repro.ir.serialization: the job
+# broker's result cache and the simulator's execution-plan cache must agree
+# on one content identity, so the canonical hash lives with the IR.
 
 
 def config_fingerprint(

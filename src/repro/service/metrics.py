@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..simulator.plan_cache import PlanCacheStats
 from .cache import CacheStats
 
 __all__ = ["BackendLatency", "MetricsSnapshot", "ServiceMetrics"]
@@ -59,6 +60,8 @@ class MetricsSnapshot:
     uptime_seconds: float = 0.0
     #: Cache counter snapshot.
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Execution-plan cache snapshot (compilation amortisation across jobs).
+    plan_cache: PlanCacheStats = field(default_factory=PlanCacheStats)
     #: Per-backend execution latency aggregates.
     backend_latency: Mapping[str, BackendLatency] = field(default_factory=dict)
 
@@ -115,6 +118,7 @@ class ServiceMetrics:
         queue_depth: int = 0,
         active_workers: int = 0,
         cache: CacheStats | None = None,
+        plan_cache: PlanCacheStats | None = None,
     ) -> MetricsSnapshot:
         with self._lock:
             counts = dict(self._counts)
@@ -128,6 +132,7 @@ class ServiceMetrics:
             active_workers=active_workers,
             uptime_seconds=uptime,
             cache=cache or CacheStats(),
+            plan_cache=plan_cache or PlanCacheStats(),
             backend_latency=latency,
             **counts,
         )

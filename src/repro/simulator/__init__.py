@@ -17,6 +17,10 @@ uses).  It provides:
 * :class:`SimulationCostModel` — an analytic cost model used by the
   ``modeled`` execution mode to regenerate the paper's figures
   deterministically.
+* :class:`ExecutionPlan` / :class:`PlanCache` — the compile-once /
+  execute-many pipeline: circuits are lowered to flat sequences of
+  specialised kernels, cached by content hash, and replayed without
+  per-gate Python dispatch (see :mod:`~repro.simulator.execution_plan`).
 """
 
 from .statevector import StateVector
@@ -33,9 +37,24 @@ from .noise import (
 from .unitary import circuit_unitary
 from .parallel_engine import ParallelSimulationEngine
 from .cost_model import SimulationCostModel, CircuitCost
+from .execution_plan import (
+    ExecutionPlan,
+    ParametricExecutionPlan,
+    compile_plan,
+    compile_parametric_plan,
+)
+from .plan_cache import PlanCache, PlanCacheStats, get_plan_cache, reset_plan_cache
 
 __all__ = [
     "StateVector",
+    "ExecutionPlan",
+    "ParametricExecutionPlan",
+    "compile_plan",
+    "compile_parametric_plan",
+    "PlanCache",
+    "PlanCacheStats",
+    "get_plan_cache",
+    "reset_plan_cache",
     "DensityMatrix",
     "sample_counts",
     "counts_from_statevector",

@@ -20,6 +20,8 @@ for the paper's workloads.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
@@ -88,6 +90,56 @@ def apply_controlled_single_qubit(
     return state
 
 
+#: Memoised ``local`` scatter-index maps for apply_diagonal, keyed by
+#: (state size, target tuple).  Rebuilding the index costs two full 2^n
+#: arrays per call; circuits like the QFT hit the same (size, targets)
+#: combinations over and over, so a small LRU amortises them.
+_LOCAL_INDEX_CACHE: "OrderedDict[tuple[int, tuple[int, ...]], np.ndarray]" = OrderedDict()
+_LOCAL_INDEX_CAPACITY = 64
+_LOCAL_INDEX_LOCK = threading.Lock()
+#: States above this size are never cached: 64 pinned int64 maps for a
+#: 24-qubit state would hold gigabytes, so large maps stay transient
+#: (exactly the pre-cache behaviour).
+_LOCAL_INDEX_MAX_SIZE = 1 << 20
+#: Cached ``arange`` bit-mask sources per state size (shared across targets).
+_INDICES_CACHE: "OrderedDict[int, np.ndarray]" = OrderedDict()
+_INDICES_CAPACITY = 8
+
+
+def _local_index_map(size: int, targets: tuple[int, ...]) -> np.ndarray:
+    """Read-only map from global basis index to the gate-local index."""
+    if size > _LOCAL_INDEX_MAX_SIZE:
+        indices = np.arange(size)
+        local = np.zeros(size, dtype=np.int64)
+        for bit, qubit in enumerate(targets):
+            local |= ((indices >> qubit) & 1) << bit
+        return local
+    key = (size, targets)
+    with _LOCAL_INDEX_LOCK:
+        local = _LOCAL_INDEX_CACHE.get(key)
+        if local is not None:
+            _LOCAL_INDEX_CACHE.move_to_end(key)
+            return local
+        indices = _INDICES_CACHE.get(size)
+        if indices is None:
+            indices = np.arange(size)
+            indices.setflags(write=False)
+            _INDICES_CACHE[size] = indices
+            while len(_INDICES_CACHE) > _INDICES_CAPACITY:
+                _INDICES_CACHE.popitem(last=False)
+        else:
+            _INDICES_CACHE.move_to_end(size)
+    local = np.zeros(size, dtype=np.int64)
+    for bit, qubit in enumerate(targets):
+        local |= ((indices >> qubit) & 1) << bit
+    local.setflags(write=False)
+    with _LOCAL_INDEX_LOCK:
+        _LOCAL_INDEX_CACHE[key] = local
+        while len(_LOCAL_INDEX_CACHE) > _LOCAL_INDEX_CAPACITY:
+            _LOCAL_INDEX_CACHE.popitem(last=False)
+    return local
+
+
 def apply_diagonal(state: np.ndarray, diagonal: np.ndarray, targets: Sequence[int]) -> np.ndarray:
     """Multiply amplitudes by a diagonal operator over ``targets``, in place."""
     n_qubits = state.size.bit_length() - 1
@@ -98,11 +150,7 @@ def apply_diagonal(state: np.ndarray, diagonal: np.ndarray, targets: Sequence[in
         raise ExecutionError(
             f"diagonal of length {diagonal.size} does not match {k} target qubit(s)"
         )
-    indices = np.arange(state.size)
-    local = np.zeros(state.size, dtype=np.int64)
-    for bit, qubit in enumerate(targets):
-        local |= ((indices >> qubit) & 1) << bit
-    state *= diagonal[local]
+    state *= diagonal[_local_index_map(state.size, targets)]
     return state
 
 

@@ -15,15 +15,20 @@ Python analogue used by :class:`repro.runtime.qpp_accelerator.QppAccelerator`:
   states; for small states the engine falls back to the serial kernel to
   avoid pool overhead.
 
+Trajectory workloads compile the circuit into one
+:class:`~repro.simulator.execution_plan.ExecutionPlan` and replay it per
+shot — the plan is immutable, so every worker shares it without copying.
+
 The engine is purely thread-local: each accelerator clone owns its own
 engine, so two kernels running on different user threads never contend on
 shared simulator state (the property the paper's QPUManager establishes).
+The worker pool is created lazily on first use and *reused* across calls;
+``close()`` (or using the engine as a context manager) tears it down.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -31,6 +36,7 @@ import numpy as np
 from ..config import get_config
 from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
+from .execution_plan import ExecutionPlan, compile_plan
 from .sampling import sample_counts
 from .statevector import StateVector
 
@@ -60,19 +66,63 @@ def merge_counts(histograms: Iterable[dict[str, int]]) -> dict[str, int]:
     return merged
 
 
-@dataclass
 class ParallelSimulationEngine:
     """Worker-pool wrapper for shot- and chunk-level simulator parallelism."""
 
-    #: Number of worker threads (the ``OMP_NUM_THREADS`` analogue).  ``None``
-    #: defers to the global configuration at call time.
-    num_threads: int | None = None
+    def __init__(self, num_threads: int | None = None):
+        #: Number of worker threads (the ``OMP_NUM_THREADS`` analogue).  ``None``
+        #: defers to the global configuration at call time.
+        self.num_threads = num_threads
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._pool_size = 0
 
     def effective_threads(self) -> int:
         threads = self.num_threads if self.num_threads is not None else get_config().omp_num_threads
         if threads <= 0:
             raise ExecutionError(f"num_threads must be positive, got {threads}")
         return threads
+
+    # -- pool lifecycle -----------------------------------------------------------
+    def _executor(self, workers: int) -> concurrent.futures.ThreadPoolExecutor:
+        """The engine's reusable pool, grown if ``workers`` exceeds its size.
+
+        Engines are thread-local by design, so the pool is never raced; it
+        is created lazily (and re-created after :meth:`close`).
+        """
+        pool = self._pool
+        if pool is None or self._pool_size < workers:
+            if pool is not None:
+                pool.shutdown(wait=False)
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="sim-engine"
+            )
+            self._pool = pool
+            self._pool_size = workers
+        return pool
+
+    def close(self, wait: bool = True) -> None:
+        """Tear the worker pool down (the engine stays usable: the next
+        parallel call lazily builds a fresh pool)."""
+        pool = self._pool
+        self._pool = None
+        self._pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ParallelSimulationEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return f"ParallelSimulationEngine(num_threads={self.num_threads})"
 
     # -- shot-level parallelism ---------------------------------------------------
     def sample_parallel(
@@ -107,8 +157,8 @@ class ParallelSimulationEngine:
                 probabilities, chunk, qubits, state.n_qubits, np.random.default_rng(seq)
             )
 
-        with concurrent.futures.ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-            results = list(pool.map(draw, zip(chunks, seeds)))
+        pool = self._executor(len(chunks))
+        results = list(pool.map(draw, zip(chunks, seeds)))
         return merge_counts(results)
 
     def run_trajectories(
@@ -118,15 +168,23 @@ class ParallelSimulationEngine:
         shots: int,
         seed: int | None = None,
         prepare: Callable[[], StateVector] | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> dict[str, int]:
         """Run ``shots`` independent trajectories (one full simulation each).
 
         Used when the circuit contains mid-circuit resets (which make a
-        single-state + multinomial sampling approach incorrect).  Trajectory
+        single-state + multinomial sampling approach incorrect).  The
+        circuit is compiled once into an execution plan (or use a
+        pre-compiled ``plan``) and replayed per trajectory; trajectory
         counts are split over the worker pool.
         """
         threads = self.effective_threads()
         measured = circuit.measured_qubits() or tuple(range(n_qubits))
+        if plan is None:
+            # Direct engine callers get the circuit as-is (no IR passes),
+            # matching the historical gate-by-gate behaviour bit for bit;
+            # the accelerator passes an optimised plan from the cache.
+            plan = compile_plan(circuit, n_qubits, optimize=False)
         chunks = split_shots(shots, threads)
         seeds = np.random.SeedSequence(seed).spawn(len(chunks))
 
@@ -134,28 +192,27 @@ class ParallelSimulationEngine:
             chunk, seq = chunk_and_seed
             rng = np.random.default_rng(seq)
             histogram: dict[str, int] = {}
+            data: np.ndarray | None = None
             for _ in range(chunk):
-                state = prepare() if prepare is not None else StateVector(n_qubits)
-                for instruction in circuit:
-                    if instruction.is_measurement:
-                        continue
-                    if instruction.name == "RESET":
-                        outcome = state.measure(instruction.qubits[0], rng)
-                        if outcome == 1:
-                            from ..ir.gates import X
-
-                            state.apply(X([instruction.qubits[0]]))
-                        continue
-                    state.apply(instruction)
-                sample = state.sample(1, measured, rng)
+                if prepare is not None:
+                    data = prepare().data.copy()
+                elif data is None:
+                    data = plan.new_state()
+                else:
+                    # Recycle the previous trajectory's buffer instead of
+                    # allocating a fresh 2^n array per shot.
+                    data.fill(0.0)
+                    data[0] = 1.0
+                data = plan.execute(data, rng=rng)
+                sample = sample_counts(np.abs(data) ** 2, 1, measured, n_qubits, rng)
                 for key, value in sample.items():
                     histogram[key] = histogram.get(key, 0) + value
             return histogram
 
         if len(chunks) == 1:
             return run_chunk((chunks[0], seeds[0]))
-        with concurrent.futures.ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-            results = list(pool.map(run_chunk, zip(chunks, seeds)))
+        pool = self._executor(len(chunks))
+        results = list(pool.map(run_chunk, zip(chunks, seeds)))
         return merge_counts(results)
 
     # -- chunk-level parallelism ----------------------------------------------------
@@ -189,6 +246,6 @@ class ParallelSimulationEngine:
             block[:, 1, :] = matrix[1, 0] * s0 + matrix[1, 1] * s1
 
         spans = list(zip(boundaries[:-1], boundaries[1:]))
-        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            list(pool.map(work, spans))
+        pool = self._executor(workers)
+        list(pool.map(work, spans))
         return state

@@ -36,12 +36,15 @@ def marginal_probabilities(
             f"probability vector of length {probabilities.size} does not match "
             f"{n_qubits} qubit(s)"
         )
-    indices = np.arange(probabilities.size)
-    reduced = np.zeros(probabilities.size, dtype=np.int64)
-    for position, qubit in enumerate(qubits):
+    for qubit in qubits:
         if not 0 <= qubit < n_qubits:
             raise ExecutionError(f"measured qubit {qubit} out of range")
-        reduced |= ((indices >> qubit) & 1) << position
+    # The reduced-index map only depends on (size, qubits); share the memoised
+    # map used by the diagonal gate kernel instead of rebuilding two full
+    # 2^n arrays per call (trajectory sampling hits this once per shot).
+    from .gate_application import _local_index_map
+
+    reduced = _local_index_map(probabilities.size, tuple(qubits))
     sums = np.bincount(reduced, weights=probabilities, minlength=1 << len(qubits))
     result: dict[str, float] = {}
     for local_index, p in enumerate(sums):

@@ -127,7 +127,7 @@ class StateVector:
         circuit: CompositeInstruction,
         parameter_values: Mapping[str, float] | Sequence[float] | None = None,
     ) -> "StateVector":
-        """Apply every instruction of ``circuit`` in order."""
+        """Apply every instruction of ``circuit`` in order (gate-by-gate)."""
         if circuit.n_qubits > self.n_qubits:
             raise ExecutionError(
                 f"circuit uses {circuit.n_qubits} qubit(s) but the state has "
@@ -142,6 +142,49 @@ class StateVector:
         for instruction in circuit:
             self.apply(instruction)
         return self
+
+    def apply_plan(self, plan, rng: np.random.Generator | None = None) -> "StateVector":
+        """Evolve by a compiled :class:`~repro.simulator.execution_plan.ExecutionPlan`.
+
+        ``rng`` is only needed for plans containing mid-circuit resets.
+        """
+        if plan.n_qubits != self.n_qubits:
+            raise ExecutionError(
+                f"plan is compiled for {plan.n_qubits} qubit(s) but the state "
+                f"has {self.n_qubits}"
+            )
+        self._data = plan.execute(self._data, rng=rng)
+        return self
+
+    def run(
+        self,
+        circuit: CompositeInstruction,
+        parameter_values: Mapping[str, float] | Sequence[float] | None = None,
+        plan_cache=None,
+        rng: np.random.Generator | None = None,
+    ) -> "StateVector":
+        """Apply ``circuit`` through the compiled-plan fast path.
+
+        The plan is compiled once per circuit content (via the shared plan
+        cache) and replayed on every subsequent call; symbolic circuits use
+        a parametric plan whose rotation matrices are re-bound in place per
+        ``parameter_values`` — the VQE/QAOA hot loop.
+        """
+        from .plan_cache import get_plan_cache
+
+        cache = plan_cache if plan_cache is not None else get_plan_cache()
+        plan = cache.get_or_compile(circuit, n_qubits=self.n_qubits)
+        if plan.is_parametric:
+            if parameter_values is None:
+                raise ExecutionError(
+                    "circuit has unbound parameters; provide parameter_values"
+                )
+            plan = plan.bind(parameter_values)
+        if rng is None and plan.has_reset:
+            # Mirror measure()'s default so mid-circuit resets keep working
+            # exactly as they did on the gate-by-gate path.
+            rng = np.random.default_rng()
+        return self.apply_plan(plan, rng=rng)
 
     def reset_qubit(self, qubit: int) -> "StateVector":
         """Project qubit ``qubit`` onto |0> (flipping if it measured 1) and renormalise."""

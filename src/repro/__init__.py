@@ -67,6 +67,13 @@ from .core.api import (
     observe_expectation,
 )
 from .core.threading_api import qcor_thread, qcor_async, TaskGroup
+from .exec import (
+    ExecutionBackend,
+    ExecutionResult,
+    LocalBackend,
+    ShardedExecutor,
+    get_sharded_executor,
+)
 from .core.qpu_manager import QPUManager
 from .core.objective import createObjectiveFunction, ObjectiveFunction
 from .core.optimizer import createOptimizer, Optimizer, OptimizerResult
@@ -129,6 +136,12 @@ __all__ = [
     "qcor_async",
     "TaskGroup",
     "QPUManager",
+    # execution backends
+    "ExecutionBackend",
+    "ExecutionResult",
+    "LocalBackend",
+    "ShardedExecutor",
+    "get_sharded_executor",
     # variational support
     "createObjectiveFunction",
     "ObjectiveFunction",

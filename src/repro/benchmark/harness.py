@@ -57,6 +57,11 @@ class BenchmarkHarness:
     cost_model: SimulationCostModel = field(default_factory=SimulationCostModel)
     contention: ContentionModel = field(default_factory=ContentionModel)
     backend: str | None = None
+    #: Cost modeled kernels from their *compiled plans* (kernel-class-aware
+    #: costing via :meth:`SimulationCostModel.plan_cost`) instead of the
+    #: historical per-gate estimate.  Opt-in: the calibrated Figures 3-5
+    #: constants assume per-gate costing.
+    use_plan_costs: bool = False
 
     def _resolve_mode(self) -> str:
         mode = self.mode if self.mode is not None else get_config().execution_mode
@@ -70,7 +75,13 @@ class BenchmarkHarness:
         for task in workload.tasks:
             circuit = task.build_circuit()
             shots = task.shots if task.shots is not None else get_config().shots
-            cost = self.cost_model.circuit_cost(circuit, shots)
+            if self.use_plan_costs:
+                from ..simulator.plan_cache import get_plan_cache
+
+                plan = get_plan_cache().get_or_compile(circuit)
+                cost = self.cost_model.plan_cost(plan, shots)
+            else:
+                cost = self.cost_model.circuit_cost(circuit, shots)
             tasks.append(
                 SimTask.from_cost(
                     task.name,

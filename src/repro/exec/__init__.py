@@ -1,0 +1,29 @@
+"""repro.exec — the unified execution-backend layer.
+
+One protocol (:class:`ExecutionBackend`) behind every execution path:
+
+* :class:`LocalBackend` — in-process plan replay (shared plan cache + the
+  thread-pool simulation engine); the default seam under the qpp
+  accelerator, ``core/executor`` and the job broker.
+* :class:`ShardedExecutor` — process-sharded plan replay: persistent
+  worker processes, circuits shipped by content hash + canonical JSON,
+  per-worker plan caches, hash-affine job routing, worker-death retry.
+* :class:`DensityBackend` — density-matrix evolution (the noisy
+  accelerator's seam).
+
+All of them return :class:`ExecutionResult`.
+"""
+
+from .backend import DensityBackend, ExecutionBackend, LocalBackend
+from .result import ExecutionResult
+from .sharded import ShardedExecutor, get_sharded_executor, shutdown_sharded_executors
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionResult",
+    "LocalBackend",
+    "DensityBackend",
+    "ShardedExecutor",
+    "get_sharded_executor",
+    "shutdown_sharded_executors",
+]

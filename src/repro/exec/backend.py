@@ -1,0 +1,273 @@
+"""The canonical execution seam: one protocol, every execution path.
+
+Before this layer existed the repo had five slightly different ways of
+turning a circuit into counts — ``StateVector.run``, the accelerator
+subclasses, :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`,
+``core/executor.py`` and the broker's dispatcher — each re-implementing
+plan lookup, seeding and sampling.  :class:`ExecutionBackend` is the single
+protocol they now share:
+
+* :meth:`ExecutionBackend.compile` lowers a circuit into a reusable
+  :class:`~repro.simulator.execution_plan.ExecutionPlan` (backends that do
+  not precompile, like the density path, return ``None``);
+* :meth:`ExecutionBackend.execute` turns ``(circuit, params, shots)`` into
+  an :class:`~repro.exec.result.ExecutionResult`;
+* :meth:`ExecutionBackend.expectation` evaluates an exact observable
+  expectation against the same compiled artefacts.
+
+:class:`LocalBackend` is the in-process implementation (and the default
+everywhere): shared plan cache + per-instance
+:class:`ParallelSimulationEngine`.  :class:`DensityBackend` wraps the
+density-matrix simulator behind the same protocol so the noisy accelerator
+is an adapter like the others.  The process-sharded implementation lives in
+:mod:`repro.exec.sharded`.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ExecutionError
+from ..ir.composite import CompositeInstruction
+from ..simulator.parallel_engine import ParallelSimulationEngine
+from ..simulator.plan_cache import PlanCache, get_plan_cache
+from ..simulator.statevector import StateVector
+from .result import ExecutionResult
+
+__all__ = ["ExecutionBackend", "LocalBackend", "DensityBackend"]
+
+#: Accepted parameter shapes for parametric execution.
+Params = Mapping[str, float] | Sequence[float] | None
+
+
+class ExecutionBackend(abc.ABC):
+    """Protocol shared by every execution path (local, sharded, density)."""
+
+    backend_name = "abstract"
+
+    def compile(
+        self,
+        circuit: CompositeInstruction,
+        n_qubits: int | None = None,
+        *,
+        optimize: bool = True,
+    ):
+        """Lower ``circuit`` into a reusable plan; ``None`` when the backend
+        executes directly (density-matrix evolution has no plan form)."""
+        return None
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        circuit: CompositeInstruction,
+        shots: int,
+        *,
+        n_qubits: int | None = None,
+        seed: int | None = None,
+        params: Params = None,
+        optimize: bool = True,
+    ) -> ExecutionResult:
+        """Run ``circuit`` for ``shots`` and return the reduced result."""
+
+    def expectation(
+        self,
+        circuit: CompositeInstruction,
+        observable,
+        *,
+        n_qubits: int | None = None,
+        params: Params = None,
+        optimize: bool = True,
+    ) -> float:
+        """Exact ``<circuit|observable|circuit>`` (no sampling noise)."""
+        raise ExecutionError(
+            f"backend {self.backend_name!r} does not support exact expectations"
+        )
+
+    def close(self, wait: bool = True) -> None:
+        """Release worker pools/processes; safe to call more than once."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _resolve_width(circuit: CompositeInstruction, n_qubits: int | None) -> int:
+    return max(circuit.n_qubits, 1 if n_qubits is None else int(n_qubits), 1)
+
+
+class LocalBackend(ExecutionBackend):
+    """In-process execution: shared plan cache + a worker-thread engine.
+
+    This is the seam the single-process paths sit on: the qpp accelerator,
+    ``core/executor.py`` and the broker's default dispatcher all reduce to
+    ``LocalBackend.execute``.  Fixed-seed results are the reference the
+    sharded backend must reproduce bit for bit.
+    """
+
+    backend_name = "local"
+
+    def __init__(
+        self,
+        engine: ParallelSimulationEngine | None = None,
+        plan_cache: PlanCache | None = None,
+    ):
+        self._engine = engine if engine is not None else ParallelSimulationEngine()
+        self._owns_engine = engine is None
+        self._plan_cache = plan_cache
+
+    @property
+    def engine(self) -> ParallelSimulationEngine:
+        return self._engine
+
+    def _cache(self) -> PlanCache:
+        return self._plan_cache if self._plan_cache is not None else get_plan_cache()
+
+    # -- protocol -----------------------------------------------------------------
+    def compile(
+        self,
+        circuit: CompositeInstruction,
+        n_qubits: int | None = None,
+        *,
+        optimize: bool = True,
+    ):
+        plan, _ = self._cache().lookup_or_compile(
+            circuit, _resolve_width(circuit, n_qubits), optimize=optimize
+        )
+        return plan
+
+    def execute(
+        self,
+        circuit: CompositeInstruction,
+        shots: int,
+        *,
+        n_qubits: int | None = None,
+        seed: int | None = None,
+        params: Params = None,
+        optimize: bool = True,
+    ) -> ExecutionResult:
+        width = _resolve_width(circuit, n_qubits)
+        # The timer covers the cache lookup so a plan-cache miss reports its
+        # compilation cost in `seconds` (matching the historical accelerator
+        # path); cached replays pay only the lookup.
+        started = time.perf_counter()
+        plan, cached = self._cache().lookup_or_compile(circuit, width, optimize=optimize)
+        if plan.is_parametric:
+            if params is None:
+                raise ExecutionError(
+                    f"circuit {circuit.name!r} has unbound parameters; provide params"
+                )
+            plan = plan.bind(params)
+        if plan.has_reset:
+            counts = self._engine.run_trajectories(
+                width, circuit, shots, seed=seed, plan=plan
+            )
+        else:
+            state = StateVector(width)
+            state.apply_plan(plan)
+            measured = plan.measured_qubits or tuple(range(width))
+            counts = self._engine.sample_parallel(state, shots, measured, seed=seed)
+        elapsed = time.perf_counter() - started
+        return ExecutionResult(
+            counts=counts,
+            shots=shots,
+            n_qubits=width,
+            backend=self.backend_name,
+            seconds=elapsed,
+            shards=1,
+            plan_cached=cached,
+            depth=plan.depth,
+            n_gates=plan.n_gates,
+        )
+
+    def expectation(
+        self,
+        circuit: CompositeInstruction,
+        observable,
+        *,
+        n_qubits: int | None = None,
+        params: Params = None,
+        optimize: bool = True,
+    ) -> float:
+        width = _resolve_width(circuit, n_qubits)
+        plan, _ = self._cache().lookup_or_compile(circuit, width, optimize=optimize)
+        if plan.is_parametric:
+            if params is None:
+                raise ExecutionError(
+                    f"circuit {circuit.name!r} has unbound parameters; provide params"
+                )
+            plan = plan.bind(params)
+        if plan.has_reset:
+            raise ExecutionError(
+                "exact expectations are undefined for circuits with mid-circuit resets"
+            )
+        state = StateVector(width)
+        state.apply_plan(plan)
+        return float(state.expectation(observable))
+
+    def close(self, wait: bool = True) -> None:
+        if self._owns_engine:
+            self._engine.close(wait=wait)
+
+    def __repr__(self) -> str:
+        return f"LocalBackend(engine={self._engine!r})"
+
+
+class DensityBackend(ExecutionBackend):
+    """Density-matrix execution behind the common protocol.
+
+    No plan form exists for (noisy) density evolution, so :meth:`compile`
+    returns ``None`` and :meth:`execute` evolves the matrix directly; the
+    noisy accelerator is a thin adapter over this class.
+    """
+
+    backend_name = "density"
+
+    def __init__(self, noise_model=None):
+        self.noise_model = noise_model
+
+    def execute(
+        self,
+        circuit: CompositeInstruction,
+        shots: int,
+        *,
+        n_qubits: int | None = None,
+        seed: int | None = None,
+        params: Params = None,
+        optimize: bool = True,
+    ) -> ExecutionResult:
+        from ..simulator.density import DensityMatrix
+
+        if params is not None:
+            circuit = circuit.bind(params)
+        elif circuit.is_parameterized:
+            raise ExecutionError(
+                f"circuit {circuit.name!r} has unbound parameters; provide params"
+            )
+        width = _resolve_width(circuit, n_qubits)
+        rng = np.random.default_rng(seed)
+        started = time.perf_counter()
+        rho = DensityMatrix(width)
+        rho.apply_circuit(circuit, noise_model=self.noise_model)
+        measured = circuit.measured_qubits() or tuple(range(width))
+        counts = rho.sample(shots, measured, rng)
+        elapsed = time.perf_counter() - started
+        return ExecutionResult(
+            counts=counts,
+            shots=shots,
+            n_qubits=width,
+            backend=self.backend_name,
+            seconds=elapsed,
+            shards=1,
+            depth=circuit.depth(),
+            n_gates=circuit.n_gates,
+            extra={"purity": rho.purity()},
+        )
+
+    def __repr__(self) -> str:
+        return f"DensityBackend(noise_model={self.noise_model!r})"

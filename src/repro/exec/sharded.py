@@ -1,0 +1,551 @@
+"""Process-sharded plan replay: execution that scales past the GIL.
+
+Every in-process execution path ultimately serialises Python dispatch
+behind the GIL, no matter how many threads the engine spins up.  The
+:class:`ShardedExecutor` is the process-level answer: ``N`` *shards*, each
+a persistent single-worker ``ProcessPoolExecutor``, with circuits shipped
+by **content hash + canonical JSON payload**
+(:mod:`repro.ir.serialization`).  Each worker process keeps its own
+bounded plan cache keyed by the parent-computed hash, so a circuit is
+compiled at most once per worker and replayed thereafter — the same
+compile-once/execute-many amortisation the in-process plan cache provides,
+multiplied across processes.
+
+Two dispatch modes cover the two traffic shapes:
+
+* **shot sharding** (``shard=None``): the shot budget is split across all
+  shards with :func:`~repro.simulator.parallel_engine.split_shots` and
+  per-shard seeds are spawned from one ``numpy.random.SeedSequence`` —
+  the *identical* chunk/seed derivation the in-process engine uses for its
+  worker threads, so fixed-seed counts are bit-identical to
+  ``ParallelSimulationEngine`` with ``num_threads == n_shards``;
+* **key affinity** (``shard=k`` or :meth:`execute_for_key`): the whole job
+  runs on one shard chosen by hashing the job key, so a worker's warm plan
+  cache keeps receiving the circuits it has already compiled.  A pinned
+  single-chunk run spawns ``SeedSequence(seed).spawn(1)`` exactly like the
+  single-threaded engine path, preserving bit-identity there too.
+
+Workers are expendable: a chunk whose worker dies (OOM-killed, ``SIGKILL``,
+crashed interpreter) is re-executed on a freshly respawned shard rather
+than failing the job.  ``close()`` is exception-safe and idempotent — no
+orphaned worker processes on error paths.
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures.process import BrokenProcessPool
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ExecutionError
+from ..ir.composite import CompositeInstruction
+from ..ir.serialization import circuit_from_json, circuit_to_json
+from ..simulator.execution_plan import compile_parametric_plan, compile_plan
+from ..simulator.parallel_engine import (
+    merge_counts,
+    replay_trajectory_chunk,
+    split_shots,
+)
+from ..simulator.plan_cache import cached_content_hash
+from ..simulator.sampling import sample_counts
+from .backend import ExecutionBackend, Params, _resolve_width
+from .result import ExecutionResult
+
+__all__ = [
+    "ShardedExecutor",
+    "get_sharded_executor",
+    "shutdown_sharded_executors",
+]
+
+
+# ---------------------------------------------------------------------------
+# Parent-side payload preparation
+# ---------------------------------------------------------------------------
+
+
+def _circuit_payload(circuit: CompositeInstruction) -> tuple[str, str]:
+    """``(canonical_json, content_hash)`` for ``circuit``, memoised on it.
+
+    The memo follows the same invalidation rule as
+    :func:`~repro.simulator.plan_cache.cached_content_hash`: it is keyed by
+    the instruction count, the only thing ``CompositeInstruction.add`` can
+    change.
+    """
+    n = circuit.n_instructions
+    memo = circuit.__dict__.get("_exec_payload")
+    if memo is not None and memo[0] == n:
+        return memo[1], memo[2]
+    payload = circuit_to_json(circuit)
+    digest = cached_content_hash(circuit)
+    circuit.__dict__["_exec_payload"] = (n, payload, digest)
+    return payload, digest
+
+
+# ---------------------------------------------------------------------------
+# Worker-side code (runs inside shard processes; must stay module level so
+# it is picklable by reference)
+# ---------------------------------------------------------------------------
+
+#: Per-process plan cache: (content_hash, width, optimize) -> compiled plan.
+_WORKER_PLANS: "OrderedDict[tuple, object]" = OrderedDict()
+_WORKER_PLAN_CAPACITY = 128
+
+
+def _worker_plan(payload: str, digest: str, width: int, optimize: bool):
+    """Compile-once lookup inside a worker process."""
+    key = (digest, width, optimize)
+    plan = _WORKER_PLANS.get(key)
+    if plan is not None:
+        _WORKER_PLANS.move_to_end(key)
+        return plan, True
+    circuit = circuit_from_json(payload)
+    if circuit.is_parameterized:
+        plan = compile_parametric_plan(circuit, width, optimize=optimize)
+    else:
+        plan = compile_plan(circuit, width, optimize=optimize)
+    _WORKER_PLANS[key] = plan
+    while len(_WORKER_PLANS) > _WORKER_PLAN_CAPACITY:
+        _WORKER_PLANS.popitem(last=False)
+    return plan, False
+
+
+def _replay_chunk(
+    payload: str,
+    digest: str,
+    width: int,
+    optimize: bool,
+    shots: int,
+    seed_seq: np.random.SeedSequence,
+    params: Params = None,
+    trajectories: bool = False,
+) -> tuple[dict[str, int], int, int, bool]:
+    """Execute one shard chunk; returns (counts, depth, n_gates, plan_cached).
+
+    Mirrors the in-process paths operation for operation so fixed-seed
+    results reduce bit-identically: non-reset circuits replay the plan once
+    and multinomial-sample the chunk from one RNG stream
+    (:meth:`ParallelSimulationEngine.sample_parallel`'s per-chunk body);
+    reset circuits run one trajectory per shot with the chunk RNG shared
+    between collapses and sampling (:meth:`run_trajectories`'s chunk body).
+    """
+    plan, cached = _worker_plan(payload, digest, width, optimize)
+    if plan.is_parametric:
+        plan = plan.bind(params if params is not None else ())
+    measured = plan.measured_qubits or tuple(range(width))
+    rng = np.random.default_rng(seed_seq)
+    if plan.has_reset or trajectories:
+        counts = replay_trajectory_chunk(plan, shots, rng, measured, width)
+    else:
+        data = plan.execute(plan.new_state())
+        counts = sample_counts(np.abs(data) ** 2, shots, measured, width, rng)
+    return counts, plan.depth, plan.n_gates, cached
+
+
+def _chunk_expectation(
+    payload: str,
+    digest: str,
+    width: int,
+    optimize: bool,
+    params: Params,
+    observable,
+) -> float:
+    """Exact expectation evaluated inside a worker (plan replay + <O>)."""
+    from ..simulator.statevector import StateVector
+
+    plan, _ = _worker_plan(payload, digest, width, optimize)
+    if plan.is_parametric:
+        plan = plan.bind(params if params is not None else ())
+    if plan.has_reset:
+        raise ExecutionError(
+            "exact expectations are undefined for circuits with mid-circuit resets"
+        )
+    state = StateVector(width, data=plan.execute(plan.new_state()))
+    return float(state.expectation(observable))
+
+
+def _warm_worker_plan(payload: str, digest: str, width: int, optimize: bool) -> bool:
+    """Compile into the worker's plan cache; returns whether it was warm.
+
+    (Plans hold thread-local scratch state and never cross the process
+    boundary — only this flag does.)
+    """
+    _, cached = _worker_plan(payload, digest, width, optimize)
+    return cached
+
+
+def _worker_pid() -> int:
+    import os
+
+    return os.getpid()
+
+
+def _worker_plan_cache_size() -> int:
+    return len(_WORKER_PLANS)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class ShardedExecutor(ExecutionBackend):
+    """Plan replay farmed out to ``processes`` persistent worker processes."""
+
+    backend_name = "sharded"
+
+    def __init__(
+        self,
+        processes: int = 2,
+        *,
+        name: str = "exec-shard",
+        max_retries: int = 1,
+        warm_start: bool = True,
+    ):
+        if processes < 1:
+            raise ExecutionError(f"processes must be at least 1, got {processes}")
+        if max_retries < 0:
+            raise ExecutionError(f"max_retries must be non-negative, got {max_retries}")
+        self.processes = int(processes)
+        self.name = name
+        self.max_retries = int(max_retries)
+        self._lock = threading.Lock()
+        self._pools: list[concurrent.futures.ProcessPoolExecutor | None] = [
+            None for _ in range(self.processes)
+        ]
+        self._closed = False
+        self._retries = 0
+        if warm_start:
+            # Fork every shard up front (ideally from the constructing
+            # thread, before dispatcher threads and their locks exist) so
+            # no later submit pays — or risks — a mid-traffic fork.
+            for index in range(self.processes):
+                self._pool(index)
+            self.shard_pids()
+
+    # -- pool lifecycle -----------------------------------------------------------
+    def _pool(self, index: int) -> concurrent.futures.ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise ExecutionError(f"sharded executor {self.name!r} is closed")
+            pool = self._pools[index]
+            if pool is None:
+                pool = concurrent.futures.ProcessPoolExecutor(max_workers=1)
+                self._pools[index] = pool
+            return pool
+
+    def _replace_pool(
+        self, index: int, broken: concurrent.futures.ProcessPoolExecutor
+    ) -> None:
+        """Retire a broken shard pool; the next `_pool` respawns the shard."""
+        with self._lock:
+            if self._pools[index] is broken:
+                self._pools[index] = None
+            self._retries += 1
+        try:
+            broken.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def close(self, wait: bool = True) -> None:
+        """Shut every shard down.  Exception-safe and idempotent: a pool
+        whose shutdown raises never prevents the remaining shards from
+        being released, so no worker process is orphaned on error paths."""
+        with self._lock:
+            self._closed = True
+            pools, self._pools = self._pools, [None for _ in range(self.processes)]
+        for pool in pools:
+            if pool is None:
+                continue
+            try:
+                pool.shutdown(wait=wait)
+            except Exception:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
+
+    # -- shard routing ------------------------------------------------------------
+    def shard_for(self, key: str) -> int:
+        """Stable shard index for a job/content key (hash affinity).
+
+        Keys are the hex digests produced by :func:`repro.service.keys.job_key`
+        / :func:`circuit_content_hash`; non-hex keys fall back to Python's
+        string hash (stable within a process, which is all affinity needs).
+        """
+        try:
+            value = int(key[:16], 16)
+        except (ValueError, TypeError):
+            value = hash(key)
+        return value % self.processes
+
+    def shard_pids(self) -> list[int]:
+        """PID of each shard's worker process (spawning idle shards)."""
+        futures = [self._pool(i).submit(_worker_pid) for i in range(self.processes)]
+        return [future.result() for future in futures]
+
+    def worker_plan_cache_sizes(self) -> list[int]:
+        """Compiled plans held by each shard's worker (observability)."""
+        futures = [
+            self._pool(i).submit(_worker_plan_cache_size)
+            for i in range(self.processes)
+        ]
+        return [future.result() for future in futures]
+
+    # -- submission with worker-failure retry ------------------------------------
+    def _run_on_shard(self, index: int, fn, /, *args):
+        """Run ``fn(*args)`` on shard ``index``, respawning it on worker death."""
+        attempts = 0
+        while True:
+            pool = self._pool(index)
+            try:
+                return pool.submit(fn, *args).result()
+            except (BrokenProcessPool, EOFError, OSError) as exc:
+                self._replace_pool(index, pool)
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise ExecutionError(
+                        f"shard {index} of {self.name!r} failed {attempts} time(s): {exc}"
+                    ) from exc
+
+    # -- protocol -----------------------------------------------------------------
+    def compile(
+        self,
+        circuit: CompositeInstruction,
+        n_qubits: int | None = None,
+        *,
+        optimize: bool = True,
+    ):
+        """Warm the affine shard's plan cache; returns the parent-side plan.
+
+        The returned plan comes from the shared in-process cache (plans
+        cannot cross process boundaries); as a side effect the shard that
+        will execute this circuit compiles it too, so the first `execute`
+        replays instead of compiling.
+        """
+        payload, digest = _circuit_payload(circuit)
+        width = _resolve_width(circuit, n_qubits)
+        shard = self.shard_for(digest)
+        self._run_on_shard(shard, _warm_worker_plan, payload, digest, width, optimize)
+        from ..simulator.plan_cache import get_plan_cache
+
+        plan, _ = get_plan_cache().lookup_or_compile(circuit, width, optimize=optimize)
+        return plan
+
+    def execute(
+        self,
+        circuit: CompositeInstruction,
+        shots: int,
+        *,
+        n_qubits: int | None = None,
+        seed: int | None = None,
+        params: Params = None,
+        optimize: bool = True,
+        shard: int | None = None,
+        trajectories: bool = False,
+    ) -> ExecutionResult:
+        """Run ``circuit`` across the shards (or pinned to one).
+
+        ``shard=None`` splits the shots over every shard; ``shard=k`` runs
+        the whole job on shard ``k`` (the broker's key-affinity mode).
+        Shot sharding replicates the *state evolution* on every shard (each
+        worker replays the plan once) and shards only the shot work, so it
+        pays off when shots/trajectories dominate — trajectory workloads,
+        high shot counts, small-to-mid states.  For deep circuits at low
+        shot counts prefer key affinity, which evolves once on one shard;
+        evolving one large state cooperatively across shards needs shared
+        memory and is a ROADMAP follow-up.
+        ``trajectories=True`` forces one-simulation-per-shot replay even
+        without mid-circuit resets (matching the engine's trajectory path
+        RNG-draw for RNG-draw).  Results reduce deterministically: chunks
+        are merged in shard order and the per-chunk seeds derive from
+        ``SeedSequence(seed)`` exactly as the in-process engine derives its
+        per-thread streams.
+        """
+        if circuit.is_parameterized and params is None:
+            raise ExecutionError(
+                f"circuit {circuit.name!r} has unbound parameters; provide params"
+            )
+        payload, digest = _circuit_payload(circuit)
+        width = _resolve_width(circuit, n_qubits)
+        if shard is None:
+            chunks = split_shots(shots, self.processes)
+            indices = list(range(len(chunks)))
+        else:
+            if not 0 <= shard < self.processes:
+                raise ExecutionError(
+                    f"shard {shard} out of range for {self.processes} shard(s)"
+                )
+            chunks = [shots]
+            indices = [shard]
+        seeds = np.random.SeedSequence(seed).spawn(len(chunks))
+        retries_before = self._retries
+
+        started = time.perf_counter()
+        if len(chunks) == 1:
+            outcomes = [
+                self._run_on_shard(
+                    indices[0],
+                    _replay_chunk,
+                    payload, digest, width, optimize, chunks[0], seeds[0], params,
+                    trajectories,
+                )
+            ]
+        else:
+            outcomes = self._gather(
+                [
+                    (index, (payload, digest, width, optimize, chunk, seq, params, trajectories))
+                    for index, chunk, seq in zip(indices, chunks, seeds)
+                ]
+            )
+        elapsed = time.perf_counter() - started
+
+        counts = merge_counts(outcome[0] for outcome in outcomes)
+        depth, n_gates = outcomes[0][1], outcomes[0][2]
+        plan_cached = all(outcome[3] for outcome in outcomes)
+        return ExecutionResult(
+            counts=counts,
+            shots=shots,
+            n_qubits=width,
+            backend=self.backend_name,
+            seconds=elapsed,
+            shards=len(chunks),
+            plan_cached=plan_cached,
+            depth=depth,
+            n_gates=n_gates,
+            retries=self._retries - retries_before,
+        )
+
+    def _gather(self, jobs: list[tuple[int, tuple]]) -> list[tuple]:
+        """Run chunk jobs concurrently across shards, retrying dead workers.
+
+        All chunks are submitted before any result is awaited so shards
+        genuinely overlap.  Both failure points route into the retry path:
+        ``submit`` itself raising (another thread's chunk already broke the
+        pool) and the awaited result raising (this chunk's worker died).
+        Retried chunks re-run synchronously on their respawned shard.
+        """
+        entries: list[tuple[int, tuple, object, object]] = []
+        for index, args in jobs:
+            pool = self._pool(index)
+            try:
+                entries.append((index, args, pool, pool.submit(_replay_chunk, *args)))
+            except (BrokenProcessPool, EOFError, OSError):
+                self._replace_pool(index, pool)
+                entries.append((index, args, None, None))
+        outcomes = []
+        for index, args, pool, future in entries:
+            if future is None:
+                outcomes.append(self._run_on_shard(index, _replay_chunk, *args))
+                continue
+            try:
+                outcomes.append(future.result())
+            except (BrokenProcessPool, EOFError, OSError):
+                self._replace_pool(index, pool)
+                outcomes.append(self._run_on_shard(index, _replay_chunk, *args))
+        return outcomes
+
+    def execute_for_key(
+        self,
+        key: str,
+        circuit: CompositeInstruction,
+        shots: int,
+        *,
+        n_qubits: int | None = None,
+        seed: int | None = None,
+        params: Params = None,
+        optimize: bool = True,
+    ) -> ExecutionResult:
+        """Affinity mode: the shard owning ``key`` runs the whole job, so
+        its warm plan cache keeps getting the circuits it already compiled."""
+        return self.execute(
+            circuit,
+            shots,
+            n_qubits=n_qubits,
+            seed=seed,
+            params=params,
+            optimize=optimize,
+            shard=self.shard_for(key),
+        )
+
+    def expectation(
+        self,
+        circuit: CompositeInstruction,
+        observable,
+        *,
+        n_qubits: int | None = None,
+        params: Params = None,
+        optimize: bool = True,
+    ) -> float:
+        payload, digest = _circuit_payload(circuit)
+        width = _resolve_width(circuit, n_qubits)
+        shard = self.shard_for(digest)
+        return self._run_on_shard(
+            shard, _chunk_expectation, payload, digest, width, optimize, params, observable
+        )
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def total_retries(self) -> int:
+        """Chunks re-executed after worker deaths over this executor's life."""
+        with self._lock:
+            return self._retries
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedExecutor(name={self.name!r}, processes={self.processes}, "
+            f"closed={self.closed})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide shared executors (accelerator `processes` option)
+# ---------------------------------------------------------------------------
+
+_shared_executors: dict[int, ShardedExecutor] = {}
+_shared_lock = threading.Lock()
+
+
+def get_sharded_executor(processes: int) -> ShardedExecutor:
+    """The process-wide executor with ``processes`` shards (created once).
+
+    Shared so that every accelerator clone asking for the same shard count
+    reuses one set of worker processes — and their warm plan caches —
+    instead of forking per clone.
+    """
+    if processes < 1:
+        raise ExecutionError(f"processes must be at least 1, got {processes}")
+    with _shared_lock:
+        executor = _shared_executors.get(processes)
+        if executor is None or executor.closed:
+            executor = ShardedExecutor(processes, name=f"shared-{processes}")
+            _shared_executors[processes] = executor
+        return executor
+
+
+def shutdown_sharded_executors(wait: bool = True) -> None:
+    """Close every shared executor (tests, interpreter exit)."""
+    with _shared_lock:
+        executors = list(_shared_executors.values())
+        _shared_executors.clear()
+    for executor in executors:
+        try:
+            executor.close(wait=wait)
+        except Exception:
+            pass
+
+
+atexit.register(shutdown_sharded_executors, False)

@@ -4,20 +4,20 @@ The paper lists noisy simulation and physical back ends as future targets for
 the multi-threaded runtime; this backend exercises exactly the same
 accelerator interface (and therefore the same QPUManager / cloneability
 machinery) while producing noisy counts, so the thread-safety layer can be
-tested against a second, stateful backend.
+tested against a second, stateful backend.  Like the qpp accelerator it is
+a thin adapter over the execution seam — here a
+:class:`~repro.exec.backend.DensityBackend`, since density-matrix evolution
+has no compiled-plan form.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Mapping
-
-import numpy as np
 
 from ..config import get_config
 from ..exceptions import AcceleratorError
+from ..exec.backend import DensityBackend
 from ..ir.composite import CompositeInstruction
-from ..simulator.density import DensityMatrix
 from ..simulator.noise import NoiseModel, depolarizing_channel
 from .accelerator import Accelerator, Cloneable
 from .buffer import AcceleratorBuffer
@@ -43,6 +43,7 @@ class NoisyAccelerator(Accelerator, Cloneable):
                 noise_model.default_single_qubit = depolarizing_channel(probability)
                 noise_model.default_two_qubit = depolarizing_channel(probability)
         self.noise_model = noise_model
+        self._backend = DensityBackend(noise_model=self.noise_model)
 
     def clone(self) -> "NoisyAccelerator":
         return NoisyAccelerator(dict(self.options), self.noise_model)
@@ -66,24 +67,18 @@ class NoisyAccelerator(Accelerator, Cloneable):
                 f"circuit {circuit.name!r} has unbound parameters"
             )
         shots = self._resolve_shots(shots)
-        seed = get_config().seed
-        rng = np.random.default_rng(seed)
+        result = self._backend.execute(
+            circuit, shots, n_qubits=buffer.size, seed=get_config().seed
+        )
 
-        started = time.perf_counter()
-        rho = DensityMatrix(buffer.size)
-        rho.apply_circuit(circuit, noise_model=self.noise_model)
-        measured = circuit.measured_qubits() or tuple(range(buffer.size))
-        counts = rho.sample(shots, measured, rng)
-        elapsed = time.perf_counter() - started
-
-        for bitstring, count in counts.items():
+        for bitstring, count in result.counts.items():
             buffer.add_measurement(bitstring, count)
         buffer.information.update(
             {
                 "backend": self.name(),
                 "shots": shots,
-                "purity": rho.purity(),
-                "execution-time-seconds": elapsed,
+                "purity": result.extra["purity"],
+                "execution-time-seconds": result.seconds,
             }
         )
         return buffer

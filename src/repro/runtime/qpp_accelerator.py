@@ -1,23 +1,26 @@
 """The Quantum++-style state-vector backend (``"qpp"``).
 
-This is the backend the paper's evaluation uses.  Execution path:
+This is the backend the paper's evaluation uses.  Since the execution-layer
+refactor it is a *thin adapter* over the unified
+:class:`~repro.exec.backend.ExecutionBackend` seam:
 
-1. look the circuit up in the process-wide execution-plan cache (keyed by
-   the same content hash the job broker uses) — repeat executions of hot
-   circuits skip IR optimisation, matrix construction and kernel
-   classification entirely,
-2. replay the compiled plan on a dense :class:`StateVector` (a tight loop
-   over specialised kernels with a reusable scratch buffer),
-3. sample the measured qubits ``shots`` times (through the
-   :class:`ParallelSimulationEngine`, the analogue of Quantum++'s OpenMP
-   parallelism), and
-4. store the histogram and some execution metadata into the buffer.
+* by default execution goes through a :class:`~repro.exec.backend.LocalBackend`
+  (shared execution-plan cache + this clone's
+  :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`), which
+  replays compiled plans and samples through the engine's worker threads —
+  the compile-once/execute-many pipeline;
+* setting the ``processes`` option to ``N > 1`` routes execution through the
+  process-wide :class:`~repro.exec.sharded.ShardedExecutor` instead: the
+  shot budget is sharded across ``N`` persistent worker processes, each
+  replaying from its own plan cache — the path that scales past the GIL.
+  Fixed-seed counts are bit-identical to the in-process path with
+  ``threads == N``.
 
 Circuits containing mid-circuit ``RESET`` instructions fall back to
-trajectory simulation (one plan replay per shot), also distributed over
-the engine's worker pool.  Setting the ``use-plans`` option to ``False``
-restores the historical gate-by-gate dispatch (useful for A/B
-benchmarks); ``optimize=False`` skips the IR pass pipeline in both modes.
+trajectory simulation (one plan replay per shot), distributed the same way.
+Setting the ``use-plans`` option to ``False`` restores the historical
+gate-by-gate dispatch (useful for A/B benchmarks); ``optimize=False`` skips
+the IR pass pipeline in both modes.
 """
 
 from __future__ import annotations
@@ -27,10 +30,10 @@ from typing import Mapping
 
 from ..config import get_config
 from ..exceptions import AcceleratorError
+from ..exec.backend import ExecutionBackend, LocalBackend
 from ..ir.composite import CompositeInstruction
 from ..ir.transforms import default_pass_manager
 from ..simulator.parallel_engine import ParallelSimulationEngine
-from ..simulator.plan_cache import get_plan_cache
 from ..simulator.statevector import StateVector
 from .accelerator import Accelerator, Cloneable
 from .buffer import AcceleratorBuffer
@@ -39,7 +42,7 @@ __all__ = ["QppAccelerator"]
 
 
 class QppAccelerator(Accelerator, Cloneable):
-    """Dense state-vector simulator backend."""
+    """Dense state-vector simulator backend (adapter over the exec seam)."""
 
     backend_name = "qpp"
 
@@ -48,6 +51,7 @@ class QppAccelerator(Accelerator, Cloneable):
         self._engine = ParallelSimulationEngine(
             num_threads=self._option_int("threads", default=None)
         )
+        self._local_backend = LocalBackend(engine=self._engine)
 
     # -- configuration -----------------------------------------------------------
     def _option_int(self, key: str, default: int | None) -> int | None:
@@ -69,6 +73,26 @@ class QppAccelerator(Accelerator, Cloneable):
         """Simulator worker threads (``OMP_NUM_THREADS`` analogue)."""
         return self._engine.effective_threads()
 
+    @property
+    def num_processes(self) -> int:
+        """Process shards requested via the ``processes`` option (0 = off)."""
+        value = self._option_int("processes", default=0) or 0
+        return value if value > 1 else 0
+
+    def execution_backend(self) -> ExecutionBackend:
+        """The :class:`ExecutionBackend` this clone currently dispatches to.
+
+        Sharded executors are process-wide singletons shared by every clone
+        asking for the same shard count, so a broker's worker threads all
+        feed one set of warm worker processes.
+        """
+        processes = self.num_processes
+        if processes:
+            from ..exec.sharded import get_sharded_executor
+
+            return get_sharded_executor(processes)
+        return self._local_backend
+
     # -- execution ------------------------------------------------------------------
     def execute(
         self,
@@ -87,58 +111,64 @@ class QppAccelerator(Accelerator, Cloneable):
         optimize = bool(self.options.get("optimize", True))
         use_plans = bool(self.options.get("use-plans", True))
 
-        started = time.perf_counter()
         if use_plans:
-            plan, plan_cached = get_plan_cache().lookup_or_compile(
-                circuit, n_qubits=buffer.size, optimize=optimize
+            result = self.execution_backend().execute(
+                circuit,
+                shots,
+                n_qubits=buffer.size,
+                seed=seed,
+                optimize=optimize,
             )
-            measured = plan.measured_qubits
-            if plan.has_reset:
-                counts = self._engine.run_trajectories(
-                    buffer.size, circuit, shots, seed=seed, plan=plan
-                )
-            else:
-                state = StateVector(buffer.size)
-                state.apply_plan(plan)
-                target_qubits = measured or tuple(range(buffer.size))
-                counts = self._engine.sample_parallel(
-                    state, shots, target_qubits, seed=seed
-                )
-            depth, gates = plan.depth, plan.n_gates
+            counts = result.counts
+            information = {
+                "execution-time-seconds": result.seconds,
+                "circuit-depth": result.depth,
+                "circuit-gates": result.n_gates,
+                "plan-cached": result.plan_cached,
+                "processes": result.shards if result.shards > 1 else 0,
+            }
         else:
-            plan_cached = False
-            if optimize:
-                circuit = default_pass_manager().run(circuit)
-            has_reset = any(inst.name == "RESET" for inst in circuit)
-            measured = circuit.measured_qubits()
-            if has_reset:
-                counts = self._engine.run_trajectories(
-                    buffer.size, circuit, shots, seed=seed
-                )
-            else:
-                state = StateVector(buffer.size)
-                for instruction in circuit:
-                    if instruction.is_measurement:
-                        continue
-                    state.apply(instruction)
-                target_qubits = measured or tuple(range(buffer.size))
-                counts = self._engine.sample_parallel(
-                    state, shots, target_qubits, seed=seed
-                )
-            depth, gates = circuit.depth(), circuit.n_gates
-        elapsed = time.perf_counter() - started
+            counts, information = self._execute_gate_by_gate(
+                buffer, circuit, shots, seed, optimize
+            )
 
         for bitstring, count in counts.items():
             buffer.add_measurement(bitstring, count)
         buffer.information.update(
-            {
-                "backend": self.name(),
-                "shots": shots,
-                "threads": self.num_threads,
-                "execution-time-seconds": elapsed,
-                "circuit-depth": depth,
-                "circuit-gates": gates,
-                "plan-cached": plan_cached,
-            }
+            {"backend": self.name(), "shots": shots, "threads": self.num_threads}
         )
+        buffer.information.update(information)
         return buffer
+
+    def _execute_gate_by_gate(
+        self,
+        buffer: AcceleratorBuffer,
+        circuit: CompositeInstruction,
+        shots: int,
+        seed: int | None,
+        optimize: bool,
+    ) -> tuple[dict[str, int], dict[str, object]]:
+        """The historical pre-plan path, kept verbatim for A/B benchmarks."""
+        started = time.perf_counter()
+        if optimize:
+            circuit = default_pass_manager().run(circuit)
+        has_reset = any(inst.name == "RESET" for inst in circuit)
+        measured = circuit.measured_qubits()
+        if has_reset:
+            counts = self._engine.run_trajectories(buffer.size, circuit, shots, seed=seed)
+        else:
+            state = StateVector(buffer.size)
+            for instruction in circuit:
+                if instruction.is_measurement:
+                    continue
+                state.apply(instruction)
+            target_qubits = measured or tuple(range(buffer.size))
+            counts = self._engine.sample_parallel(state, shots, target_qubits, seed=seed)
+        elapsed = time.perf_counter() - started
+        return counts, {
+            "execution-time-seconds": elapsed,
+            "circuit-depth": circuit.depth(),
+            "circuit-gates": circuit.n_gates,
+            "plan-cached": False,
+            "processes": 0,
+        }

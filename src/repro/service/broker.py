@@ -17,16 +17,31 @@ backend work well below one execution per request:
    blocks for a slot, ``try_submit`` returns ``None`` immediately (and the
    rejection is counted in the metrics snapshot).
 
+With ``processes=N`` the broker adds a fourth mechanism, **process
+sharding**: dispatcher threads stop simulating in-process and instead hand
+each cache-missed batch to the shard of a
+:class:`~repro.exec.sharded.ShardedExecutor` that owns the batch's job key
+(hash affinity), so every shard's worker process keeps re-receiving — and
+replaying from its warm plan cache — the circuits it has already compiled.
+This is the configuration that scales the broker past the GIL.
+
 Typical use::
 
-    with QuantumJobService(backend="qpp", workers=4) as service:
+    with QuantumJobService(backend="qpp", workers=4, processes=4) as service:
         handles = [service.submit(circuit, shots=1024) for _ in range(16)]
         histograms = [handle.counts() for handle in handles]
         print(service.metrics().cache_hit_rate)
+
+Async clients bridge the same futures into an event loop::
+
+    handle = await service.asubmit(circuit, shots=1024)
+    result = await handle
 """
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import threading
 import time
 from typing import Mapping
@@ -65,6 +80,7 @@ class QuantumJobService:
         backend_options: Mapping[str, object] | None = None,
         name: str = "job-broker",
         auto_start: bool = True,
+        processes: int = 0,
     ):
         self.name = name
         #: When False, jobs queue up until an explicit :meth:`start` — useful
@@ -81,6 +97,25 @@ class QuantumJobService:
                 f"known: {get_registry().registered_names('accelerator')}"
             )
         self.backend_options = dict(backend_options or {})
+        #: Process shards (0/1 = classic in-process dispatch).
+        self.processes = int(processes or 0)
+        self._sharded = None
+        if self.processes > 1:
+            if self.backend != "qpp":
+                raise ExecutionError(
+                    f"process sharding replays compiled plans and requires the "
+                    f"'qpp' backend, got {self.backend!r}"
+                )
+            if not bool(self.backend_options.get("use-plans", True)):
+                # Plan replay is the only form shards execute; forking
+                # workers that could never be used would be pure waste.
+                raise ExecutionError(
+                    "process sharding requires plan execution; drop "
+                    "processes= or remove 'use-plans': False"
+                )
+            from ..exec.sharded import ShardedExecutor
+
+            self._sharded = ShardedExecutor(self.processes, name=f"{name}-shard")
         self._queue = BatchingJobQueue(max_pending=max_pending)
         self._cache: ResultCache | None = (
             ResultCache(cache_capacity) if enable_cache else None
@@ -111,25 +146,34 @@ class QuantumJobService:
         return self
 
     def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
-        """Stop accepting jobs; workers drain the queue, then exit."""
+        """Stop accepting jobs; workers drain the queue, then exit.
+
+        Exception-safe: the process-shard executor (when present) is closed
+        even if draining or joining raises, so no worker process is ever
+        orphaned by an error path.
+        """
         with self._state_lock:
             if self._shut_down:
                 return
             self._shut_down = True
             started = self._started
-        self._queue.close()
-        if started:
-            if wait:
-                self._pool.join(timeout)
-        else:
-            # No worker ever ran (auto_start=False): jobs queued before this
-            # shutdown would otherwise strand their clients forever.
-            self._drain_and_fail(
-                ExecutionError(
-                    f"service {self.name!r} was shut down before its "
-                    "dispatcher pool started"
+        try:
+            self._queue.close()
+            if started:
+                if wait:
+                    self._pool.join(timeout)
+            else:
+                # No worker ever ran (auto_start=False): jobs queued before
+                # this shutdown would otherwise strand their clients forever.
+                self._drain_and_fail(
+                    ExecutionError(
+                        f"service {self.name!r} was shut down before its "
+                        "dispatcher pool started"
+                    )
                 )
-            )
+        finally:
+            if self._sharded is not None:
+                self._sharded.close(wait=wait)
 
     def __enter__(self) -> "QuantumJobService":
         return self.start()
@@ -163,6 +207,42 @@ class QuantumJobService:
             return self._submit(circuit, shots, priority, block=False, timeout=None)
         except ServiceOverloadedError:
             return None
+
+    async def asubmit(
+        self,
+        circuit: CompositeInstruction,
+        shots: int | None = None,
+        priority: JobPriority = JobPriority.NORMAL,
+        timeout: float | None = None,
+    ) -> JobHandle:
+        """Async :meth:`submit`: awaitable without blocking the event loop.
+
+        ``submit`` can block on backpressure, so it runs in the loop's
+        default thread-pool executor.  The returned handle is itself
+        awaitable (``result = await handle``), bridging the broker's
+        ``concurrent.futures`` plumbing into asyncio::
+
+            handle = await service.asubmit(circuit, shots=1024)
+            result = await handle
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None,
+            functools.partial(
+                self.submit, circuit, shots=shots, priority=priority, timeout=timeout
+            ),
+        )
+
+    async def arun(
+        self,
+        circuit: CompositeInstruction,
+        shots: int | None = None,
+        priority: JobPriority = JobPriority.NORMAL,
+        timeout: float | None = None,
+    ) -> JobResult:
+        """Submit and await the result in one call (`asubmit` + ``await``)."""
+        handle = await self.asubmit(circuit, shots=shots, priority=priority, timeout=timeout)
+        return await handle.aresult()
 
     def _submit(
         self,
@@ -282,22 +362,51 @@ class QuantumJobService:
             if entry is not None and cached_shots >= target_shots:
                 return entry.counts, execution_seconds, not executed_any
             missing = target_shots - cached_shots
-            buffer = AcceleratorBuffer(spec.n_qubits)
-            started = time.perf_counter()
-            qpu.execute(buffer, spec.circuit, shots=missing)
-            elapsed = time.perf_counter() - started
+            fresh, elapsed = self._execute_missing(spec, missing, qpu)
             execution_seconds += elapsed
             executed_any = True
             self._metrics.increment("executions")
             self._metrics.increment("executed_shots", missing)
             self._metrics.observe_latency(spec.backend, elapsed)
-            fresh = buffer.get_measurement_counts()
             if self._cache is None:
                 return fresh, execution_seconds, False
             merged = self._cache.top_up(spec.key, fresh, spec.backend)
             if merged.shots >= target_shots:
                 return merged.counts, execution_seconds, False
             # The base entry vanished mid-merge; run the remainder.
+
+    def _execute_missing(
+        self, spec: JobSpec, shots: int, qpu: Accelerator
+    ) -> tuple[dict[str, int], float]:
+        """One backend execution of ``shots`` shots for ``spec``.
+
+        In-process mode runs on the dispatcher thread's own accelerator
+        clone.  Process-shard mode routes the batch to the shard that owns
+        ``spec.key`` — the hash affinity that keeps each worker process
+        replaying from a plan cache already warm with its keys — honouring
+        the service's ``optimize`` backend option (it is part of the job
+        key, so sharded and in-process results must agree on it).  The
+        ``use-plans: False`` A/B option has no sharded form and is rejected
+        with ``processes`` at construction.
+        """
+        if self._sharded is not None:
+            result = self._sharded.execute_for_key(
+                spec.key,
+                spec.circuit,
+                shots,
+                n_qubits=spec.n_qubits,
+                seed=get_config().seed,
+                optimize=bool(self.backend_options.get("optimize", True)),
+            )
+            self._metrics.increment("sharded_executions")
+            if result.plan_cached:
+                self._metrics.increment("sharded_plan_hits")
+            return dict(result.counts), result.seconds
+        buffer = AcceleratorBuffer(spec.n_qubits)
+        started = time.perf_counter()
+        qpu.execute(buffer, spec.circuit, shots=shots)
+        elapsed = time.perf_counter() - started
+        return buffer.get_measurement_counts(), elapsed
 
     def _worker_init_failed(self, error: BaseException) -> None:
         """Dispatcher callback: a worker died in its ``initialize()`` call.
@@ -340,13 +449,22 @@ class QuantumJobService:
             cache=self._cache.stats() if self._cache is not None else None,
             # The dispatcher's accelerator clones all consult the shared
             # content-hash-keyed plan cache: repeat jobs (cache-missed or
-            # top-ups) skip circuit compilation entirely.
+            # top-ups) skip circuit compilation entirely.  In process-shard
+            # mode compilation happens in the *worker* processes instead —
+            # these parent-side counters stay flat there; watch
+            # ``sharded_plan_hits`` for the per-worker cache behaviour.
             plan_cache=get_plan_cache().stats(),
+            process_shards=self.processes if self._sharded is not None else 0,
         )
 
     @property
     def cache(self) -> ResultCache | None:
         return self._cache
+
+    @property
+    def sharded_executor(self):
+        """The broker-owned :class:`ShardedExecutor` (``None`` in-process)."""
+        return self._sharded
 
     def queue_depth(self) -> int:
         return self._queue.depth()

@@ -10,6 +10,7 @@ its outputs.
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 import enum
 from dataclasses import dataclass, field
@@ -105,6 +106,23 @@ class JobHandle:
 
     def add_done_callback(self, fn) -> None:
         self._future.add_done_callback(lambda _future: fn(self))
+
+    # -- asyncio bridge ----------------------------------------------------------
+    def asyncio_future(self) -> "asyncio.Future[JobResult]":
+        """This job as an asyncio future on the running event loop.
+
+        Each call wraps the underlying ``concurrent.futures`` future anew,
+        so handles can be awaited from several coroutines independently.
+        """
+        return asyncio.wrap_future(self._future)
+
+    async def aresult(self) -> JobResult:
+        """Await the job's resolution without blocking the event loop."""
+        return await self.asyncio_future()
+
+    def __await__(self):
+        """``result = await handle`` — see :meth:`QuantumJobService.asubmit`."""
+        return self.asyncio_future().__await__()
 
     # -- resolution (broker-side) ------------------------------------------------
     def _resolve(self, result: JobResult) -> None:

@@ -28,8 +28,10 @@ from ..ir.serialization import circuit_content_hash
 __all__ = ["job_key", "circuit_content_hash", "config_fingerprint"]
 
 #: Backend options that do not affect measurement distributions and must not
-#: fragment the cache (they tune performance, not physics).
-_NON_SEMANTIC_OPTIONS = frozenset({"threads", "latency-seconds"})
+#: fragment the cache (they tune performance, not physics).  ``processes``
+#: selects the process-sharded execution backend; its reductions are
+#: deterministic, so it is a routing knob, not part of the result identity.
+_NON_SEMANTIC_OPTIONS = frozenset({"threads", "latency-seconds", "processes"})
 
 
 def _canonical_json(payload: object) -> str:

@@ -48,6 +48,11 @@ class MetricsSnapshot:
     cache_hits: int = 0
     #: Backend executions dispatched (batches, including top-up runs).
     executions: int = 0
+    #: Executions routed to the process-sharded backend (0 without sharding).
+    sharded_executions: int = 0
+    #: Sharded executions that replayed an already-compiled worker plan
+    #: (the per-worker plan caches earning their keep under hash affinity).
+    sharded_plan_hits: int = 0
     #: Shots actually simulated on backends.
     executed_shots: int = 0
     #: Shots delivered to clients (≥ executed when the cache is earning its keep).
@@ -56,6 +61,8 @@ class MetricsSnapshot:
     queue_depth: int = 0
     #: Dispatcher threads alive at snapshot time.
     active_workers: int = 0
+    #: Process shards serving executions (0 = in-process dispatch).
+    process_shards: int = 0
     #: Seconds since the service started.
     uptime_seconds: float = 0.0
     #: Cache counter snapshot.
@@ -91,6 +98,8 @@ class ServiceMetrics:
         "coalesced",
         "cache_hits",
         "executions",
+        "sharded_executions",
+        "sharded_plan_hits",
         "executed_shots",
         "served_shots",
     )
@@ -119,6 +128,7 @@ class ServiceMetrics:
         active_workers: int = 0,
         cache: CacheStats | None = None,
         plan_cache: PlanCacheStats | None = None,
+        process_shards: int = 0,
     ) -> MetricsSnapshot:
         with self._lock:
             counts = dict(self._counts)
@@ -130,6 +140,7 @@ class ServiceMetrics:
         return MetricsSnapshot(
             queue_depth=queue_depth,
             active_workers=active_workers,
+            process_shards=process_shards,
             uptime_seconds=uptime,
             cache=cache or CacheStats(),
             plan_cache=plan_cache or PlanCacheStats(),

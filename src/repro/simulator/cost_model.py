@@ -20,11 +20,29 @@ regimes the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..ir.composite import CompositeInstruction
 
-__all__ = ["CircuitCost", "SimulationCostModel"]
+__all__ = ["CircuitCost", "SimulationCostModel", "DEFAULT_KERNEL_COST_FACTORS"]
+
+#: Relative per-amplitude work of each compiled-plan kernel class, with a
+#: dense single-qubit update as 1.0.  Diagonal kernels touch each amplitude
+#: with one multiply (no gather, half the writes); permutation kernels only
+#: move amplitudes; gathers pay one indexed copy; controlled kernels update
+#: half the state; dense blocks pay the single-qubit cost scaled by
+#: ``multi_qubit_factor`` per extra target (handled in :meth:`plan_cost`);
+#: resets are a probability reduction plus a conditional slice swap.
+DEFAULT_KERNEL_COST_FACTORS: dict[str, float] = {
+    "single": 1.0,
+    "controlled": 0.6,
+    "diagonal": 0.25,
+    "permutation": 0.15,
+    "gather": 0.35,
+    "dense": 1.0,
+    "reset": 0.5,
+}
 
 
 @dataclass(frozen=True)
@@ -90,6 +108,15 @@ class SimulationCostModel:
     #: Fixed cost per kernel launch spent inside global critical sections
     #: (qalloc, service-registry lookup, buffer registration).
     launch_overhead: float = 150.0
+    #: Per-step dispatch overhead when replaying a *compiled plan* (serial).
+    #: Much smaller than ``gate_dispatch_cost``: replay skips the IR walk,
+    #: target validation and per-gate matrix construction.
+    plan_step_dispatch_cost: float = 25.0
+    #: Relative per-amplitude work of each plan kernel class (see
+    #: :data:`DEFAULT_KERNEL_COST_FACTORS`).
+    kernel_cost_factors: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_KERNEL_COST_FACTORS)
+    )
 
     def gate_cost(self, n_qubits: int, gate_qubits: int) -> float:
         """Parallelisable work of one gate application on an ``n_qubits`` state."""
@@ -111,6 +138,54 @@ class SimulationCostModel:
             serial += gate_work * self.gate_serial_fraction
             serial += self.gate_dispatch_cost
         # Probability-vector pass + multinomial sampling.
+        parallel += float(1 << n) * self.amplitude_update_cost
+        parallel += shots * self.shot_parallel_cost
+        serial += shots * self.shot_cost
+        locked += shots * self.shot_locked_cost
+        return CircuitCost(parallel_work=parallel, serial_work=serial, locked_work=locked)
+
+    # -- compiled-plan costing ------------------------------------------------------
+    def kernel_cost(self, n_qubits: int, kernel: str, targets: int = 1) -> float:
+        """Per-step amplitude-sweep work of one plan kernel invocation.
+
+        ``kernel`` is a class name from
+        :data:`repro.simulator.execution_plan.KERNEL_NAMES`; unknown names
+        cost like a dense update (conservative).  Dense blocks additionally
+        scale by ``multi_qubit_factor`` per extra target, mirroring
+        :meth:`gate_cost`.
+        """
+        amplitudes = float(1 << n_qubits)
+        factor = float(self.kernel_cost_factors.get(kernel, 1.0))
+        if kernel == "dense":
+            factor *= self.multi_qubit_factor ** max(0, targets - 1)
+        return amplitudes * self.amplitude_update_cost * factor
+
+    def plan_cost(self, plan, shots: int) -> CircuitCost:
+        """Estimate the cost of replaying a compiled :class:`ExecutionPlan`.
+
+        The ``modeled`` execution mode uses this to predict *plan-executed*
+        latency: kernel classes are costed individually (a QFT's diagonal
+        ladder is far cheaper than the dense-gate sweep
+        :meth:`circuit_cost` assumes), fusion shows up as fewer steps, and
+        the per-step dispatch overhead reflects plan replay rather than the
+        per-gate IR walk.  Accepts parametric plans (the kernel sequence is
+        the template's; rebinding cost is a handful of 2x2 rebuilds and is
+        folded into the step dispatch constant).
+        """
+        steps = getattr(plan, "steps", None)
+        if steps is None:  # ParametricExecutionPlan delegates to its template
+            steps = plan.template_steps
+        n = max(int(plan.n_qubits), 1)
+        parallel = 0.0
+        serial = 0.0
+        locked = self.launch_overhead
+        for step in steps:
+            work = self.kernel_cost(n, step.kernel, len(step.targets))
+            parallel += work * (1.0 - self.gate_serial_fraction)
+            serial += work * self.gate_serial_fraction
+            serial += self.plan_step_dispatch_cost
+        # Probability-vector pass + multinomial sampling (identical to the
+        # gate-by-gate path: sampling does not change with plans).
         parallel += float(1 << n) * self.amplitude_update_cost
         parallel += shots * self.shot_parallel_cost
         serial += shots * self.shot_cost

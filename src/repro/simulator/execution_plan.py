@@ -411,6 +411,11 @@ class ParametricExecutionPlan:
     def has_reset(self) -> bool:
         return self._template.has_reset
 
+    @property
+    def template_steps(self) -> tuple[PlanStep, ...]:
+        """The unbound step sequence (for introspection/cost modelling)."""
+        return self._template.steps
+
     def kernel_counts(self) -> Counter:
         return self._template.kernel_counts()
 

@@ -40,7 +40,12 @@ from .execution_plan import ExecutionPlan, compile_plan
 from .sampling import sample_counts
 from .statevector import StateVector
 
-__all__ = ["ParallelSimulationEngine", "merge_counts", "split_shots"]
+__all__ = [
+    "ParallelSimulationEngine",
+    "merge_counts",
+    "replay_trajectory_chunk",
+    "split_shots",
+]
 
 #: States smaller than this (amplitudes) are not worth chunking across workers.
 _CHUNK_THRESHOLD = 1 << 16
@@ -64,6 +69,41 @@ def merge_counts(histograms: Iterable[dict[str, int]]) -> dict[str, int]:
         for key, value in histogram.items():
             merged[key] = merged.get(key, 0) + int(value)
     return merged
+
+
+def replay_trajectory_chunk(
+    plan: "ExecutionPlan",
+    shots: int,
+    rng: np.random.Generator,
+    measured: Sequence[int],
+    n_qubits: int,
+    prepare: Callable[[], "StateVector"] | None = None,
+) -> dict[str, int]:
+    """One worker's trajectory chunk: ``shots`` full plan replays on ``rng``.
+
+    RNG-critical and therefore shared verbatim by the engine's thread
+    workers and the process shards (:mod:`repro.exec.sharded`): both paths
+    must consume ``rng`` draw for draw — one reset/sample sequence per
+    trajectory, recycling the previous trajectory's buffer — or the
+    fixed-seed bit-identity between threaded and sharded execution breaks.
+    """
+    histogram: dict[str, int] = {}
+    data: np.ndarray | None = None
+    for _ in range(shots):
+        if prepare is not None:
+            data = prepare().data.copy()
+        elif data is None:
+            data = plan.new_state()
+        else:
+            # Recycle the previous trajectory's buffer instead of
+            # allocating a fresh 2^n array per shot.
+            data.fill(0.0)
+            data[0] = 1.0
+        data = plan.execute(data, rng=rng)
+        sample = sample_counts(np.abs(data) ** 2, 1, measured, n_qubits, rng)
+        for key, value in sample.items():
+            histogram[key] = histogram.get(key, 0) + value
+    return histogram
 
 
 class ParallelSimulationEngine:
@@ -102,12 +142,21 @@ class ParallelSimulationEngine:
 
     def close(self, wait: bool = True) -> None:
         """Tear the worker pool down (the engine stays usable: the next
-        parallel call lazily builds a fresh pool)."""
+        parallel call lazily builds a fresh pool).
+
+        Idempotent and safe during interpreter teardown: a second call is a
+        no-op, and shutdown errors from a half-torn-down ``concurrent.futures``
+        (module globals already cleared) are swallowed rather than raised
+        out of ``__del__``/atexit paths.
+        """
         pool = self._pool
         self._pool = None
         self._pool_size = 0
         if pool is not None:
-            pool.shutdown(wait=wait)
+            try:
+                pool.shutdown(wait=wait)
+            except Exception:
+                pass
 
     def __enter__(self) -> "ParallelSimulationEngine":
         return self
@@ -169,6 +218,7 @@ class ParallelSimulationEngine:
         seed: int | None = None,
         prepare: Callable[[], StateVector] | None = None,
         plan: ExecutionPlan | None = None,
+        processes: int | None = None,
     ) -> dict[str, int]:
         """Run ``shots`` independent trajectories (one full simulation each).
 
@@ -177,7 +227,39 @@ class ParallelSimulationEngine:
         circuit is compiled once into an execution plan (or use a
         pre-compiled ``plan``) and replayed per trajectory; trajectory
         counts are split over the worker pool.
+
+        ``processes=N`` (N > 1) shards the trajectories across the shared
+        :class:`~repro.exec.sharded.ShardedExecutor` worker *processes*
+        instead of this engine's threads — the GIL-free path.  Shard seeds
+        derive exactly as the per-thread streams do, so fixed-seed counts
+        are bit-identical to the in-process run with ``num_threads == N``.
         """
+        if processes is not None and processes > 1:
+            if prepare is not None:
+                raise ExecutionError(
+                    "prepare callbacks cannot cross process boundaries; "
+                    "use the in-process (thread) trajectory path"
+                )
+            if plan is not None:
+                raise ExecutionError(
+                    "pre-compiled plans cannot cross process boundaries; "
+                    "pass the circuit and let each shard compile into its "
+                    "own plan cache (or use the in-process path)"
+                )
+            from ..exec.sharded import get_sharded_executor
+
+            # Workers compile from the shipped circuit; optimize=False
+            # matches this method's own compile default so the replayed
+            # kernels (and therefore the RNG consumption) are identical.
+            result = get_sharded_executor(processes).execute(
+                circuit,
+                shots,
+                n_qubits=n_qubits,
+                seed=seed,
+                optimize=False,
+                trajectories=True,
+            )
+            return dict(result.counts)
         threads = self.effective_threads()
         measured = circuit.measured_qubits() or tuple(range(n_qubits))
         if plan is None:
@@ -190,24 +272,9 @@ class ParallelSimulationEngine:
 
         def run_chunk(chunk_and_seed: tuple[int, np.random.SeedSequence]) -> dict[str, int]:
             chunk, seq = chunk_and_seed
-            rng = np.random.default_rng(seq)
-            histogram: dict[str, int] = {}
-            data: np.ndarray | None = None
-            for _ in range(chunk):
-                if prepare is not None:
-                    data = prepare().data.copy()
-                elif data is None:
-                    data = plan.new_state()
-                else:
-                    # Recycle the previous trajectory's buffer instead of
-                    # allocating a fresh 2^n array per shot.
-                    data.fill(0.0)
-                    data[0] = 1.0
-                data = plan.execute(data, rng=rng)
-                sample = sample_counts(np.abs(data) ** 2, 1, measured, n_qubits, rng)
-                for key, value in sample.items():
-                    histogram[key] = histogram.get(key, 0) + value
-            return histogram
+            return replay_trajectory_chunk(
+                plan, chunk, np.random.default_rng(seq), measured, n_qubits, prepare
+            )
 
         if len(chunks) == 1:
             return run_chunk((chunks[0], seeds[0]))

@@ -1,0 +1,252 @@
+"""Tests for the unified execution-backend layer (in-process side).
+
+Covers the :class:`ExecutionBackend` protocol, :class:`LocalBackend` as the
+canonical in-process seam, :class:`DensityBackend` behind the noisy
+accelerator, the accelerator adapters, and the plan-aware cost model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bell import bell_circuit
+from repro.algorithms.ghz import ghz_circuit
+from repro.algorithms.qft import qft_circuit
+from repro.algorithms.vqe import deuteron_ansatz_circuit, deuteron_hamiltonian
+from repro.benchmark.harness import BenchmarkHarness
+from repro.benchmark.workloads import Workload
+from repro.config import set_config
+from repro.core.executor import KernelTask, run_one_by_one
+from repro.exceptions import ExecutionError
+from repro.exec import DensityBackend, ExecutionResult, LocalBackend
+from repro.ir.builder import CircuitBuilder
+from repro.runtime.buffer import AcceleratorBuffer
+from repro.runtime.noisy_accelerator import NoisyAccelerator
+from repro.runtime.qpp_accelerator import QppAccelerator
+from repro.simulator.cost_model import (
+    DEFAULT_KERNEL_COST_FACTORS,
+    SimulationCostModel,
+)
+from repro.simulator.execution_plan import compile_parametric_plan, compile_plan
+from repro.simulator.parallel_engine import ParallelSimulationEngine
+from repro.simulator.plan_cache import reset_plan_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_plan_cache():
+    reset_plan_cache()
+    yield
+    reset_plan_cache()
+
+
+class TestExecutionResult:
+    def test_total_counts(self):
+        result = ExecutionResult(
+            counts={"00": 3, "11": 5}, shots=8, n_qubits=2, backend="local"
+        )
+        assert result.total_counts() == 8
+        assert result.shards == 1 and result.retries == 0
+
+    def test_rejects_non_positive_shots(self):
+        with pytest.raises(ValueError):
+            ExecutionResult(counts={}, shots=0, n_qubits=1, backend="local")
+
+
+class TestLocalBackend:
+    def test_execute_matches_accelerator_path(self):
+        set_config(seed=99)
+        circuit = ghz_circuit(4)
+        backend = LocalBackend(engine=ParallelSimulationEngine(num_threads=1))
+        result = backend.execute(circuit, 512, seed=99)
+
+        qpu = QppAccelerator({"threads": 1})
+        buffer = AcceleratorBuffer(4)
+        qpu.execute(buffer, circuit, shots=512)
+        assert dict(result.counts) == buffer.get_measurement_counts()
+        assert result.shots == 512 and result.n_qubits == 4
+        assert result.backend == "local" and result.shards == 1
+
+    def test_compile_returns_cached_plan(self):
+        backend = LocalBackend()
+        circuit = bell_circuit(2)
+        plan = backend.compile(circuit)
+        assert plan is backend.compile(circuit)
+        result = backend.execute(circuit, 64, seed=1)
+        assert result.plan_cached  # compile() warmed the cache
+
+    def test_parametric_execution_requires_params(self):
+        backend = LocalBackend()
+        ansatz = deuteron_ansatz_circuit()  # symbolic theta
+        with pytest.raises(ExecutionError, match="unbound"):
+            backend.execute(ansatz, 32)
+        result = backend.execute(ansatz, 32, seed=0, params=[0.5])
+        assert result.total_counts() == 32
+
+    def test_trajectory_path_for_reset_circuits(self):
+        builder = CircuitBuilder(2, name="rst")
+        builder.h(0)
+        builder.reset(0)
+        builder.h(1)
+        builder.measure(0)
+        builder.measure(1)
+        circuit = builder.build()
+        backend = LocalBackend(engine=ParallelSimulationEngine(num_threads=1))
+        result = backend.execute(circuit, 128, seed=3)
+        assert result.total_counts() == 128
+
+    def test_expectation_matches_statevector(self):
+        backend = LocalBackend()
+        ansatz = deuteron_ansatz_circuit(0.59)
+        observable = deuteron_hamiltonian()
+        from repro.simulator.statevector import StateVector
+
+        state = StateVector(2)
+        state.run(ansatz.without_measurements())
+        expected = state.expectation(observable)
+        assert backend.expectation(
+            ansatz.without_measurements(), observable
+        ) == pytest.approx(expected, abs=0.0)
+
+    def test_expectation_rejects_reset_circuits(self):
+        builder = CircuitBuilder(1, name="rst")
+        builder.h(0)
+        builder.reset(0)
+        backend = LocalBackend()
+        with pytest.raises(ExecutionError, match="reset"):
+            backend.expectation(builder.build(), deuteron_hamiltonian())
+
+    def test_close_owned_engine_is_idempotent(self):
+        backend = LocalBackend()
+        backend.execute(bell_circuit(2), 16, seed=0)
+        backend.close()
+        backend.close()
+        # The engine rebuilds its pool lazily: the backend stays usable.
+        assert backend.execute(bell_circuit(2), 16, seed=0).total_counts() == 16
+
+    def test_context_manager(self):
+        with LocalBackend() as backend:
+            assert backend.execute(bell_circuit(2), 8, seed=0).total_counts() == 8
+
+
+class TestDensityBackend:
+    def test_noisy_accelerator_is_thin_adapter(self):
+        set_config(seed=11)
+        circuit = bell_circuit(2)
+        backend = DensityBackend()
+        result = backend.execute(circuit, 256, seed=11)
+        qpu = NoisyAccelerator()
+        buffer = AcceleratorBuffer(2)
+        qpu.execute(buffer, circuit, shots=256)
+        assert dict(result.counts) == buffer.get_measurement_counts()
+        assert result.extra["purity"] == pytest.approx(1.0)
+
+    def test_compile_has_no_plan_form(self):
+        assert DensityBackend().compile(bell_circuit(2)) is None
+
+    def test_noisy_counts_stay_noisy(self):
+        from repro.simulator.noise import NoiseModel, depolarizing_channel
+
+        model = NoiseModel()
+        model.default_single_qubit = depolarizing_channel(0.2)
+        model.default_two_qubit = depolarizing_channel(0.2)
+        result = DensityBackend(noise_model=model).execute(bell_circuit(2), 2048, seed=1)
+        assert result.extra["purity"] < 0.99
+        assert set(result.counts) - {"00", "11"}  # noise leaks population
+
+
+class TestAcceleratorAdapter:
+    def test_qpp_reports_backend_seam_metadata(self):
+        set_config(seed=5)
+        qpu = QppAccelerator({"threads": 1})
+        buffer = AcceleratorBuffer(3)
+        qpu.execute(buffer, ghz_circuit(3), shots=64)
+        info = buffer.information
+        assert info["plan-cached"] is False and info["processes"] == 0
+        buffer2 = AcceleratorBuffer(3)
+        qpu.execute(buffer2, ghz_circuit(3), shots=64)
+        assert buffer2.information["plan-cached"] is True
+
+    def test_gate_by_gate_path_unchanged(self):
+        set_config(seed=5)
+        circuit = qft_circuit(4)
+        plan_buffer = AcceleratorBuffer(4)
+        QppAccelerator({"threads": 1}).execute(plan_buffer, circuit, shots=256)
+        legacy_buffer = AcceleratorBuffer(4)
+        QppAccelerator({"threads": 1, "use-plans": False}).execute(
+            legacy_buffer, circuit, shots=256
+        )
+        assert (
+            plan_buffer.get_measurement_counts()
+            == legacy_buffer.get_measurement_counts()
+        )
+        assert legacy_buffer.information["plan-cached"] is False
+
+    def test_executor_routes_processes_option(self):
+        # processes=1 must not engage sharding (stays on the local seam).
+        qpu = QppAccelerator({"threads": 1, "processes": 1})
+        assert qpu.num_processes == 0
+        assert qpu.execution_backend() is qpu._local_backend
+
+    def test_run_one_by_one_accepts_processes(self):
+        set_config(seed=4)
+        tasks = [KernelTask("bell", lambda: bell_circuit(2), 2, shots=64)]
+        report = run_one_by_one(tasks, total_threads=1, processes=None)
+        assert report.results[0].counts
+        assert sum(report.results[0].counts.values()) == 64
+
+
+class TestPlanAwareCostModel:
+    def test_kernel_factors_cover_every_kernel_class(self):
+        from repro.simulator.execution_plan import KERNEL_NAMES
+
+        assert set(DEFAULT_KERNEL_COST_FACTORS) == set(KERNEL_NAMES.values())
+
+    def test_diagonal_and_permutation_cheaper_than_dense(self):
+        model = SimulationCostModel()
+        n = 8
+        assert model.kernel_cost(n, "diagonal") < model.kernel_cost(n, "single")
+        assert model.kernel_cost(n, "permutation") < model.kernel_cost(n, "diagonal")
+        assert model.kernel_cost(n, "dense", targets=2) > model.kernel_cost(n, "single")
+
+    def test_plan_cost_below_gate_cost_for_qft(self):
+        # The QFT is dominated by CPHASE ladders: kernel-aware costing must
+        # price it well below the dense per-gate estimate.
+        circuit = qft_circuit(6)
+        model = SimulationCostModel()
+        plan = compile_plan(circuit, 6)
+        plan_cost = model.plan_cost(plan, 1024)
+        gate_cost = model.circuit_cost(circuit, 1024)
+        assert plan_cost.total_work < gate_cost.total_work
+        assert plan_cost.parallel_work < gate_cost.parallel_work
+
+    def test_plan_cost_accepts_parametric_plans(self):
+        ansatz = deuteron_ansatz_circuit()
+        plan = compile_parametric_plan(ansatz, 2)
+        cost = SimulationCostModel().plan_cost(plan, 256)
+        assert cost.total_work > 0
+
+    def test_fusion_reduces_modeled_cost(self):
+        builder = CircuitBuilder(5, name="dense_run")
+        for _ in range(6):
+            for q in range(5):
+                builder.h(q)
+                builder.t(q)
+        circuit = builder.build()
+        model = SimulationCostModel()
+        fused = model.plan_cost(compile_plan(circuit, 5), 10)
+        unfused = model.plan_cost(compile_plan(circuit, 5, fusion_max_qubits=0), 10)
+        assert fused.total_work < unfused.total_work
+
+    def test_harness_modeled_mode_with_plan_costs(self):
+        set_config(execution_mode="modeled")
+        tasks = [
+            KernelTask("qft", lambda: qft_circuit(5), 5, shots=128),
+            KernelTask("ghz", lambda: ghz_circuit(5), 5, shots=128),
+        ]
+        workload = Workload(name="plan-cost", tasks=tasks)
+        plan_harness = BenchmarkHarness(mode="modeled", use_plan_costs=True)
+        gate_harness = BenchmarkHarness(mode="modeled")
+        plan_result = plan_harness.run_variant(workload, "one-by-one", 4)
+        gate_result = gate_harness.run_variant(workload, "one-by-one", 4)
+        assert plan_result.duration > 0
+        # Plan replay is predicted faster than per-gate dispatch.
+        assert plan_result.duration < gate_result.duration

@@ -1,0 +1,343 @@
+"""Tests for process-sharded plan replay (:mod:`repro.exec.sharded`).
+
+The load-bearing property is *deterministic reduction*: with a fixed seed,
+sharded execution must be bit-identical to the in-process path (shot
+sharding vs the engine's thread chunks; key affinity vs a single-threaded
+run) across the whole algorithm suite.  On top of that: hash affinity,
+warm worker plan caches, worker-death retry, and exception-safe teardown.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bell import bell_circuit
+from repro.algorithms.ghz import ghz_circuit
+from repro.algorithms.qft import qft_circuit
+from repro.algorithms.shor import period_finding_circuit
+from repro.algorithms.vqe import deuteron_ansatz_circuit, deuteron_hamiltonian
+from repro.config import set_config
+from repro.exceptions import ExecutionError
+from repro.exec import LocalBackend, ShardedExecutor, get_sharded_executor
+from repro.ir import gates as G
+from repro.ir.builder import CircuitBuilder
+from repro.ir.composite import CompositeInstruction
+from repro.service import QuantumJobService
+from repro.simulator.parallel_engine import ParallelSimulationEngine
+from repro.simulator.plan_cache import cached_content_hash
+
+
+def algorithm_suite():
+    return {
+        "bell": bell_circuit(2),
+        "ghz": ghz_circuit(5),
+        "qft": qft_circuit(4),
+        "shor": period_finding_circuit(7, 2),
+        "vqe": deuteron_ansatz_circuit(0.59),
+    }
+
+
+def random_circuit(rng, n_qubits, length):
+    """Random mix over every kernel class, with all qubits measured."""
+    circuit = CompositeInstruction("random", n_qubits)
+    for _ in range(length):
+        choice = int(rng.integers(0, 6))
+        qs = [int(q) for q in rng.permutation(n_qubits)]
+        if choice == 0:
+            circuit.add(G.H([qs[0]]))
+        elif choice == 1:
+            circuit.add(G.RY([qs[0]], [float(rng.uniform(-3, 3))]))
+        elif choice == 2:
+            circuit.add(G.CX([qs[0], qs[1]]))
+        elif choice == 3:
+            circuit.add(G.CPhase([qs[0], qs[1]], [float(rng.uniform(-3, 3))]))
+        elif choice == 4:
+            circuit.add(G.Swap([qs[0], qs[1]]))
+        else:
+            circuit.add(G.T([qs[0]]))
+    for q in range(n_qubits):
+        circuit.add(G.Measure([q]))
+    return circuit
+
+
+@pytest.fixture(scope="module")
+def sharded2():
+    """One two-shard executor shared by the equivalence tests (forking a
+    fresh pair of worker processes per test would dominate the runtime)."""
+    executor = ShardedExecutor(2, name="test-shard")
+    yield executor
+    executor.close()
+
+
+class TestDeterministicEquivalence:
+    @pytest.mark.parametrize("algorithm", ["bell", "ghz", "qft", "shor", "vqe"])
+    def test_shot_sharding_matches_two_thread_engine(self, sharded2, algorithm):
+        circuit = algorithm_suite()[algorithm]
+        local = LocalBackend(engine=ParallelSimulationEngine(num_threads=2))
+        reference = local.execute(circuit, 512, seed=1234)
+        sharded = sharded2.execute(circuit, 512, seed=1234)
+        assert dict(sharded.counts) == dict(reference.counts)
+        assert sharded.shards == 2
+        assert sharded.depth == reference.depth
+        assert sharded.n_gates == reference.n_gates
+
+    @pytest.mark.parametrize("algorithm", ["bell", "qft", "vqe"])
+    def test_key_affinity_matches_single_thread_engine(self, sharded2, algorithm):
+        circuit = algorithm_suite()[algorithm]
+        local = LocalBackend(engine=ParallelSimulationEngine(num_threads=1))
+        reference = local.execute(circuit, 256, seed=77)
+        sharded = sharded2.execute_for_key("f00d" * 16, circuit, 256, seed=77)
+        assert dict(sharded.counts) == dict(reference.counts)
+        assert sharded.shards == 1
+
+    def test_randomized_circuits_fixed_seed_equivalence(self, sharded2):
+        rng = np.random.default_rng(2026)
+        local = LocalBackend(engine=ParallelSimulationEngine(num_threads=2))
+        for trial in range(4):
+            circuit = random_circuit(rng, 5, 20)
+            seed = int(rng.integers(0, 2**31))
+            reference = local.execute(circuit, 128, seed=seed)
+            sharded = sharded2.execute(circuit, 128, seed=seed)
+            assert dict(sharded.counts) == dict(reference.counts), f"trial {trial}"
+
+    def test_expectation_bit_identical(self, sharded2):
+        ansatz = deuteron_ansatz_circuit(0.59).without_measurements()
+        observable = deuteron_hamiltonian()
+        local = LocalBackend().expectation(ansatz, observable)
+        remote = sharded2.expectation(ansatz, observable)
+        assert remote == local  # exact float equality, not approx
+
+    def test_parametric_execution_across_shards(self, sharded2):
+        ansatz = deuteron_ansatz_circuit()  # symbolic
+        local = LocalBackend(engine=ParallelSimulationEngine(num_threads=2))
+        reference = local.execute(ansatz, 256, seed=5, params=[0.59])
+        sharded = sharded2.execute(ansatz, 256, seed=5, params=[0.59])
+        assert dict(sharded.counts) == dict(reference.counts)
+        with pytest.raises(ExecutionError, match="unbound"):
+            sharded2.execute(ansatz, 16, seed=5)
+
+    def test_trajectory_process_mode_matches_threads(self, sharded2):
+        builder = CircuitBuilder(3, name="reset_traj")
+        builder.h(0)
+        builder.cx(0, 1)
+        builder.reset(1)
+        builder.h(2)
+        for q in range(3):
+            builder.measure(q)
+        circuit = builder.build()
+        engine = ParallelSimulationEngine(num_threads=2)
+        threaded = engine.run_trajectories(3, circuit, 300, seed=8)
+        sharded = engine.run_trajectories(3, circuit, 300, seed=8, processes=2)
+        assert sharded == threaded
+        engine.close()
+
+    def test_trajectory_process_mode_rejects_prepare(self):
+        engine = ParallelSimulationEngine(num_threads=1)
+        with pytest.raises(ExecutionError, match="prepare"):
+            engine.run_trajectories(
+                2, bell_circuit(2), 8, seed=0, prepare=lambda: None, processes=2
+            )
+
+    def test_trajectory_process_mode_rejects_precompiled_plan(self):
+        # Plans cannot cross process boundaries; silently recompiling could
+        # change the kernel sequence (and RNG draws) vs the caller's plan.
+        from repro.simulator.execution_plan import compile_plan
+
+        circuit = bell_circuit(2)
+        plan = compile_plan(circuit, 2)
+        engine = ParallelSimulationEngine(num_threads=1)
+        with pytest.raises(ExecutionError, match="plan"):
+            engine.run_trajectories(2, circuit, 8, seed=0, plan=plan, processes=2)
+
+
+class TestAffinityAndCaching:
+    def test_shard_for_is_stable_and_in_range(self, sharded2):
+        import hashlib
+
+        keys = [hashlib.sha256(str(i).encode()).hexdigest() for i in range(32)]
+        shards = [sharded2.shard_for(key) for key in keys]
+        assert shards == [sharded2.shard_for(key) for key in keys]
+        assert set(shards) <= {0, 1} and len(set(shards)) == 2
+
+    def test_worker_plan_cache_warms_up(self):
+        executor = ShardedExecutor(1, name="warm")
+        try:
+            circuit = ghz_circuit(4)
+            first = executor.execute(circuit, 64, seed=0)
+            second = executor.execute(circuit, 64, seed=0)
+            assert first.plan_cached is False
+            assert second.plan_cached is True
+            assert dict(first.counts) == dict(second.counts)
+        finally:
+            executor.close()
+
+    def test_compile_warms_the_owning_shard(self, sharded2):
+        circuit = qft_circuit(3, name="warm_compile")
+        plan = sharded2.compile(circuit)
+        assert plan.n_qubits == 3
+        # Route with the same key compile() used: the circuit content hash.
+        result = sharded2.execute_for_key(
+            cached_content_hash(circuit), circuit, 32, seed=0
+        )
+        assert result.plan_cached is True
+
+    def test_shared_executor_registry_reuses_instances(self):
+        a = get_sharded_executor(2)
+        b = get_sharded_executor(2)
+        assert a is b
+        assert get_sharded_executor(3) is not a
+
+
+class TestFailureRecovery:
+    def test_worker_killed_mid_stream_job_retried_not_lost(self):
+        executor = ShardedExecutor(2, name="kill-test")
+        try:
+            pids = executor.shard_pids()
+            os.kill(pids[0], signal.SIGKILL)
+            circuit = ghz_circuit(4)
+            result = executor.execute(circuit, 512, seed=9)
+            assert result.total_counts() == 512
+            assert executor.total_retries >= 1
+            # The shard respawned with a fresh worker.
+            new_pids = executor.shard_pids()
+            assert new_pids[0] != pids[0]
+            # Determinism survives the retry: a pristine executor agrees.
+            fresh = ShardedExecutor(2, name="kill-ref")
+            try:
+                assert dict(fresh.execute(circuit, 512, seed=9).counts) == dict(
+                    result.counts
+                )
+            finally:
+                fresh.close()
+        finally:
+            executor.close()
+
+    def test_retry_budget_exhaustion_raises_execution_error(self):
+        executor = ShardedExecutor(1, name="budget", max_retries=0)
+        try:
+            os.kill(executor.shard_pids()[0], signal.SIGKILL)
+            with pytest.raises(ExecutionError, match="failed"):
+                executor.execute(bell_circuit(2), 32, seed=0)
+        finally:
+            executor.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_rejects_further_work(self):
+        executor = ShardedExecutor(2, name="lifecycle")
+        executor.close()
+        executor.close()
+        assert executor.closed
+        with pytest.raises(ExecutionError, match="closed"):
+            executor.execute(bell_circuit(2), 8, seed=0)
+
+    def test_context_manager_closes(self):
+        with ShardedExecutor(1, name="ctx") as executor:
+            assert executor.execute(bell_circuit(2), 8, seed=0).total_counts() == 8
+        assert executor.closed
+
+    def test_invalid_construction(self):
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(0)
+        with pytest.raises(ExecutionError):
+            ShardedExecutor(1, max_retries=-1)
+        with pytest.raises(ExecutionError):
+            get_sharded_executor(0)
+
+    def test_shard_index_out_of_range(self, sharded2):
+        with pytest.raises(ExecutionError, match="out of range"):
+            sharded2.execute(bell_circuit(2), 8, seed=0, shard=7)
+
+
+class TestShardedBroker:
+    def test_sharded_service_counts_match_in_process(self):
+        set_config(seed=4321)
+        circuit = qft_circuit(4)
+        with QuantumJobService(
+            backend="qpp", workers=1, enable_cache=False,
+            backend_options={"threads": 1}, name="ref",
+        ) as service:
+            reference = service.submit(circuit, shots=512).counts()
+        with QuantumJobService(
+            backend="qpp", workers=2, processes=2, enable_cache=False,
+            backend_options={"threads": 1}, name="sharded",
+        ) as service:
+            sharded = service.submit(circuit, shots=512).counts()
+            metrics = service.metrics()
+        assert sharded == reference
+        assert metrics.sharded_executions == 1
+        assert metrics.process_shards == 2
+
+    def test_sharded_service_honours_optimize_option(self):
+        set_config(seed=2718)
+        circuit = qft_circuit(4)
+        with QuantumJobService(
+            backend="qpp", workers=1, enable_cache=False,
+            backend_options={"threads": 1, "optimize": False}, name="ref-noopt",
+        ) as service:
+            reference = service.submit(circuit, shots=256).counts()
+        with QuantumJobService(
+            backend="qpp", workers=2, processes=2, enable_cache=False,
+            backend_options={"threads": 1, "optimize": False}, name="shard-noopt",
+        ) as service:
+            sharded = service.submit(circuit, shots=256).counts()
+        assert sharded == reference
+
+    def test_use_plans_false_rejected_with_processes(self):
+        # The gate-by-gate A/B path has no plan form: forking shard workers
+        # that could never serve it would be pure waste, so the combination
+        # is rejected up front.
+        with pytest.raises(ExecutionError, match="use-plans"):
+            QuantumJobService(
+                backend="qpp", workers=1, processes=2,
+                backend_options={"use-plans": False}, name="legacy-ab",
+            )
+
+    def test_sharded_plan_hits_counter(self):
+        set_config(seed=6)
+        circuit = ghz_circuit(4)
+        with QuantumJobService(
+            backend="qpp", workers=1, processes=2, enable_cache=False,
+            backend_options={"threads": 1}, name="plan-hits",
+        ) as service:
+            service.submit(circuit, shots=32).counts()  # compiles in the worker
+            service.submit(circuit, shots=32).counts()  # replays the warm plan
+            metrics = service.metrics()
+            executor = service.sharded_executor
+            assert sum(executor.worker_plan_cache_sizes()) >= 1
+        assert metrics.sharded_executions == 2
+        assert metrics.sharded_plan_hits == 1
+
+    def test_sharded_service_requires_qpp(self):
+        with pytest.raises(ExecutionError, match="qpp"):
+            QuantumJobService(backend="noisy-qpp", processes=2)
+
+    def test_shutdown_closes_shard_executor(self):
+        service = QuantumJobService(
+            backend="qpp", workers=1, processes=2, name="teardown"
+        )
+        executor = service.sharded_executor
+        assert executor is not None and not executor.closed
+        service.shutdown()
+        assert executor.closed
+        service.shutdown()  # idempotent
+
+    def test_key_affinity_routes_repeat_jobs_to_one_shard(self):
+        set_config(seed=1)
+        circuit = ghz_circuit(4)
+        with QuantumJobService(
+            backend="qpp", workers=2, processes=2, enable_cache=False,
+            backend_options={"threads": 1}, name="affinity",
+        ) as service:
+            executor = service.sharded_executor
+            for _ in range(3):
+                service.submit(circuit, shots=64).counts()
+            # All three executions landed on the key's shard; its worker
+            # compiled once, so no other shard saw the circuit at all.
+            from repro.service.keys import job_key
+
+            key = job_key(circuit, "qpp", service.backend_options)
+            shard = executor.shard_for(key)
+            assert 0 <= shard < 2

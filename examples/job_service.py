@@ -72,6 +72,13 @@ def main() -> None:
     print(f"cache hit rate:      {metrics.cache_hit_rate:.0%}")
     print(f"shots simulated:     {metrics.executed_shots} of {metrics.served_shots} served")
     print(f"throughput:          {metrics.throughput_jobs_per_second:.0f} jobs/s")
+    plan_cache = metrics.plan_cache
+    print(f"plan cache:          {plan_cache.hits} hits / {plan_cache.lookups} lookups "
+          f"({plan_cache.hit_rate:.0%}), {plan_cache.size}/{plan_cache.capacity} plans resident")
+    if metrics.process_shards:
+        print(f"shard health:        {metrics.process_shards} shards, "
+              f"{metrics.shard_respawns} respawns, "
+              f"queue depths {list(metrics.shard_queue_depths)}")
     for backend, latency in metrics.backend_latency.items():
         print(f"{backend} mean execution: {latency.mean_seconds * 1e3:.1f} ms "
               f"over {latency.executions} runs")

@@ -62,6 +62,12 @@ class BenchmarkHarness:
     #: historical per-gate estimate.  Opt-in: the calibrated Figures 3-5
     #: constants assume per-gate costing.
     use_plan_costs: bool = False
+    #: With ``use_plan_costs``, model *chunk-parallel* replay (the default
+    #: real-execution behaviour for states at or above the chunk
+    #: threshold) instead of the OpenMP-style sweep model: below the
+    #: threshold sweeps are serial, above it each kernel class
+    #: parallelises its measured efficiency fraction.
+    chunked_plan_costs: bool = False
 
     def _resolve_mode(self) -> str:
         mode = self.mode if self.mode is not None else get_config().execution_mode
@@ -79,7 +85,9 @@ class BenchmarkHarness:
                 from ..simulator.plan_cache import get_plan_cache
 
                 plan = get_plan_cache().get_or_compile(circuit)
-                cost = self.cost_model.plan_cost(plan, shots)
+                cost = self.cost_model.plan_cost(
+                    plan, shots, chunked=self.chunked_plan_costs
+                )
             else:
                 cost = self.cost_model.circuit_cost(circuit, shots)
             tasks.append(

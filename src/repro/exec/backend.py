@@ -55,9 +55,17 @@ class ExecutionBackend(abc.ABC):
         n_qubits: int | None = None,
         *,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ):
         """Lower ``circuit`` into a reusable plan; ``None`` when the backend
-        executes directly (density-matrix evolution has no plan form)."""
+        executes directly (density-matrix evolution has no plan form).
+
+        ``batch_diagonals`` collapses adjacent diagonal runs at compile
+        time; ``chunk_threshold`` sets the minimum state size for
+        chunk-parallel replay (``None`` = the compiled default).  Both are
+        performance knobs — they never change measurement distributions.
+        """
         return None
 
     @abc.abstractmethod
@@ -70,6 +78,8 @@ class ExecutionBackend(abc.ABC):
         seed: int | None = None,
         params: Params = None,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> ExecutionResult:
         """Run ``circuit`` for ``shots`` and return the reduced result."""
 
@@ -81,6 +91,8 @@ class ExecutionBackend(abc.ABC):
         n_qubits: int | None = None,
         params: Params = None,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> float:
         """Exact ``<circuit|observable|circuit>`` (no sampling noise)."""
         raise ExecutionError(
@@ -135,9 +147,15 @@ class LocalBackend(ExecutionBackend):
         n_qubits: int | None = None,
         *,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ):
         plan, _ = self._cache().lookup_or_compile(
-            circuit, _resolve_width(circuit, n_qubits), optimize=optimize
+            circuit,
+            _resolve_width(circuit, n_qubits),
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
         )
         return plan
 
@@ -150,13 +168,21 @@ class LocalBackend(ExecutionBackend):
         seed: int | None = None,
         params: Params = None,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> ExecutionResult:
         width = _resolve_width(circuit, n_qubits)
         # The timer covers the cache lookup so a plan-cache miss reports its
         # compilation cost in `seconds` (matching the historical accelerator
         # path); cached replays pay only the lookup.
         started = time.perf_counter()
-        plan, cached = self._cache().lookup_or_compile(circuit, width, optimize=optimize)
+        plan, cached = self._cache().lookup_or_compile(
+            circuit,
+            width,
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
+        )
         if plan.is_parametric:
             if params is None:
                 raise ExecutionError(
@@ -169,7 +195,10 @@ class LocalBackend(ExecutionBackend):
             )
         else:
             state = StateVector(width)
-            state.apply_plan(plan)
+            # The engine's pool chunk-parallelises the single large-state
+            # replay (bitwise identical to serial); sampling then reuses the
+            # same pool for the shot draw.
+            state.apply_plan(plan, pool=self._engine)
             measured = plan.measured_qubits or tuple(range(width))
             counts = self._engine.sample_parallel(state, shots, measured, seed=seed)
         elapsed = time.perf_counter() - started
@@ -193,9 +222,17 @@ class LocalBackend(ExecutionBackend):
         n_qubits: int | None = None,
         params: Params = None,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> float:
         width = _resolve_width(circuit, n_qubits)
-        plan, _ = self._cache().lookup_or_compile(circuit, width, optimize=optimize)
+        plan, _ = self._cache().lookup_or_compile(
+            circuit,
+            width,
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
+        )
         if plan.is_parametric:
             if params is None:
                 raise ExecutionError(
@@ -207,7 +244,7 @@ class LocalBackend(ExecutionBackend):
                 "exact expectations are undefined for circuits with mid-circuit resets"
             )
         state = StateVector(width)
-        state.apply_plan(plan)
+        state.apply_plan(plan, pool=self._engine)
         return float(state.expectation(observable))
 
     def close(self, wait: bool = True) -> None:
@@ -240,7 +277,12 @@ class DensityBackend(ExecutionBackend):
         seed: int | None = None,
         params: Params = None,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> ExecutionResult:
+        # batch_diagonals / chunk_threshold are plan-replay knobs; density
+        # evolution has no plan form, so they are accepted (protocol
+        # uniformity) and ignored.
         from ..simulator.density import DensityMatrix
 
         if params is not None:

@@ -92,23 +92,77 @@ def _circuit_payload(circuit: CompositeInstruction) -> tuple[str, str]:
 # it is picklable by reference)
 # ---------------------------------------------------------------------------
 
-#: Per-process plan cache: (content_hash, width, optimize) -> compiled plan.
+#: Per-process plan cache: (content_hash, width, compile options) -> plan.
 _WORKER_PLANS: "OrderedDict[tuple, object]" = OrderedDict()
 _WORKER_PLAN_CAPACITY = 128
 
+#: Lazily-created per-worker-process engine used to chunk-parallelise each
+#: shard's single-state plan replays across its own worker threads (the
+#: shard process is otherwise single-threaded, so its pool is never nested).
+_WORKER_ENGINE = None
+#: Total shard count, set by the pool initializer so each worker sizes its
+#: chunk pool to its fair share of the host instead of cpu_count threads
+#: per shard (P shards x cpu_count chunk threads would oversubscribe the
+#: machine exactly when every shard replays a large state at once).
+_WORKER_SHARDS = 1
 
-def _worker_plan(payload: str, digest: str, width: int, optimize: bool):
-    """Compile-once lookup inside a worker process."""
-    key = (digest, width, optimize)
+
+def _init_worker_process(total_shards: int) -> None:
+    global _WORKER_SHARDS
+    _WORKER_SHARDS = max(1, int(total_shards))
+
+
+def _worker_engine():
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        import os
+
+        from ..simulator.parallel_engine import ParallelSimulationEngine
+
+        cores = os.cpu_count() or 1
+        _WORKER_ENGINE = ParallelSimulationEngine(
+            num_threads=max(1, cores // _WORKER_SHARDS)
+        )
+    return _WORKER_ENGINE
+
+
+def _worker_plan(
+    payload: str,
+    digest: str,
+    width: int,
+    optimize: bool,
+    batch_diagonals: bool = True,
+    chunk_threshold: int | None = None,
+):
+    """Compile-once lookup inside a worker process.
+
+    ``batch_diagonals`` participates in the key because batched plans are
+    ulp-level different artefacts — the parent compiled with the same flag,
+    and fixed-seed bit-identity across processes depends on both sides
+    replaying the same kernels.
+    """
+    key = (digest, width, optimize, batch_diagonals, chunk_threshold)
     plan = _WORKER_PLANS.get(key)
     if plan is not None:
         _WORKER_PLANS.move_to_end(key)
         return plan, True
     circuit = circuit_from_json(payload)
     if circuit.is_parameterized:
-        plan = compile_parametric_plan(circuit, width, optimize=optimize)
+        plan = compile_parametric_plan(
+            circuit,
+            width,
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
+        )
     else:
-        plan = compile_plan(circuit, width, optimize=optimize)
+        plan = compile_plan(
+            circuit,
+            width,
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
+        )
     _WORKER_PLANS[key] = plan
     while len(_WORKER_PLANS) > _WORKER_PLAN_CAPACITY:
         _WORKER_PLANS.popitem(last=False)
@@ -124,6 +178,8 @@ def _replay_chunk(
     seed_seq: np.random.SeedSequence,
     params: Params = None,
     trajectories: bool = False,
+    batch_diagonals: bool = True,
+    chunk_threshold: int | None = None,
 ) -> tuple[dict[str, int], int, int, bool]:
     """Execute one shard chunk; returns (counts, depth, n_gates, plan_cached).
 
@@ -133,16 +189,23 @@ def _replay_chunk(
     (:meth:`ParallelSimulationEngine.sample_parallel`'s per-chunk body);
     reset circuits run one trajectory per shot with the chunk RNG shared
     between collapses and sampling (:meth:`run_trajectories`'s chunk body).
+    Large states chunk-parallelise each replay on the worker's own engine —
+    chunked replay is bitwise identical to serial, so the cross-process
+    bit-identity guarantee is untouched.
     """
-    plan, cached = _worker_plan(payload, digest, width, optimize)
+    plan, cached = _worker_plan(
+        payload, digest, width, optimize, batch_diagonals, chunk_threshold
+    )
     if plan.is_parametric:
         plan = plan.bind(params if params is not None else ())
     measured = plan.measured_qubits or tuple(range(width))
     rng = np.random.default_rng(seed_seq)
     if plan.has_reset or trajectories:
-        counts = replay_trajectory_chunk(plan, shots, rng, measured, width)
+        counts = replay_trajectory_chunk(
+            plan, shots, rng, measured, width, pool=_worker_engine()
+        )
     else:
-        data = plan.execute(plan.new_state())
+        data = plan.execute(plan.new_state(), pool=_worker_engine())
         counts = sample_counts(np.abs(data) ** 2, shots, measured, width, rng)
     return counts, plan.depth, plan.n_gates, cached
 
@@ -154,28 +217,43 @@ def _chunk_expectation(
     optimize: bool,
     params: Params,
     observable,
+    batch_diagonals: bool = True,
+    chunk_threshold: int | None = None,
 ) -> float:
     """Exact expectation evaluated inside a worker (plan replay + <O>)."""
     from ..simulator.statevector import StateVector
 
-    plan, _ = _worker_plan(payload, digest, width, optimize)
+    plan, _ = _worker_plan(
+        payload, digest, width, optimize, batch_diagonals, chunk_threshold
+    )
     if plan.is_parametric:
         plan = plan.bind(params if params is not None else ())
     if plan.has_reset:
         raise ExecutionError(
             "exact expectations are undefined for circuits with mid-circuit resets"
         )
-    state = StateVector(width, data=plan.execute(plan.new_state()))
+    state = StateVector(
+        width, data=plan.execute(plan.new_state(), pool=_worker_engine())
+    )
     return float(state.expectation(observable))
 
 
-def _warm_worker_plan(payload: str, digest: str, width: int, optimize: bool) -> bool:
+def _warm_worker_plan(
+    payload: str,
+    digest: str,
+    width: int,
+    optimize: bool,
+    batch_diagonals: bool = True,
+    chunk_threshold: int | None = None,
+) -> bool:
     """Compile into the worker's plan cache; returns whether it was warm.
 
     (Plans hold thread-local scratch state and never cross the process
     boundary — only this flag does.)
     """
-    _, cached = _worker_plan(payload, digest, width, optimize)
+    _, cached = _worker_plan(
+        payload, digest, width, optimize, batch_diagonals, chunk_threshold
+    )
     return cached
 
 
@@ -220,6 +298,9 @@ class ShardedExecutor(ExecutionBackend):
         ]
         self._closed = False
         self._retries = 0
+        #: Work submissions in flight per shard (health metric: a hot shard
+        #: under key affinity shows up as a deep per-shard queue here).
+        self._inflight = [0] * self.processes
         if warm_start:
             # Fork every shard up front (ideally from the constructing
             # thread, before dispatcher threads and their locks exist) so
@@ -235,7 +316,11 @@ class ShardedExecutor(ExecutionBackend):
                 raise ExecutionError(f"sharded executor {self.name!r} is closed")
             pool = self._pools[index]
             if pool is None:
-                pool = concurrent.futures.ProcessPoolExecutor(max_workers=1)
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_worker_process,
+                    initargs=(self.processes,),
+                )
                 self._pools[index] = pool
             return pool
 
@@ -301,13 +386,37 @@ class ShardedExecutor(ExecutionBackend):
         return [future.result() for future in futures]
 
     # -- submission with worker-failure retry ------------------------------------
+    def _submit_tracked(
+        self, index: int, pool: concurrent.futures.ProcessPoolExecutor, fn, /, *args
+    ):
+        """``pool.submit`` with per-shard in-flight accounting."""
+        with self._lock:
+            self._inflight[index] += 1
+        try:
+            future = pool.submit(fn, *args)
+        except BaseException:
+            with self._lock:
+                self._inflight[index] -= 1
+            raise
+        future.add_done_callback(lambda _f, i=index: self._work_done(i))
+        return future
+
+    def _work_done(self, index: int) -> None:
+        with self._lock:
+            self._inflight[index] -= 1
+
+    def shard_queue_depths(self) -> list[int]:
+        """Work submissions currently in flight on each shard (health metric)."""
+        with self._lock:
+            return list(self._inflight)
+
     def _run_on_shard(self, index: int, fn, /, *args):
         """Run ``fn(*args)`` on shard ``index``, respawning it on worker death."""
         attempts = 0
         while True:
             pool = self._pool(index)
             try:
-                return pool.submit(fn, *args).result()
+                return self._submit_tracked(index, pool, fn, *args).result()
             except (BrokenProcessPool, EOFError, OSError) as exc:
                 self._replace_pool(index, pool)
                 attempts += 1
@@ -323,6 +432,8 @@ class ShardedExecutor(ExecutionBackend):
         n_qubits: int | None = None,
         *,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ):
         """Warm the affine shard's plan cache; returns the parent-side plan.
 
@@ -334,10 +445,19 @@ class ShardedExecutor(ExecutionBackend):
         payload, digest = _circuit_payload(circuit)
         width = _resolve_width(circuit, n_qubits)
         shard = self.shard_for(digest)
-        self._run_on_shard(shard, _warm_worker_plan, payload, digest, width, optimize)
+        self._run_on_shard(
+            shard, _warm_worker_plan, payload, digest, width, optimize,
+            batch_diagonals, chunk_threshold,
+        )
         from ..simulator.plan_cache import get_plan_cache
 
-        plan, _ = get_plan_cache().lookup_or_compile(circuit, width, optimize=optimize)
+        plan, _ = get_plan_cache().lookup_or_compile(
+            circuit,
+            width,
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
+        )
         return plan
 
     def execute(
@@ -349,6 +469,8 @@ class ShardedExecutor(ExecutionBackend):
         seed: int | None = None,
         params: Params = None,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
         shard: int | None = None,
         trajectories: bool = False,
     ) -> ExecutionResult:
@@ -396,13 +518,19 @@ class ShardedExecutor(ExecutionBackend):
                     indices[0],
                     _replay_chunk,
                     payload, digest, width, optimize, chunks[0], seeds[0], params,
-                    trajectories,
+                    trajectories, batch_diagonals, chunk_threshold,
                 )
             ]
         else:
             outcomes = self._gather(
                 [
-                    (index, (payload, digest, width, optimize, chunk, seq, params, trajectories))
+                    (
+                        index,
+                        (
+                            payload, digest, width, optimize, chunk, seq, params,
+                            trajectories, batch_diagonals, chunk_threshold,
+                        ),
+                    )
                     for index, chunk, seq in zip(indices, chunks, seeds)
                 ]
             )
@@ -437,7 +565,9 @@ class ShardedExecutor(ExecutionBackend):
         for index, args in jobs:
             pool = self._pool(index)
             try:
-                entries.append((index, args, pool, pool.submit(_replay_chunk, *args)))
+                entries.append(
+                    (index, args, pool, self._submit_tracked(index, pool, _replay_chunk, *args))
+                )
             except (BrokenProcessPool, EOFError, OSError):
                 self._replace_pool(index, pool)
                 entries.append((index, args, None, None))
@@ -463,6 +593,8 @@ class ShardedExecutor(ExecutionBackend):
         seed: int | None = None,
         params: Params = None,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> ExecutionResult:
         """Affinity mode: the shard owning ``key`` runs the whole job, so
         its warm plan cache keeps getting the circuits it already compiled."""
@@ -473,6 +605,8 @@ class ShardedExecutor(ExecutionBackend):
             seed=seed,
             params=params,
             optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
             shard=self.shard_for(key),
         )
 
@@ -484,12 +618,15 @@ class ShardedExecutor(ExecutionBackend):
         n_qubits: int | None = None,
         params: Params = None,
         optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> float:
         payload, digest = _circuit_payload(circuit)
         width = _resolve_width(circuit, n_qubits)
         shard = self.shard_for(digest)
         return self._run_on_shard(
-            shard, _chunk_expectation, payload, digest, width, optimize, params, observable
+            shard, _chunk_expectation, payload, digest, width, optimize, params,
+            observable, batch_diagonals, chunk_threshold,
         )
 
     # -- introspection ------------------------------------------------------------

@@ -110,6 +110,10 @@ class QppAccelerator(Accelerator, Cloneable):
         seed = get_config().seed
         optimize = bool(self.options.get("optimize", True))
         use_plans = bool(self.options.get("use-plans", True))
+        # Plan-replay tuning knobs (performance only — neither changes the
+        # measurement distribution; both are non-semantic job-key options).
+        batch_diagonals = bool(self.options.get("batch-diagonals", True))
+        chunk_threshold = self._option_int("chunk-threshold", default=None)
 
         if use_plans:
             result = self.execution_backend().execute(
@@ -118,6 +122,8 @@ class QppAccelerator(Accelerator, Cloneable):
                 n_qubits=buffer.size,
                 seed=seed,
                 optimize=optimize,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=chunk_threshold,
             )
             counts = result.counts
             information = {

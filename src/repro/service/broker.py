@@ -390,6 +390,7 @@ class QuantumJobService:
         with ``processes`` at construction.
         """
         if self._sharded is not None:
+            chunk_threshold = self.backend_options.get("chunk-threshold")
             result = self._sharded.execute_for_key(
                 spec.key,
                 spec.circuit,
@@ -397,6 +398,8 @@ class QuantumJobService:
                 n_qubits=spec.n_qubits,
                 seed=get_config().seed,
                 optimize=bool(self.backend_options.get("optimize", True)),
+                batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
+                chunk_threshold=None if chunk_threshold is None else int(chunk_threshold),  # type: ignore[arg-type]
             )
             self._metrics.increment("sharded_executions")
             if result.plan_cached:
@@ -455,6 +458,14 @@ class QuantumJobService:
             # ``sharded_plan_hits`` for the per-worker cache behaviour.
             plan_cache=get_plan_cache().stats(),
             process_shards=self.processes if self._sharded is not None else 0,
+            shard_respawns=(
+                self._sharded.total_retries if self._sharded is not None else 0
+            ),
+            shard_queue_depths=(
+                tuple(self._sharded.shard_queue_depths())
+                if self._sharded is not None
+                else ()
+            ),
         )
 
     @property

@@ -63,6 +63,11 @@ class MetricsSnapshot:
     active_workers: int = 0
     #: Process shards serving executions (0 = in-process dispatch).
     process_shards: int = 0
+    #: Shard worker processes respawned after dying mid-batch (health).
+    shard_respawns: int = 0
+    #: In-flight work per shard at snapshot time (empty without sharding;
+    #: a persistently deep entry is a hot key-affinity shard).
+    shard_queue_depths: tuple[int, ...] = ()
     #: Seconds since the service started.
     uptime_seconds: float = 0.0
     #: Cache counter snapshot.
@@ -129,6 +134,8 @@ class ServiceMetrics:
         cache: CacheStats | None = None,
         plan_cache: PlanCacheStats | None = None,
         process_shards: int = 0,
+        shard_respawns: int = 0,
+        shard_queue_depths: tuple[int, ...] = (),
     ) -> MetricsSnapshot:
         with self._lock:
             counts = dict(self._counts)
@@ -141,6 +148,8 @@ class ServiceMetrics:
             queue_depth=queue_depth,
             active_workers=active_workers,
             process_shards=process_shards,
+            shard_respawns=shard_respawns,
+            shard_queue_depths=tuple(shard_queue_depths),
             uptime_seconds=uptime,
             cache=cache or CacheStats(),
             plan_cache=plan_cache or PlanCacheStats(),

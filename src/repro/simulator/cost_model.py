@@ -25,7 +25,12 @@ from typing import Mapping
 
 from ..ir.composite import CompositeInstruction
 
-__all__ = ["CircuitCost", "SimulationCostModel", "DEFAULT_KERNEL_COST_FACTORS"]
+__all__ = [
+    "CircuitCost",
+    "SimulationCostModel",
+    "DEFAULT_KERNEL_COST_FACTORS",
+    "DEFAULT_KERNEL_PARALLEL_EFFICIENCY",
+]
 
 #: Relative per-amplitude work of each compiled-plan kernel class, with a
 #: dense single-qubit update as 1.0.  Diagonal kernels touch each amplitude
@@ -42,6 +47,21 @@ DEFAULT_KERNEL_COST_FACTORS: dict[str, float] = {
     "gather": 0.35,
     "dense": 1.0,
     "reset": 0.5,
+}
+
+#: Fraction of each kernel class's amplitude sweep that chunk-parallel plan
+#: replay actually overlaps across worker threads (states at or above the
+#: chunk threshold).  Elementwise kernels chunk almost perfectly; gathers
+#: and dense blocks pay barrier/scatter phases; resets stay serial (global
+#: probability reduction + one RNG draw).
+DEFAULT_KERNEL_PARALLEL_EFFICIENCY: dict[str, float] = {
+    "single": 0.92,
+    "controlled": 0.88,
+    "diagonal": 0.85,
+    "permutation": 0.8,
+    "gather": 0.75,
+    "dense": 0.7,
+    "reset": 0.0,
 }
 
 
@@ -117,6 +137,14 @@ class SimulationCostModel:
     kernel_cost_factors: Mapping[str, float] = field(
         default_factory=lambda: dict(DEFAULT_KERNEL_COST_FACTORS)
     )
+    #: Minimum state size (amplitudes) before chunk-parallel replay engages
+    #: (mirrors :data:`repro.simulator.execution_plan.DEFAULT_CHUNK_THRESHOLD`).
+    chunk_threshold: int = 1 << 16
+    #: Per-kernel-class fraction of the sweep that chunking parallelises
+    #: (see :data:`DEFAULT_KERNEL_PARALLEL_EFFICIENCY`).
+    kernel_parallel_efficiency: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_KERNEL_PARALLEL_EFFICIENCY)
+    )
 
     def gate_cost(self, n_qubits: int, gate_qubits: int) -> float:
         """Parallelisable work of one gate application on an ``n_qubits`` state."""
@@ -160,7 +188,7 @@ class SimulationCostModel:
             factor *= self.multi_qubit_factor ** max(0, targets - 1)
         return amplitudes * self.amplitude_update_cost * factor
 
-    def plan_cost(self, plan, shots: int) -> CircuitCost:
+    def plan_cost(self, plan, shots: int, *, chunked: bool = False) -> CircuitCost:
         """Estimate the cost of replaying a compiled :class:`ExecutionPlan`.
 
         The ``modeled`` execution mode uses this to predict *plan-executed*
@@ -171,18 +199,33 @@ class SimulationCostModel:
         per-gate IR walk.  Accepts parametric plans (the kernel sequence is
         the template's; rebinding cost is a handful of 2x2 rebuilds and is
         folded into the step dispatch constant).
+
+        ``chunked=True`` models *chunk-parallel* replay instead of the
+        OpenMP-style sweep model: below :attr:`chunk_threshold` the replay
+        is single-threaded (all sweep work is serial — exactly what the
+        real engine does), and above it each kernel class parallelises only
+        its :attr:`kernel_parallel_efficiency` fraction.
         """
         steps = getattr(plan, "steps", None)
         if steps is None:  # ParametricExecutionPlan delegates to its template
             steps = plan.template_steps
         n = max(int(plan.n_qubits), 1)
+        chunking_engages = chunked and (1 << n) >= self.chunk_threshold
         parallel = 0.0
         serial = 0.0
         locked = self.launch_overhead
         for step in steps:
             work = self.kernel_cost(n, step.kernel, len(step.targets))
-            parallel += work * (1.0 - self.gate_serial_fraction)
-            serial += work * self.gate_serial_fraction
+            if not chunked:
+                parallel_fraction = 1.0 - self.gate_serial_fraction
+            elif chunking_engages:
+                parallel_fraction = float(
+                    self.kernel_parallel_efficiency.get(step.kernel, 0.7)
+                )
+            else:
+                parallel_fraction = 0.0
+            parallel += work * parallel_fraction
+            serial += work * (1.0 - parallel_fraction)
             serial += self.plan_step_dispatch_cost
         # Probability-vector pass + multinomial sampling (identical to the
         # gate-by-gate path: sampling does not change with plans).

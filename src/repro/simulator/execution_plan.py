@@ -19,6 +19,19 @@ amortises gate application with fused OpenMP kernels:
   is compiled once from the *symbolic* ansatz and only the rotation
   matrices are re-bound per parameter set (per thread, so concurrently
   bound plans never race).
+* **Diagonal batching** (``batch_diagonals=True``): adjacent runs of
+  diagonal kernels — QFT's CPHASE ladders, bound RZ layers — collapse at
+  compile time into one combined :data:`KERNEL_DIAGONAL` step holding the
+  precomputed product diagonal over the union of touched qubits, shrinking
+  step counts and full-state memory passes.
+* **Chunk-parallel replay** (``execute(state, pool=engine)``): for states
+  of at least ``chunk_threshold`` amplitudes, every kernel splits into
+  contiguous/disjoint sub-views dispatched on a
+  :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`
+  worker pool.  NumPy releases the GIL inside the vectorised inner loops,
+  so chunks genuinely overlap — and because every chunk performs exactly
+  the per-amplitude arithmetic of the serial kernel, chunked replay is
+  **bitwise identical** to serial replay.
 
 Plans are immutable after compilation (parametric binding mutates only
 per-thread step copies), so one plan can be shared by every trajectory
@@ -49,6 +62,8 @@ __all__ = [
     "compile_plan",
     "compile_parametric_plan",
     "DEFAULT_FUSION_MAX_QUBITS",
+    "DEFAULT_CHUNK_THRESHOLD",
+    "DEFAULT_DIAGONAL_BATCH_MAX_QUBITS",
 ]
 
 #: Kernel tags (ints for tight dispatch; names for introspection).
@@ -72,6 +87,17 @@ KERNEL_NAMES = {
 
 #: Default ceiling for dense-block fusion (0/1 disables, 3 is the max).
 DEFAULT_FUSION_MAX_QUBITS = 2
+
+#: States below this many amplitudes are never chunk-parallelised: the pool
+#: dispatch overhead dominates the kernels.  2^16 amplitudes = 16 qubits =
+#: 1 MiB of complex128, the point where one kernel sweep clearly outweighs
+#: a handful of thread-pool submissions.
+DEFAULT_CHUNK_THRESHOLD = 1 << 16
+
+#: Ceiling on the union of qubits a batched diagonal step may touch (the
+#: product diagonal holds ``2**k`` entries and the strided kernel issues up
+#: to that many slice multiplies, so the cap bounds both).
+DEFAULT_DIAGONAL_BATCH_MAX_QUBITS = 6
 
 #: Gates realised as pure amplitude moves (never fused: moving is cheaper
 #: than any arithmetic a fused block would do).
@@ -102,6 +128,7 @@ class PlanStep:
         "sub_target_axis",
         "diag",
         "diag_idx",
+        "diag_nd",
         "pairs",
         "gather",
         "matrix",
@@ -214,6 +241,8 @@ class ExecutionPlan:
         n_gates: int = 0,
         source_gates: int = 0,
         fused_gates: int = 0,
+        batched_diagonals: int = 0,
+        chunk_threshold: int | None = None,
         requires_binding: bool = False,
     ):
         self.n_qubits = int(n_qubits)
@@ -226,12 +255,21 @@ class ExecutionPlan:
         self.source_gates = source_gates
         #: Gates absorbed into fused dense/single blocks.
         self.fused_gates = fused_gates
+        #: Diagonal steps absorbed into combined product-diagonal steps.
+        self.batched_diagonals = batched_diagonals
+        #: Minimum state size (amplitudes) before ``execute(pool=...)`` chunks.
+        self.chunk_threshold = (
+            DEFAULT_CHUNK_THRESHOLD if chunk_threshold is None else int(chunk_threshold)
+        )
         self._steps = tuple(steps)
         self._parametric_steps = tuple(s for s in self._steps if s.parametric is not None)
         self._shape = (2,) * self.n_qubits
         self._dim = 1 << self.n_qubits
         self._requires_binding = requires_binding
         self._tls = threading.local()
+        #: Memoised chunk programs keyed by worker count (built on first
+        #: chunked execute; benign if two threads race to build one).
+        self._chunk_programs: dict[int, tuple] = {}
 
     # -- introspection -------------------------------------------------------
     @property
@@ -264,12 +302,26 @@ class ExecutionPlan:
         return spare
 
     def execute(
-        self, data: np.ndarray, rng: np.random.Generator | None = None
+        self,
+        data: np.ndarray,
+        rng: np.random.Generator | None = None,
+        *,
+        pool=None,
     ) -> np.ndarray:
         """Run every step over ``data``; returns the resulting state array.
 
         The returned array may be a recycled scratch buffer rather than
         ``data`` itself — always use the return value.
+
+        ``pool`` is a :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`
+        (anything with ``effective_threads()`` and ``chunk_pool(workers)``).
+        When given — and the state holds at least :attr:`chunk_threshold`
+        amplitudes — each kernel is split into disjoint sub-views executed
+        on the pool's worker threads.  Chunks perform exactly the serial
+        kernel's per-amplitude arithmetic, so the chunked result is bitwise
+        identical to the serial one.  Never pass a pool from *inside* one
+        of its own worker threads (the barrier would deadlock a saturated
+        pool); the trajectory paths therefore only chunk single-chunk runs.
         """
         if self._requires_binding:
             raise ExecutionError(
@@ -283,55 +335,110 @@ class ExecutionPlan:
             )
         if data.dtype != np.complex128 or not data.flags.c_contiguous:
             data = np.ascontiguousarray(data, dtype=complex)
+        if pool is not None and self._dim >= self.chunk_threshold:
+            workers = int(pool.effective_threads())
+            if workers > 1:
+                return self._execute_chunked(data, rng, pool, workers)
         cur = data
         spare = self._scratch()
         shape = self._shape
+        apply_step = self._apply_step
         for step in self._steps:
-            tag = step.tag
-            if tag == KERNEL_SINGLE:
-                view = cur.reshape(-1, 2, step.block)
-                s0 = view[:, 0, :].copy()
-                s1 = view[:, 1, :]
-                view[:, 0, :] = step.m00 * s0 + step.m01 * s1
-                view[:, 1, :] = step.m10 * s0 + step.m11 * s1
-            elif tag == KERNEL_DIAGONAL:
-                psi = cur.reshape(shape)
+            cur, spare = apply_step(step, cur, spare, shape, rng)
+        self._tls.spare = spare
+        return cur
+
+    # -- chunk-parallel execution --------------------------------------------
+    def _execute_chunked(
+        self, cur: np.ndarray, rng, pool, workers: int
+    ) -> np.ndarray:
+        """Replay every kernel as disjoint chunks on the pool's threads.
+
+        The chunk *program* (per-step split geometry) is memoised per worker
+        count; chunk specs hold only geometry and read the step's matrices /
+        diagonals at run time, so parametric rebinding keeps working.
+        """
+        program = self._chunk_programs.get(workers)
+        if program is None:
+            program = tuple(
+                _chunk_step(step, self.n_qubits, self._dim, workers)
+                for step in self._steps
+            )
+            self._chunk_programs[workers] = program
+        executor = pool.chunk_pool(workers)
+
+        def pool_map(fn, tasks):
+            # list() both joins the chunks (barrier) and surfaces exceptions.
+            list(executor.map(fn, tasks))
+
+        spare = self._scratch()
+        shape = self._shape
+        for step, chunked in zip(self._steps, program):
+            if chunked is None:
+                cur, spare = self._apply_step(step, cur, spare, shape, rng)
+            else:
+                cur, spare = chunked.run(pool_map, cur, spare, shape)
+        self._tls.spare = spare
+        return cur
+
+    def _apply_step(
+        self,
+        step: PlanStep,
+        cur: np.ndarray,
+        spare: np.ndarray,
+        shape: tuple,
+        rng,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serial application of one step — the single definition of every
+        kernel's arithmetic, shared by the serial execute loop and the
+        chunked loop's fallback (resets, degenerate split geometries)."""
+        tag = step.tag
+        if tag == KERNEL_SINGLE:
+            view = cur.reshape(-1, 2, step.block)
+            s0 = view[:, 0, :].copy()
+            s1 = view[:, 1, :]
+            view[:, 0, :] = step.m00 * s0 + step.m01 * s1
+            view[:, 1, :] = step.m10 * s0 + step.m11 * s1
+        elif tag == KERNEL_DIAGONAL:
+            psi = cur.reshape(shape)
+            if step.diag_nd is not None:
+                psi *= step.diag_nd
+            else:
                 for idx, d in zip(step.diag_idx, step.diag):
                     if d != 1.0:
                         psi[idx] *= d
-            elif tag == KERNEL_PERMUTATION:
-                psi = cur.reshape(shape)
-                for a, b in step.pairs:
-                    tmp = psi[a].copy()
-                    psi[a] = psi[b]
-                    psi[b] = tmp
-            elif tag == KERNEL_CONTROLLED:
-                psi = cur.reshape(shape)
-                sub = np.moveaxis(psi[step.ctrl_index], step.sub_target_axis, 0)
-                s0 = sub[0].copy()
-                s1 = sub[1]
-                sub[0] = step.m00 * s0 + step.m01 * s1
-                sub[1] = step.m10 * s0 + step.m11 * s1
-            elif tag == KERNEL_DENSE:
-                np.take(cur, step.perm, out=spare)
-                np.matmul(
-                    step.matrix,
-                    spare.reshape(step.dim_k, -1),
-                    out=cur.reshape(step.dim_k, -1),
+        elif tag == KERNEL_PERMUTATION:
+            psi = cur.reshape(shape)
+            for a, b in step.pairs:
+                tmp = psi[a].copy()
+                psi[a] = psi[b]
+                psi[b] = tmp
+        elif tag == KERNEL_CONTROLLED:
+            psi = cur.reshape(shape)
+            sub = np.moveaxis(psi[step.ctrl_index], step.sub_target_axis, 0)
+            s0 = sub[0].copy()
+            s1 = sub[1]
+            sub[0] = step.m00 * s0 + step.m01 * s1
+            sub[1] = step.m10 * s0 + step.m11 * s1
+        elif tag == KERNEL_DENSE:
+            np.take(cur, step.perm, out=spare)
+            np.matmul(
+                step.matrix,
+                spare.reshape(step.dim_k, -1),
+                out=cur.reshape(step.dim_k, -1),
+            )
+            np.take(cur, step.inv_perm, out=spare)
+            cur, spare = spare, cur
+        elif tag == KERNEL_GATHER:
+            np.take(cur, step.gather, out=spare)
+            cur, spare = spare, cur
+        else:  # KERNEL_RESET
+            if rng is None:
+                raise ExecutionError(
+                    "plan contains RESET instructions; execute() needs an rng"
                 )
-                np.take(cur, step.inv_perm, out=spare)
-                cur, spare = spare, cur
-            elif tag == KERNEL_GATHER:
-                np.take(cur, step.gather, out=spare)
-                cur, spare = spare, cur
-            else:  # KERNEL_RESET
-                if rng is None:
-                    raise ExecutionError(
-                        "plan contains RESET instructions; execute() needs an rng"
-                    )
-                cur = self._reset(cur, step, rng)
-        self._tls.spare = spare
-        return cur
+            cur = self._reset(cur, step, rng)
+        return cur, spare
 
     def _reset(
         self, cur: np.ndarray, step: PlanStep, rng: np.random.Generator
@@ -412,6 +519,14 @@ class ParametricExecutionPlan:
         return self._template.has_reset
 
     @property
+    def batched_diagonals(self) -> int:
+        return self._template.batched_diagonals
+
+    @property
+    def chunk_threshold(self) -> int:
+        return self._template.chunk_threshold
+
+    @property
     def template_steps(self) -> tuple[PlanStep, ...]:
         """The unbound step sequence (for introspection/cost modelling)."""
         return self._template.steps
@@ -437,6 +552,8 @@ class ParametricExecutionPlan:
                 n_gates=template.n_gates,
                 source_gates=template.source_gates,
                 fused_gates=template.fused_gates,
+                batched_diagonals=template.batched_diagonals,
+                chunk_threshold=template.chunk_threshold,
                 requires_binding=True,
             )
             self._tls.plan = plan
@@ -487,6 +604,317 @@ class ParametricExecutionPlan:
 
 
 # ---------------------------------------------------------------------------
+# Chunk-parallel kernel splitting
+#
+# Every spec below partitions a kernel's amplitude sweep into disjoint
+# sub-views and runs the *identical* per-amplitude arithmetic on each, so
+# chunked replay is bitwise identical to serial replay.  Specs store only
+# geometry (ranges, index tuples) and read the step's matrices/diagonals at
+# run time — parametric rebinding therefore composes with chunking.
+# ---------------------------------------------------------------------------
+
+
+def _split_ranges(total: int, parts: int) -> tuple[tuple[int, int], ...]:
+    """Near-equal contiguous ``[lo, hi)`` ranges covering ``[0, total)``."""
+    bounds = np.linspace(0, total, parts + 1).astype(int)
+    return tuple(
+        (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if lo < hi
+    )
+
+
+def _split_assignments(
+    n_qubits: int, busy: tuple[int, ...], workers: int, reserve: int = 0
+) -> list[dict[int, int]] | None:
+    """Bit assignments over the highest qubits *not* in ``busy``.
+
+    Fixing ``h`` free qubits partitions the state into ``2**h`` disjoint
+    sub-views a kernel acting only on ``busy`` qubits never couples; the
+    assignments are the chunk tasks.  ``reserve`` keeps that many free
+    qubits *unfixed* — kernels whose arithmetic must stay on NumPy's array
+    ufunc loops reserve one so no task ever degenerates to scalar element
+    ops (the scalar complex-multiply path rounds differently, which would
+    break the chunked == serial bitwise guarantee).  Returns ``None`` when
+    no split is possible (the caller falls back to serial for that step).
+    """
+    busy_set = set(busy)
+    free = [q for q in range(n_qubits - 1, -1, -1) if q not in busy_set]
+    h = 0
+    while (1 << h) < workers and h < len(free) - reserve:
+        h += 1
+    if h == 0:
+        return None
+    split_qubits = free[:h]
+    return [
+        {q: (bits >> i) & 1 for i, q in enumerate(split_qubits)}
+        for bits in range(1 << h)
+    ]
+
+
+def _merge_index(
+    base: tuple, assignment: Mapping[int, int], n_qubits: int
+) -> tuple:
+    """``base`` axis-index tuple with ``assignment``'s qubit bits fixed too."""
+    merged = list(base)
+    for qubit, bit in assignment.items():
+        merged[n_qubits - 1 - qubit] = bit
+    return tuple(merged)
+
+
+class _ChunkSingle:
+    """Row- (or, for top-qubit targets, column-) sliced single-qubit update."""
+
+    __slots__ = ("step", "spans", "by_rows")
+
+    def __init__(self, step: PlanStep, dim: int, workers: int):
+        self.step = step
+        rows = dim >> (step.targets[0] + 1)
+        self.by_rows = rows >= workers
+        self.spans = _split_ranges(rows if self.by_rows else step.block, workers)
+
+    def run(self, pool_map, cur, spare, shape):
+        step = self.step
+        view = cur.reshape(-1, 2, step.block)
+        by_rows = self.by_rows
+
+        def work(span):
+            lo, hi = span
+            block = view[lo:hi] if by_rows else view[:, :, lo:hi]
+            s0 = block[:, 0, :].copy()
+            s1 = block[:, 1, :]
+            block[:, 0, :] = step.m00 * s0 + step.m01 * s1
+            block[:, 1, :] = step.m10 * s0 + step.m11 * s1
+
+        pool_map(work, self.spans)
+        return cur, spare
+
+
+class _ChunkControlled:
+    """Controlled 2x2 update split over assignments of free high qubits."""
+
+    __slots__ = ("step", "tasks")
+
+    def __init__(self, step: PlanStep, n_qubits: int, assignments):
+        control, target = step.targets
+        target_axis = n_qubits - 1 - target
+        self.step = step
+        self.tasks = []
+        for assignment in assignments:
+            idx = _merge_index(step.ctrl_index, assignment, n_qubits)
+            fixed_axes = [i for i, v in enumerate(idx) if not isinstance(v, slice)]
+            pos = target_axis - sum(1 for a in fixed_axes if a < target_axis)
+            self.tasks.append((idx, pos))
+
+    def run(self, pool_map, cur, spare, shape):
+        step = self.step
+        psi = cur.reshape(shape)
+
+        def work(task):
+            idx, pos = task
+            sub = np.moveaxis(psi[idx], pos, 0)
+            s0 = sub[0].copy()
+            s1 = sub[1]
+            sub[0] = step.m00 * s0 + step.m01 * s1
+            sub[1] = step.m10 * s0 + step.m11 * s1
+
+        pool_map(work, self.tasks)
+        return cur, spare
+
+
+class _ChunkDiagonalBroadcast:
+    """Broadcast-diagonal multiply over contiguous flat slabs.
+
+    Splitting fixes the *leading* tensor axes, so each task is one
+    contiguous flat range; the matching ``diag_nd`` sub-view (axes of size
+    1 are indexed at 0) broadcasts against the slab exactly as the full
+    array does against the full state.
+    """
+
+    __slots__ = ("step", "tasks", "slab_shape")
+
+    def __init__(self, step: PlanStep, n_qubits: int, dim: int, workers: int):
+        h = 0
+        while (1 << h) < workers and h < n_qubits - 1:
+            h += 1
+        self.step = step
+        self.slab_shape = (2,) * (n_qubits - h)
+        slab = dim >> h
+        nd_shape = step.diag_nd.shape
+        self.tasks = []
+        for j in range(1 << h):
+            prefix = tuple(
+                ((j >> (h - 1 - a)) & 1) if nd_shape[a] == 2 else 0
+                for a in range(h)
+            )
+            self.tasks.append((j * slab, (j + 1) * slab, prefix))
+
+    def run(self, pool_map, cur, spare, shape):
+        diag_nd = self.step.diag_nd
+        slab_shape = self.slab_shape
+
+        def work(task):
+            lo, hi, prefix = task
+            view = cur[lo:hi].reshape(slab_shape)
+            view *= diag_nd[prefix]
+
+        pool_map(work, self.tasks)
+        return cur, spare
+
+
+class _ChunkDiagonalStrided:
+    """Strided diagonal multiplies split over free-high-qubit assignments."""
+
+    __slots__ = ("step", "tasks")
+
+    def __init__(self, step: PlanStep, n_qubits: int, assignments):
+        self.step = step
+        self.tasks = [
+            tuple(
+                (slot, _merge_index(idx, assignment, n_qubits))
+                for slot, idx in enumerate(step.diag_idx)
+            )
+            for assignment in assignments
+        ]
+
+    def run(self, pool_map, cur, spare, shape):
+        diag = self.step.diag
+        psi = cur.reshape(shape)
+
+        def work(ops):
+            for slot, idx in ops:
+                d = diag[slot]
+                if d != 1.0:
+                    psi[idx] *= d
+
+        pool_map(work, self.tasks)
+        return cur, spare
+
+
+class _ChunkPermutation:
+    """Slice exchanges split over free-high-qubit assignments."""
+
+    __slots__ = ("step", "tasks")
+
+    def __init__(self, step: PlanStep, n_qubits: int, assignments):
+        self.step = step
+        self.tasks = [
+            tuple(
+                (
+                    _merge_index(a, assignment, n_qubits),
+                    _merge_index(b, assignment, n_qubits),
+                )
+                for a, b in step.pairs
+            )
+            for assignment in assignments
+        ]
+
+    def run(self, pool_map, cur, spare, shape):
+        psi = cur.reshape(shape)
+
+        def work(pairs):
+            for a, b in pairs:
+                tmp = psi[a].copy()
+                psi[a] = psi[b]
+                psi[b] = tmp
+
+        pool_map(work, self.tasks)
+        return cur, spare
+
+
+class _ChunkGather:
+    """Whole-state index gather split into contiguous output ranges."""
+
+    __slots__ = ("step", "spans")
+
+    def __init__(self, step: PlanStep, dim: int, workers: int):
+        self.step = step
+        self.spans = _split_ranges(dim, workers)
+
+    def run(self, pool_map, cur, spare, shape):
+        gather = self.step.gather
+
+        def work(span):
+            lo, hi = span
+            np.take(cur, gather[lo:hi], out=spare[lo:hi])
+
+        pool_map(work, self.spans)
+        return spare, cur
+
+
+class _ChunkDense:
+    """Fused dense block: parallel gather and scatter around the matmul.
+
+    The two indexed-copy passes (the memory-bound majority of the kernel)
+    split into contiguous output ranges; the small ``(2^k, 2^k) @ (2^k, M)``
+    product itself runs as the *exact* serial call — BLAS picks different
+    (differently-rounded) microkernels per operand shape, so slicing its
+    columns would forfeit the bitwise-identity guarantee.
+    """
+
+    __slots__ = ("step", "el_spans")
+
+    def __init__(self, step: PlanStep, dim: int, workers: int):
+        self.step = step
+        self.el_spans = _split_ranges(dim, workers)
+
+    def run(self, pool_map, cur, spare, shape):
+        step = self.step
+        perm, inv_perm = step.perm, step.inv_perm
+
+        def gather(span):
+            lo, hi = span
+            np.take(cur, perm[lo:hi], out=spare[lo:hi])
+
+        pool_map(gather, self.el_spans)
+        np.matmul(
+            step.matrix,
+            spare.reshape(step.dim_k, -1),
+            out=cur.reshape(step.dim_k, -1),
+        )
+
+        def scatter(span):
+            lo, hi = span
+            np.take(cur, inv_perm[lo:hi], out=spare[lo:hi])
+
+        pool_map(scatter, self.el_spans)
+        return spare, cur
+
+
+def _chunk_step(step: PlanStep, n_qubits: int, dim: int, workers: int):
+    """Build the chunk spec for one step (``None`` = run it serially)."""
+    tag = step.tag
+    if tag == KERNEL_SINGLE:
+        spec = _ChunkSingle(step, dim, workers)
+        return spec if spec.spans else None
+    if tag == KERNEL_DIAGONAL:
+        if step.diag_nd is not None:
+            return _ChunkDiagonalBroadcast(step, n_qubits, dim, workers)
+        # reserve=1: the strided multiplies must keep at least one sliced
+        # axis per task, staying on the array ufunc loops (see
+        # _split_assignments).
+        assignments = _split_assignments(n_qubits, step.targets, workers, reserve=1)
+        return (
+            _ChunkDiagonalStrided(step, n_qubits, assignments)
+            if assignments
+            else None
+        )
+    if tag == KERNEL_CONTROLLED:
+        assignments = _split_assignments(n_qubits, step.targets, workers)
+        return (
+            _ChunkControlled(step, n_qubits, assignments) if assignments else None
+        )
+    if tag == KERNEL_PERMUTATION:
+        assignments = _split_assignments(n_qubits, step.targets, workers)
+        return (
+            _ChunkPermutation(step, n_qubits, assignments) if assignments else None
+        )
+    if tag == KERNEL_GATHER:
+        return _ChunkGather(step, dim, workers)
+    if tag == KERNEL_DENSE:
+        return _ChunkDense(step, dim, workers)
+    return None  # KERNEL_RESET: global reduction + RNG draw stays serial
+
+
+# ---------------------------------------------------------------------------
 # Compilation
 # ---------------------------------------------------------------------------
 
@@ -497,20 +925,36 @@ def compile_plan(
     *,
     optimize: bool = True,
     fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+    batch_diagonals: bool = True,
+    chunk_threshold: int | None = None,
 ) -> ExecutionPlan:
     """Lower a bound circuit into an :class:`ExecutionPlan`.
 
     ``n_qubits`` widens the plan beyond the circuit's own width (the state
     register may be larger than the circuit).  ``optimize`` runs the default
     IR pass pipeline first; ``fusion_max_qubits`` bounds dense-block fusion
-    (0 or 1 disables it, 3 is the maximum).
+    (0 or 1 disables it, 3 is the maximum).  ``batch_diagonals`` collapses
+    adjacent runs of diagonal steps into combined product-diagonal steps
+    (distribution-equivalent; reassociating the products can shift
+    amplitudes by ulps, so pass ``False`` when bit-exact equality with the
+    gate-by-gate path is required).  ``chunk_threshold`` sets the minimum
+    state size for chunk-parallel replay (``None`` uses
+    :data:`DEFAULT_CHUNK_THRESHOLD`; it never changes results, only how
+    ``execute(pool=...)`` schedules them).
     """
     if circuit.is_parameterized:
         raise ExecutionError(
             f"circuit {circuit.name!r} has unbound parameters; use "
             "compile_parametric_plan() for symbolic circuits"
         )
-    return _compile(circuit, n_qubits, optimize=optimize, fusion_max_qubits=fusion_max_qubits)
+    return _compile(
+        circuit,
+        n_qubits,
+        optimize=optimize,
+        fusion_max_qubits=fusion_max_qubits,
+        batch_diagonals=batch_diagonals,
+        chunk_threshold=chunk_threshold,
+    )
 
 
 def compile_parametric_plan(
@@ -519,8 +963,14 @@ def compile_parametric_plan(
     *,
     optimize: bool = True,
     fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+    batch_diagonals: bool = True,
+    chunk_threshold: int | None = None,
 ) -> ParametricExecutionPlan:
-    """Compile a symbolic circuit once; re-bind rotation matrices per call."""
+    """Compile a symbolic circuit once; re-bind rotation matrices per call.
+
+    Diagonal batching only merges *concrete* diagonal steps — parametric
+    rotations keep their own steps so in-place rebinding stays possible.
+    """
     if not circuit.is_parameterized:
         raise ExecutionError(
             f"circuit {circuit.name!r} has no unbound parameters; use compile_plan()"
@@ -531,6 +981,8 @@ def compile_parametric_plan(
         n_qubits,
         optimize=optimize,
         fusion_max_qubits=fusion_max_qubits,
+        batch_diagonals=batch_diagonals,
+        chunk_threshold=chunk_threshold,
         requires_binding=True,
     )
     return ParametricExecutionPlan(template, names)
@@ -542,6 +994,8 @@ def _compile(
     *,
     optimize: bool,
     fusion_max_qubits: int,
+    batch_diagonals: bool = True,
+    chunk_threshold: int | None = None,
     requires_binding: bool = False,
 ) -> ExecutionPlan:
     width = max(circuit.n_qubits, 1 if n_qubits is None else int(n_qubits), 1)
@@ -570,6 +1024,10 @@ def _compile(
         if step is not None:
             steps.append(step)
 
+    batched_diagonals = 0
+    if batch_diagonals:
+        steps, batched_diagonals = _batch_diagonal_steps(steps, width)
+
     return ExecutionPlan(
         width,
         steps,
@@ -579,8 +1037,73 @@ def _compile(
         n_gates=optimized.n_gates,
         source_gates=source_gates,
         fused_gates=fused_gates,
+        batched_diagonals=batched_diagonals,
+        chunk_threshold=chunk_threshold,
         requires_binding=requires_binding,
     )
+
+
+# -- diagonal batching -------------------------------------------------------
+
+
+def _batch_diagonal_steps(
+    steps: Sequence[PlanStep],
+    n_qubits: int,
+    max_qubits: int = DEFAULT_DIAGONAL_BATCH_MAX_QUBITS,
+) -> tuple[list[PlanStep], int]:
+    """Collapse adjacent runs of concrete diagonal steps into one step each.
+
+    Diagonal operators commute, so a contiguous run multiplies into a
+    single product diagonal over the union of touched qubits (capped at
+    ``max_qubits`` so neither the diagonal table nor the strided kernel
+    blows up).  Parametric diagonal steps (symbolic RZ/CPHASE/CRZ) break
+    runs: they must stay individually rebindable.  Returns the new step
+    list and the number of source steps absorbed into batches.
+    """
+    out: list[PlanStep] = []
+    run: list[PlanStep] = []
+    union: list[int] = []
+    absorbed = 0
+
+    def flush() -> None:
+        nonlocal absorbed
+        if len(run) >= 2:
+            out.append(_merge_diagonal_run(run, tuple(union), n_qubits))
+            absorbed += len(run)
+        else:
+            out.extend(run)
+        run.clear()
+        union.clear()
+
+    for step in steps:
+        if step.tag == KERNEL_DIAGONAL and step.parametric is None:
+            fresh = [q for q in step.targets if q not in union]
+            if run and len(union) + len(fresh) > max_qubits:
+                flush()
+                fresh = list(step.targets)
+            run.append(step)
+            union.extend(fresh)
+        else:
+            flush()
+            out.append(step)
+    flush()
+    return out, absorbed
+
+
+def _merge_diagonal_run(
+    run: Sequence[PlanStep], union: tuple[int, ...], n_qubits: int
+) -> PlanStep:
+    """One product-diagonal step equivalent to applying ``run`` in order."""
+    k = len(union)
+    diag = np.ones(1 << k, dtype=complex)
+    idx = np.arange(1 << k)
+    for step in run:
+        positions = [union.index(q) for q in step.targets]
+        local = np.zeros(1 << k, dtype=np.intp)
+        for bit, pos in enumerate(positions):
+            local |= ((idx >> pos) & 1) << bit
+        diag *= np.asarray(step.diag, dtype=complex)[local]
+    return _diagonal_step("DIAG_BATCH", union, diag, n_qubits)
 
 
 # -- dense-block fusion ------------------------------------------------------
@@ -725,8 +1248,32 @@ def _diagonal_step(name, targets, diag, n_qubits, parametric=None) -> PlanStep:
         )
         for local in range(1 << k)
     )
+    # Mostly-non-unit diagonals (RZ, batched products) apply fastest as one
+    # broadcast multiply over the whole state; mostly-unit ones (CPHASE, CZ,
+    # S, T) keep the strided path that skips untouched subspaces.  Parametric
+    # steps rebind ``diag`` in place, so they always stay on the strided
+    # path, which reads ``diag`` at execution time.
+    step.diag_nd = None
+    if parametric is None and sum(1 for v in step.diag if v != 1.0) > (1 << k) // 2:
+        step.diag_nd = _diag_broadcast(step.diag, step.targets, n_qubits)
     step.parametric = parametric
     return step
+
+
+def _diag_broadcast(
+    diag: Sequence[complex], targets: tuple[int, ...], n_qubits: int
+) -> np.ndarray:
+    """``diag`` as a broadcastable ``(2|1,)*n`` tensor (qubit q at axis n-1-q)."""
+    shape = [1] * n_qubits
+    for q in targets:
+        shape[n_qubits - 1 - q] = 2
+    out = np.empty(shape, dtype=complex)
+    for local, value in enumerate(diag):
+        idx = [0] * n_qubits
+        for bit, q in enumerate(targets):
+            idx[n_qubits - 1 - q] = (local >> bit) & 1
+        out[tuple(idx)] = value
+    return out
 
 
 def _controlled_step(name, control, target, payload, n_qubits, parametric=None) -> PlanStep:

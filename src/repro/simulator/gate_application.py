@@ -154,11 +154,21 @@ def apply_diagonal(state: np.ndarray, diagonal: np.ndarray, targets: Sequence[in
     return state
 
 
-def apply_matrix(state: np.ndarray, matrix: np.ndarray, targets: Sequence[int]) -> np.ndarray:
+def apply_matrix(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    targets: Sequence[int],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Apply a general ``2^k x 2^k`` unitary over ``targets``.
 
-    Returns a new array (the general path cannot avoid a copy); callers that
-    care about allocation use the specialised kernels above.
+    Returns a new array — the general path cannot avoid producing one — but
+    a preallocated ``out`` scratch buffer (same length and dtype as
+    ``state``) receives the result instead of a fresh
+    ``ascontiguousarray`` allocation, the dominant per-call cost on large
+    states.  ``out`` may alias ``state`` itself: the matrix product lands
+    in a temporary before the copy-back.  Callers that care about
+    allocation on *small* gates use the specialised in-place kernels above.
     """
     n_qubits = state.size.bit_length() - 1
     targets = _validate_targets(targets, n_qubits)
@@ -179,20 +189,30 @@ def apply_matrix(state: np.ndarray, matrix: np.ndarray, targets: Sequence[int]) 
     psi = matrix @ psi
     psi = psi.reshape((2,) * k + rest_shape)
     psi = np.moveaxis(psi, range(k), front_axes)
-    return np.ascontiguousarray(psi.reshape(-1))
+    if out is None:
+        return np.ascontiguousarray(psi.reshape(-1))
+    if out.shape != state.shape or out.dtype != state.dtype:
+        raise ExecutionError(
+            f"out buffer of shape {out.shape}/{out.dtype} does not match the "
+            f"state's {state.shape}/{state.dtype}"
+        )
+    out.reshape((2,) * n_qubits)[...] = psi
+    return out
 
 
 #: Gate names whose two-qubit form is (control, target) with a 2x2 payload.
 _CONTROLLED_SINGLE = {"CX", "CNOT", "CY", "CZ", "CH", "CRZ"}
 
 
-def apply_gate(state: np.ndarray, instruction, parameters=None) -> np.ndarray:
+def apply_gate(state: np.ndarray, instruction, parameters=None, out=None) -> np.ndarray:
     """Apply an IR instruction to ``state`` choosing the fastest kernel.
 
     ``instruction`` is any :class:`repro.ir.instruction.Instruction` with a
     matrix form.  Measurements, resets and barriers are rejected here — the
     :class:`~repro.simulator.statevector.StateVector` class handles them.
-    Returns the (possibly new) state array.
+    Returns the (possibly new) state array.  ``out`` is an optional scratch
+    buffer for the dense-matrix path (the only kernel that produces a new
+    array); the in-place kernels ignore it and return ``state``.
     """
     name = instruction.name
     if name in ("MEASURE", "RESET", "BARRIER"):
@@ -210,4 +230,4 @@ def apply_gate(state: np.ndarray, instruction, parameters=None) -> np.ndarray:
         (theta,) = instruction.bound_parameters()
         diag = np.array([1.0, 1.0, 1.0, np.exp(1j * theta)], dtype=complex)
         return apply_diagonal(state, diag, qubits)
-    return apply_matrix(state, instruction.matrix(), qubits)
+    return apply_matrix(state, instruction.matrix(), qubits, out=out)

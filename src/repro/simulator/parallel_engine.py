@@ -36,7 +36,7 @@ import numpy as np
 from ..config import get_config
 from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
-from .execution_plan import ExecutionPlan, compile_plan
+from .execution_plan import DEFAULT_CHUNK_THRESHOLD, ExecutionPlan, compile_plan
 from .sampling import sample_counts
 from .statevector import StateVector
 
@@ -47,8 +47,9 @@ __all__ = [
     "split_shots",
 ]
 
-#: States smaller than this (amplitudes) are not worth chunking across workers.
-_CHUNK_THRESHOLD = 1 << 16
+#: States smaller than this (amplitudes) are not worth chunking across workers
+#: (shared with chunk-parallel plan replay — see execution_plan).
+_CHUNK_THRESHOLD = DEFAULT_CHUNK_THRESHOLD
 
 
 def split_shots(shots: int, workers: int) -> list[int]:
@@ -78,6 +79,7 @@ def replay_trajectory_chunk(
     measured: Sequence[int],
     n_qubits: int,
     prepare: Callable[[], "StateVector"] | None = None,
+    pool: "ParallelSimulationEngine | None" = None,
 ) -> dict[str, int]:
     """One worker's trajectory chunk: ``shots`` full plan replays on ``rng``.
 
@@ -86,6 +88,12 @@ def replay_trajectory_chunk(
     must consume ``rng`` draw for draw — one reset/sample sequence per
     trajectory, recycling the previous trajectory's buffer — or the
     fixed-seed bit-identity between threaded and sharded execution breaks.
+
+    ``pool`` chunk-parallelises each replay across an engine's worker
+    threads (safe because chunked replay is bitwise identical to serial, so
+    RNG consumption never changes).  Only pass a pool when this chunk runs
+    *outside* that pool's own threads — the single-chunk engine path and
+    the sharded workers; nested submission would deadlock.
     """
     histogram: dict[str, int] = {}
     data: np.ndarray | None = None
@@ -99,7 +107,7 @@ def replay_trajectory_chunk(
             # allocating a fresh 2^n array per shot.
             data.fill(0.0)
             data[0] = 1.0
-        data = plan.execute(data, rng=rng)
+        data = plan.execute(data, rng=rng, pool=pool)
         sample = sample_counts(np.abs(data) ** 2, 1, measured, n_qubits, rng)
         for key, value in sample.items():
             histogram[key] = histogram.get(key, 0) + value
@@ -139,6 +147,15 @@ class ParallelSimulationEngine:
             self._pool = pool
             self._pool_size = workers
         return pool
+
+    def chunk_pool(self, workers: int) -> concurrent.futures.ThreadPoolExecutor:
+        """The executor chunk-parallel plan replay dispatches on.
+
+        This is the engine's reusable pool (grown to ``workers``); it is
+        the ``pool=`` duck-type :meth:`ExecutionPlan.execute` expects
+        together with :meth:`effective_threads`.
+        """
+        return self._executor(workers)
 
     def close(self, wait: bool = True) -> None:
         """Tear the worker pool down (the engine stays usable: the next
@@ -270,14 +287,21 @@ class ParallelSimulationEngine:
         chunks = split_shots(shots, threads)
         seeds = np.random.SeedSequence(seed).spawn(len(chunks))
 
+        if len(chunks) == 1:
+            # Single chunk: it replays on the calling thread, so the engine's
+            # idle pool can chunk-parallelise each large-state replay instead
+            # (bitwise identical, so the RNG stream is unaffected).
+            return replay_trajectory_chunk(
+                plan, chunks[0], np.random.default_rng(seeds[0]), measured,
+                n_qubits, prepare, pool=self,
+            )
+
         def run_chunk(chunk_and_seed: tuple[int, np.random.SeedSequence]) -> dict[str, int]:
             chunk, seq = chunk_and_seed
             return replay_trajectory_chunk(
                 plan, chunk, np.random.default_rng(seq), measured, n_qubits, prepare
             )
 
-        if len(chunks) == 1:
-            return run_chunk((chunks[0], seeds[0]))
         pool = self._executor(len(chunks))
         results = list(pool.map(run_chunk, zip(chunks, seeds)))
         return merge_counts(results)

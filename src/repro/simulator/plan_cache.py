@@ -23,6 +23,7 @@ from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
 from ..ir.serialization import circuit_content_hash
 from .execution_plan import (
+    DEFAULT_CHUNK_THRESHOLD,
     DEFAULT_FUSION_MAX_QUBITS,
     ExecutionPlan,
     ParametricExecutionPlan,
@@ -97,14 +98,29 @@ class PlanCache:
         *,
         optimize: bool = True,
         fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> tuple[ExecutionPlan | ParametricExecutionPlan, bool]:
         """Return ``(plan, was_cache_hit)`` for ``circuit``.
 
         Compilation happens outside the lock; when two threads race on the
         same key the first insertion wins so every caller shares one plan.
+        All compile options participate in the key — ``chunk_threshold``
+        never changes results, but it is baked into the compiled plan, so
+        distinct thresholds must not share an entry.
         """
         width = max(circuit.n_qubits, 1 if n_qubits is None else int(n_qubits), 1)
-        key = (cached_content_hash(circuit), width, bool(optimize), int(fusion_max_qubits))
+        threshold = (
+            DEFAULT_CHUNK_THRESHOLD if chunk_threshold is None else int(chunk_threshold)
+        )
+        key = (
+            cached_content_hash(circuit),
+            width,
+            bool(optimize),
+            int(fusion_max_qubits),
+            bool(batch_diagonals),
+            threshold,
+        )
         with self._lock:
             plan = self._entries.get(key)
             if plan is not None:
@@ -114,11 +130,21 @@ class PlanCache:
             self._misses += 1
         if circuit.is_parameterized:
             plan = compile_parametric_plan(
-                circuit, width, optimize=optimize, fusion_max_qubits=fusion_max_qubits
+                circuit,
+                width,
+                optimize=optimize,
+                fusion_max_qubits=fusion_max_qubits,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=threshold,
             )
         else:
             plan = compile_plan(
-                circuit, width, optimize=optimize, fusion_max_qubits=fusion_max_qubits
+                circuit,
+                width,
+                optimize=optimize,
+                fusion_max_qubits=fusion_max_qubits,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=threshold,
             )
         with self._lock:
             existing = self._entries.get(key)
@@ -138,10 +164,17 @@ class PlanCache:
         *,
         optimize: bool = True,
         fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
     ) -> ExecutionPlan | ParametricExecutionPlan:
         """Like :meth:`lookup_or_compile` but returns only the plan."""
         plan, _ = self.lookup_or_compile(
-            circuit, n_qubits, optimize=optimize, fusion_max_qubits=fusion_max_qubits
+            circuit,
+            n_qubits,
+            optimize=optimize,
+            fusion_max_qubits=fusion_max_qubits,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
         )
         return plan
 

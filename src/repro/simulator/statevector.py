@@ -34,6 +34,10 @@ class StateVector:
                 "(exceeds the 26-qubit memory guard)"
             )
         self.n_qubits = int(n_qubits)
+        #: Recycled scratch for dense gate application (ping-pong buffer:
+        #: the previous amplitude array once a dense gate produced a new
+        #: one), so long gate-by-gate runs allocate at most one extra state.
+        self._spare: np.ndarray | None = None
         dim = 1 << self.n_qubits
         if data is None:
             self._data = np.zeros(dim, dtype=complex)
@@ -62,6 +66,7 @@ class StateVector:
     def copy(self) -> "StateVector":
         clone = StateVector.__new__(StateVector)
         clone.n_qubits = self.n_qubits
+        clone._spare = None
         clone._data = self._data.copy()
         return clone
 
@@ -119,7 +124,13 @@ class StateVector:
         if name == "RESET":
             self.reset_qubit(instruction.qubits[0])
             return self
-        self._data = gate_application.apply_gate(self._data, instruction)
+        result = gate_application.apply_gate(self._data, instruction, out=self._spare)
+        if result is not self._data:
+            # A dense gate produced a new array (the recycled spare, or a
+            # fresh allocation the first time): keep the displaced buffer as
+            # the next dense gate's scratch.
+            self._spare = self._data
+            self._data = result
         return self
 
     def apply_circuit(
@@ -143,17 +154,22 @@ class StateVector:
             self.apply(instruction)
         return self
 
-    def apply_plan(self, plan, rng: np.random.Generator | None = None) -> "StateVector":
+    def apply_plan(
+        self, plan, rng: np.random.Generator | None = None, pool=None
+    ) -> "StateVector":
         """Evolve by a compiled :class:`~repro.simulator.execution_plan.ExecutionPlan`.
 
         ``rng`` is only needed for plans containing mid-circuit resets.
+        ``pool`` (a :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`)
+        chunk-parallelises the replay for states at or above the plan's
+        ``chunk_threshold`` — bitwise identical to the serial replay.
         """
         if plan.n_qubits != self.n_qubits:
             raise ExecutionError(
                 f"plan is compiled for {plan.n_qubits} qubit(s) but the state "
                 f"has {self.n_qubits}"
             )
-        self._data = plan.execute(self._data, rng=rng)
+        self._data = plan.execute(self._data, rng=rng, pool=pool)
         return self
 
     def run(
@@ -162,13 +178,15 @@ class StateVector:
         parameter_values: Mapping[str, float] | Sequence[float] | None = None,
         plan_cache=None,
         rng: np.random.Generator | None = None,
+        pool=None,
     ) -> "StateVector":
         """Apply ``circuit`` through the compiled-plan fast path.
 
         The plan is compiled once per circuit content (via the shared plan
         cache) and replayed on every subsequent call; symbolic circuits use
         a parametric plan whose rotation matrices are re-bound in place per
-        ``parameter_values`` — the VQE/QAOA hot loop.
+        ``parameter_values`` — the VQE/QAOA hot loop.  ``pool`` is passed
+        through to :meth:`apply_plan` for chunk-parallel replay.
         """
         from .plan_cache import get_plan_cache
 
@@ -184,7 +202,7 @@ class StateVector:
             # Mirror measure()'s default so mid-circuit resets keep working
             # exactly as they did on the gate-by-gate path.
             rng = np.random.default_rng()
-        return self.apply_plan(plan, rng=rng)
+        return self.apply_plan(plan, rng=rng, pool=pool)
 
     def reset_qubit(self, qubit: int) -> "StateVector":
         """Project qubit ``qubit`` onto |0> (flipping if it measured 1) and renormalise."""

@@ -250,3 +250,19 @@ class TestPlanAwareCostModel:
         assert plan_result.duration > 0
         # Plan replay is predicted faster than per-gate dispatch.
         assert plan_result.duration < gate_result.duration
+
+    def test_harness_chunked_plan_costs_model_small_states_as_serial(self):
+        """chunked_plan_costs models the real chunk-parallel replay: these
+        5-qubit states sit far below the chunk threshold, so their sweeps
+        are serial and extra threads buy nothing — the prediction must be
+        at least as slow as the thread-parallel sweep model."""
+        set_config(execution_mode="modeled")
+        tasks = [KernelTask("qft", lambda: qft_circuit(5), 5, shots=128)]
+        workload = Workload(name="chunked-cost", tasks=tasks)
+        chunked = BenchmarkHarness(
+            mode="modeled", use_plan_costs=True, chunked_plan_costs=True
+        )
+        sweep = BenchmarkHarness(mode="modeled", use_plan_costs=True)
+        chunked_result = chunked.run_variant(workload, "one-by-one", 4)
+        sweep_result = sweep.run_variant(workload, "one-by-one", 4)
+        assert chunked_result.duration >= sweep_result.duration

@@ -341,3 +341,39 @@ class TestShardedBroker:
             key = job_key(circuit, "qpp", service.backend_options)
             shard = executor.shard_for(key)
             assert 0 <= shard < 2
+
+
+class TestShardHealthMetrics:
+    def test_queue_depths_idle_and_sized_per_shard(self, sharded2):
+        depths = sharded2.shard_queue_depths()
+        assert len(depths) == 2
+        assert depths == [0, 0]  # nothing in flight between tests
+
+    def test_queue_depths_return_to_zero_after_work(self, sharded2):
+        sharded2.execute(algorithm_suite()["bell"], 64, seed=3)
+        assert sharded2.shard_queue_depths() == [0, 0]
+
+    def test_broker_snapshot_reports_shard_health(self):
+        set_config(seed=11)
+        with QuantumJobService(
+            backend="qpp", workers=2, processes=2, name="health-metrics"
+        ) as service:
+            handle = service.submit(bell_circuit(2), shots=128)
+            handle.result(timeout=30)
+            snapshot = service.metrics()
+        assert snapshot.process_shards == 2
+        assert snapshot.shard_respawns == 0
+        assert len(snapshot.shard_queue_depths) == 2
+
+    def test_respawns_surface_in_queue_depth_accounting(self):
+        """A killed worker is respawned; the retry shows up in total_retries
+        (the snapshot's shard_respawns source) and in-flight counters drain
+        back to zero despite the mid-flight failure."""
+        with ShardedExecutor(2, name="health-respawn") as executor:
+            circuit = algorithm_suite()["bell"]
+            executor.execute(circuit, 32, seed=5)
+            pids = executor.shard_pids()
+            os.kill(pids[0], signal.SIGKILL)
+            executor.execute(circuit, 32, seed=5)
+            assert executor.total_retries >= 1
+            assert executor.shard_queue_depths() == [0, 0]

@@ -35,6 +35,17 @@ class TestJobKeys:
         )
         assert config_fingerprint("qpp", {"threads": 4}) == config_fingerprint("qpp")
 
+    def test_plan_tuning_options_are_non_semantic(self):
+        # Chunked replay is bitwise identical and diagonal batching is
+        # distribution-equivalent: neither may fragment the result cache.
+        assert config_fingerprint("qpp", {"chunk-threshold": 2}) == config_fingerprint("qpp")
+        assert config_fingerprint("qpp", {"batch-diagonals": False}) == config_fingerprint(
+            "qpp"
+        )
+        assert config_fingerprint(
+            "qpp", {"batch-diagonals": False, "chunk-threshold": 64, "threads": 2}
+        ) == config_fingerprint("qpp")
+
     def test_semantic_options_fragment_keys(self):
         assert config_fingerprint("noisy-qpp", {"p1": 0.01}) != config_fingerprint(
             "noisy-qpp", {"p1": 0.05}

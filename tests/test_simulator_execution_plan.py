@@ -99,7 +99,12 @@ def test_random_circuits_plan_matches_naive(optimize, fusion_max_qubits):
 
 
 def test_algorithm_suite_bit_identical_without_fusion_triggering():
-    """The bell/ghz/qft/shor suite lowers entirely to exact kernels."""
+    """The bell/ghz/qft/shor suite lowers entirely to exact kernels.
+
+    Diagonal batching is disabled here because batched plans reassociate
+    the CPHASE products (ulp-level shifts on generic states; equivalence
+    with batching on is covered at 1e-12 in test_simulator_chunked_plan).
+    """
     shor = period_finding_circuit(15, 2)
     for circuit, n in [
         (bell_circuit(2), 2),
@@ -107,7 +112,10 @@ def test_algorithm_suite_bit_identical_without_fusion_triggering():
         (qft_circuit(6), 6),
         (shor, shor.n_qubits),
     ]:
-        assert np.array_equal(plan_state(circuit, n, optimize=False), naive_state(circuit, n))
+        assert np.array_equal(
+            plan_state(circuit, n, optimize=False, batch_diagonals=False),
+            naive_state(circuit, n),
+        )
 
 
 def test_kernel_classification_covers_all_classes():

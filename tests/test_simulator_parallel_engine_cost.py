@@ -118,3 +118,54 @@ class TestCostModel:
     def test_scaled(self):
         cost = CircuitCost(10.0, 5.0, 1.0).scaled(2.0)
         assert (cost.parallel_work, cost.serial_work, cost.locked_work) == (20.0, 10.0, 2.0)
+
+
+class TestChunkedPlanCost:
+    def test_below_threshold_sweep_work_is_serial(self):
+        """Chunk-parallel replay never engages under the threshold, so the
+        chunked model must put every kernel sweep in serial work."""
+        from repro.simulator.cost_model import SimulationCostModel
+        from repro.simulator.execution_plan import compile_plan
+
+        model = SimulationCostModel()
+        plan = compile_plan(bell_circuit(2), 2)
+        assert (1 << plan.n_qubits) < model.chunk_threshold
+        chunked = model.plan_cost(plan, 64, chunked=True)
+        baseline = model.plan_cost(plan, 64)
+        # Only the sampling pass parallelises below the threshold.
+        sampling = float(1 << plan.n_qubits) + 64 * model.shot_parallel_cost
+        assert chunked.parallel_work == pytest.approx(sampling)
+        assert chunked.total_work == pytest.approx(baseline.total_work)
+
+    def test_above_threshold_uses_kernel_efficiency_factors(self):
+        from repro.simulator.cost_model import (
+            DEFAULT_KERNEL_PARALLEL_EFFICIENCY,
+            SimulationCostModel,
+        )
+        from repro.simulator.execution_plan import compile_plan
+        from repro.ir.builder import CircuitBuilder
+
+        model = SimulationCostModel(chunk_threshold=4)  # tiny: always chunked
+        circuit = CircuitBuilder(3).h(0).cphase(0, 1, 0.4).cx(1, 2).build()
+        plan = compile_plan(circuit, 3, optimize=False)
+        cost = model.plan_cost(plan, 16, chunked=True)
+        expected_parallel = 0.0
+        for step in plan.steps:
+            work = model.kernel_cost(3, step.kernel, len(step.targets))
+            expected_parallel += work * DEFAULT_KERNEL_PARALLEL_EFFICIENCY[step.kernel]
+        expected_parallel += float(1 << 3) + 16 * model.shot_parallel_cost
+        assert cost.parallel_work == pytest.approx(expected_parallel)
+
+    def test_chunked_total_matches_unchunked_total(self):
+        """Chunking redistributes work between parallel and serial buckets;
+        it never invents or removes work."""
+        from repro.simulator.cost_model import SimulationCostModel
+        from repro.simulator.execution_plan import compile_plan
+        from repro.algorithms.qft import qft_circuit
+
+        model = SimulationCostModel(chunk_threshold=4)
+        plan = compile_plan(qft_circuit(5), 5)
+        chunked = model.plan_cost(plan, 256, chunked=True)
+        baseline = model.plan_cost(plan, 256)
+        assert chunked.total_work == pytest.approx(baseline.total_work)
+        assert chunked.parallel_work < baseline.parallel_work  # efficiencies < 1 - serial_fraction

@@ -68,6 +68,13 @@ class BenchmarkHarness:
     #: threshold sweeps are serial, above it each kernel class
     #: parallelises its measured efficiency fraction.
     chunked_plan_costs: bool = False
+    #: With ``use_plan_costs``, model the shared-memory *process* lane
+    #: (``SharedStatePool`` with this many workers) instead of the thread
+    #: lane: per-kernel process efficiencies plus a per-step barrier/IPC
+    #: cost above the chunk threshold.  0 = off; overrides
+    #: ``chunked_plan_costs`` when set, mirroring the real dispatch
+    #: priority in ``LocalBackend``.
+    shm_plan_processes: int = 0
 
     def _resolve_mode(self) -> str:
         mode = self.mode if self.mode is not None else get_config().execution_mode
@@ -86,7 +93,10 @@ class BenchmarkHarness:
 
                 plan = get_plan_cache().get_or_compile(circuit)
                 cost = self.cost_model.plan_cost(
-                    plan, shots, chunked=self.chunked_plan_costs
+                    plan,
+                    shots,
+                    chunked=self.chunked_plan_costs,
+                    processes=self.shm_plan_processes,
                 )
             else:
                 cost = self.cost_model.circuit_cost(circuit, shots)

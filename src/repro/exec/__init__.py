@@ -7,16 +7,23 @@ One protocol (:class:`ExecutionBackend`) behind every execution path:
   accelerator, ``core/executor`` and the job broker.
 * :class:`ShardedExecutor` — process-sharded plan replay: persistent
   worker processes, circuits shipped by content hash + canonical JSON,
-  per-worker plan caches, hash-affine job routing, worker-death retry.
+  per-worker plan caches, hash-affine job routing (with cold-key work
+  stealing), worker-death retry.
 * :class:`DensityBackend` — density-matrix evolution (the noisy
   accelerator's seam).
+* :class:`SharedStatePool` — not a backend but the shared-memory
+  :class:`~repro.simulator.execution_plan.ChunkPool`: worker processes
+  cooperating on one large state through shared amplitude buffers, the
+  lane :class:`LocalBackend` and the shard workers borrow for ≥20-qubit
+  replays.
 
-All of them return :class:`ExecutionResult`.
+The backends return :class:`ExecutionResult`.
 """
 
 from .backend import DensityBackend, ExecutionBackend, LocalBackend
 from .result import ExecutionResult
 from .sharded import ShardedExecutor, get_sharded_executor, shutdown_sharded_executors
+from .shm import SharedStatePool, get_shared_state_pool, shutdown_shared_state_pools
 
 __all__ = [
     "ExecutionBackend",
@@ -24,6 +31,9 @@ __all__ = [
     "LocalBackend",
     "DensityBackend",
     "ShardedExecutor",
+    "SharedStatePool",
     "get_sharded_executor",
+    "get_shared_state_pool",
     "shutdown_sharded_executors",
+    "shutdown_shared_state_pools",
 ]

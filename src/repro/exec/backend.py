@@ -119,7 +119,10 @@ class LocalBackend(ExecutionBackend):
     This is the seam the single-process paths sit on: the qpp accelerator,
     ``core/executor.py`` and the broker's default dispatcher all reduce to
     ``LocalBackend.execute``.  Fixed-seed results are the reference the
-    sharded backend must reproduce bit for bit.
+    sharded backend must reproduce bit for bit.  With ``shm_pool`` set the
+    backend stops being strictly in-process: super-threshold plan replays
+    run across the pool's shared-memory worker processes (bitwise
+    identical, so the reference property is untouched).
     """
 
     backend_name = "local"
@@ -128,10 +131,16 @@ class LocalBackend(ExecutionBackend):
         self,
         engine: ParallelSimulationEngine | None = None,
         plan_cache: PlanCache | None = None,
+        shm_pool=None,
     ):
         self._engine = engine if engine is not None else ParallelSimulationEngine()
         self._owns_engine = engine is None
         self._plan_cache = plan_cache
+        #: Optional :class:`~repro.exec.shm.SharedStatePool`: super-threshold
+        #: plan replays run across its worker *processes* (the ≥20-qubit
+        #: lane) instead of the engine's threads.  Not owned — shared pools
+        #: outlive any one backend, so ``close()`` leaves it running.
+        self.shm_pool = shm_pool
 
     @property
     def engine(self) -> ParallelSimulationEngine:
@@ -139,6 +148,14 @@ class LocalBackend(ExecutionBackend):
 
     def _cache(self) -> PlanCache:
         return self._plan_cache if self._plan_cache is not None else get_plan_cache()
+
+    def _replay_pool(self, plan):
+        """The chunk pool this plan replays on: shm lane when it applies,
+        the thread engine otherwise (resets, unshippable plans)."""
+        shm = self.shm_pool
+        if shm is not None and shm.can_replay(plan):
+            return shm
+        return self._engine
 
     # -- protocol -----------------------------------------------------------------
     def compile(
@@ -195,10 +212,11 @@ class LocalBackend(ExecutionBackend):
             )
         else:
             state = StateVector(width)
-            # The engine's pool chunk-parallelises the single large-state
-            # replay (bitwise identical to serial); sampling then reuses the
-            # same pool for the shot draw.
-            state.apply_plan(plan, pool=self._engine)
+            # The chunk pool — shm processes for large states when
+            # configured, the engine's threads otherwise — parallelises the
+            # single large-state replay (bitwise identical to serial);
+            # sampling then draws shots on the engine's threads either way.
+            state.apply_plan(plan, pool=self._replay_pool(plan))
             measured = plan.measured_qubits or tuple(range(width))
             counts = self._engine.sample_parallel(state, shots, measured, seed=seed)
         elapsed = time.perf_counter() - started
@@ -244,7 +262,7 @@ class LocalBackend(ExecutionBackend):
                 "exact expectations are undefined for circuits with mid-circuit resets"
             )
         state = StateVector(width)
-        state.apply_plan(plan, pool=self._engine)
+        state.apply_plan(plan, pool=self._replay_pool(plan))
         return float(state.expectation(observable))
 
     def close(self, wait: bool = True) -> None:

@@ -105,11 +105,24 @@ _WORKER_ENGINE = None
 #: per shard (P shards x cpu_count chunk threads would oversubscribe the
 #: machine exactly when every shard replays a large state at once).
 _WORKER_SHARDS = 1
+#: Shared-memory lane width for this shard worker (0 = thread engine only),
+#: set by the pool initializer from ``ShardedExecutor(shm_processes=...)``.
+_WORKER_SHM = 0
+#: Lazily-created per-worker-process SharedStatePool when _WORKER_SHM > 1.
+_WORKER_SHM_POOL = None
 
 
-def _init_worker_process(total_shards: int) -> None:
-    global _WORKER_SHARDS
+def _init_worker_process(total_shards: int, shm_processes: int = 0) -> None:
+    """Pool initializer: runs in each shard worker as it starts.
+
+    Besides recording the shard topology, merely importing this module
+    (which the spawn/forkserver pickling of this initializer forces)
+    preloads the whole simulator stack, so a worker's first chunk pays no
+    import latency mid-traffic.
+    """
+    global _WORKER_SHARDS, _WORKER_SHM
     _WORKER_SHARDS = max(1, int(total_shards))
+    _WORKER_SHM = max(0, int(shm_processes))
 
 
 def _worker_engine():
@@ -124,6 +137,35 @@ def _worker_engine():
             num_threads=max(1, cores // _WORKER_SHARDS)
         )
     return _WORKER_ENGINE
+
+
+def _worker_replay_pool(plan):
+    """The chunk pool this shard worker replays ``plan`` on.
+
+    With ``shm_processes`` configured, a shard borrows a shared-memory
+    pool for super-threshold states instead of chunking on its private
+    thread engine.  ``shm_processes`` is the *total* worker budget for
+    the lane: each shard takes its fair share (``shm_processes //
+    shards``), mirroring how worker engines size their thread pools —
+    otherwise P shards replaying large states at once would spawn
+    ``P * shm_processes`` worker processes and oversubscribe the host
+    exactly when the lane matters most.  A share below 2 (no room to
+    split) stays on the thread engine, as do plans the pool cannot ship
+    (resets), so trajectory workloads are unaffected.
+    """
+    global _WORKER_SHM_POOL
+    engine = _worker_engine()
+    share = _WORKER_SHM // _WORKER_SHARDS
+    if share > 1:
+        if _WORKER_SHM_POOL is None or _WORKER_SHM_POOL.closed:
+            from .shm import SharedStatePool
+
+            _WORKER_SHM_POOL = SharedStatePool(
+                share, name="shard-shm", fallback=engine
+            )
+        if _WORKER_SHM_POOL.can_replay(plan):
+            return _WORKER_SHM_POOL
+    return engine
 
 
 def _worker_plan(
@@ -202,10 +244,10 @@ def _replay_chunk(
     rng = np.random.default_rng(seed_seq)
     if plan.has_reset or trajectories:
         counts = replay_trajectory_chunk(
-            plan, shots, rng, measured, width, pool=_worker_engine()
+            plan, shots, rng, measured, width, pool=_worker_replay_pool(plan)
         )
     else:
-        data = plan.execute(plan.new_state(), pool=_worker_engine())
+        data = plan.execute(plan.new_state(), pool=_worker_replay_pool(plan))
         counts = sample_counts(np.abs(data) ** 2, shots, measured, width, rng)
     return counts, plan.depth, plan.n_gates, cached
 
@@ -233,7 +275,7 @@ def _chunk_expectation(
             "exact expectations are undefined for circuits with mid-circuit resets"
         )
     state = StateVector(
-        width, data=plan.execute(plan.new_state(), pool=_worker_engine())
+        width, data=plan.execute(plan.new_state(), pool=_worker_replay_pool(plan))
     )
     return float(state.expectation(observable))
 
@@ -284,7 +326,19 @@ class ShardedExecutor(ExecutionBackend):
         name: str = "exec-shard",
         max_retries: int = 1,
         warm_start: bool = True,
+        mp_context: str | None = None,
+        shm_processes: int = 0,
     ):
+        """``mp_context`` picks the worker start method (``"fork"``,
+        ``"spawn"``, ``"forkserver"``; ``None`` = platform default) — the
+        spawn paths matter on macOS/Windows, where fork is unavailable or
+        unsafe; the pool initializer preloads the simulator stack so
+        spawned workers pay their import cost at startup, not mid-batch.
+        ``shm_processes=N`` is a *total* worker budget letting shards
+        borrow the shared-memory lane for super-threshold single-state
+        replays instead of their private thread engines; each shard's
+        pool gets ``N // processes`` workers (shares below 2 stay on the
+        thread engine)."""
         if processes < 1:
             raise ExecutionError(f"processes must be at least 1, got {processes}")
         if max_retries < 0:
@@ -292,12 +346,24 @@ class ShardedExecutor(ExecutionBackend):
         self.processes = int(processes)
         self.name = name
         self.max_retries = int(max_retries)
+        self.shm_processes = int(shm_processes or 0)
+        import multiprocessing
+
+        self._mp_context = (
+            multiprocessing.get_context(mp_context) if mp_context is not None else None
+        )
         self._lock = threading.Lock()
         self._pools: list[concurrent.futures.ProcessPoolExecutor | None] = [
             None for _ in range(self.processes)
         ]
         self._closed = False
         self._retries = 0
+        self._steals = 0
+        #: Cold-key ownership decisions (see :meth:`_owner_for_key`): once a
+        #: cache-miss job is routed — stolen or affine — future hits for the
+        #: same key stay with that owner so its plan cache stays warm.
+        self._key_owners: "OrderedDict[str, int]" = OrderedDict()
+        self._key_owner_capacity = 4096
         #: Work submissions in flight per shard (health metric: a hot shard
         #: under key affinity shows up as a deep per-shard queue here).
         self._inflight = [0] * self.processes
@@ -318,8 +384,9 @@ class ShardedExecutor(ExecutionBackend):
             if pool is None:
                 pool = concurrent.futures.ProcessPoolExecutor(
                     max_workers=1,
+                    mp_context=self._mp_context,
                     initializer=_init_worker_process,
-                    initargs=(self.processes,),
+                    initargs=(self.processes, self.shm_processes),
                 )
                 self._pools[index] = pool
             return pool
@@ -371,6 +438,38 @@ class ShardedExecutor(ExecutionBackend):
         except (ValueError, TypeError):
             value = hash(key)
         return value % self.processes
+
+    def _owner_for_key(self, key: str) -> int:
+        """The shard that should run ``key``'s job, with cold-key stealing.
+
+        A key seen before keeps its recorded owner (plan-cache affinity).
+        A *cold* key normally goes to its hash-affine shard — but when that
+        shard is busier than the idlest one (by live in-flight depth, the
+        ``shard_queue_depths()`` health metric), the job is stolen by the
+        least-loaded shard, and the key stays affine to the new owner so
+        future hits keep landing on the worker whose cache is now warm.
+        Ties prefer the hash-affine shard, so an idle executor routes
+        exactly like pure hash affinity.
+        """
+        affine = self.shard_for(key)
+        with self._lock:
+            owner = self._key_owners.get(key)
+            if owner is not None:
+                self._key_owners.move_to_end(key)
+                return owner
+            depths = self._inflight
+            best = min(
+                range(self.processes), key=lambda i: (depths[i], i != affine)
+            )
+            if depths[best] < depths[affine]:
+                owner = best
+                self._steals += 1
+            else:
+                owner = affine
+            self._key_owners[key] = owner
+            while len(self._key_owners) > self._key_owner_capacity:
+                self._key_owners.popitem(last=False)
+            return owner
 
     def shard_pids(self) -> list[int]:
         """PID of each shard's worker process (spawning idle shards)."""
@@ -597,7 +696,9 @@ class ShardedExecutor(ExecutionBackend):
         chunk_threshold: int | None = None,
     ) -> ExecutionResult:
         """Affinity mode: the shard owning ``key`` runs the whole job, so
-        its warm plan cache keeps getting the circuits it already compiled."""
+        its warm plan cache keeps getting the circuits it already compiled.
+        Cold keys whose affine shard is busy are stolen by the least-loaded
+        shard and stay affine to it (see :meth:`_owner_for_key`)."""
         return self.execute(
             circuit,
             shots,
@@ -607,7 +708,7 @@ class ShardedExecutor(ExecutionBackend):
             optimize=optimize,
             batch_diagonals=batch_diagonals,
             chunk_threshold=chunk_threshold,
-            shard=self.shard_for(key),
+            shard=self._owner_for_key(key),
         )
 
     def expectation(
@@ -640,6 +741,12 @@ class ShardedExecutor(ExecutionBackend):
         """Chunks re-executed after worker deaths over this executor's life."""
         with self._lock:
             return self._retries
+
+    @property
+    def total_steals(self) -> int:
+        """Cold-key jobs routed away from their busy hash-affine shard."""
+        with self._lock:
+            return self._steals
 
     def __repr__(self) -> str:
         return (

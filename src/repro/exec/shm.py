@@ -1,0 +1,753 @@
+"""Shared-memory process-parallel replay of one large state.
+
+The thread lane (PR 4's chunk-parallel replay) splits every kernel across
+a :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`, but
+in CPython the per-step Python dispatch still serialises behind the GIL
+and every chunk fights for one process's memory bandwidth.  For the
+paper's strong-scaling regime — one ≥20-qubit state, every core — this
+module provides the process-grade twin:
+
+* :class:`SharedStatePool` owns ``processes`` persistent worker processes
+  plus two ``multiprocessing.shared_memory`` amplitude buffers (state +
+  ping-pong scratch), mapped as numpy views in the parent *and* in every
+  worker — the state is evolved cooperatively with **zero copies** of
+  amplitude data between processes.
+* The plan-replay driver ships each job as *(canonical circuit JSON,
+  content hash, compile options, binding)*; every worker compiles a
+  bitwise-identical plan into its own bounded cache (compile once per
+  worker, replay forever) and rebuilds the same deterministic chunk
+  decomposition PR 4 built for threads
+  (:meth:`~repro.simulator.execution_plan.ExecutionPlan.chunk_program`).
+  Worker ``i`` then executes task slice ``i::processes`` of every step,
+  with a **barrier per step** (dense steps barrier per phase: gather /
+  exact serial matmul / scatter), so replay stays **bitwise identical**
+  to serial replay.
+* Workers are monitored, not trusted: a worker that dies mid-step
+  (OOM-killed, ``SIGKILL``) breaks the step barrier from the parent, the
+  whole worker set is respawned, and the replay fails with a clean
+  :class:`~repro.exceptions.ExecutionError` instead of a hang.  Segments
+  are unlinked by ``close()``, by a finalizer, and by an atexit sweep —
+  no ``/dev/shm`` litter on any path.
+
+The pool implements the same :class:`~repro.simulator.execution_plan.ChunkPool`
+protocol as the thread engine, so ``ExecutionPlan.execute(state, pool=...)``,
+``StateVector.run/apply_plan``, :class:`~repro.exec.backend.LocalBackend`
+and the sharded workers can swap lanes without touching kernel code.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+import traceback
+import weakref
+from collections import OrderedDict
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+from ..exceptions import ExecutionError
+from ..simulator.execution_plan import (
+    KERNEL_DENSE,
+    KERNEL_GATHER,
+    KERNEL_RESET,
+    ExecutionPlan,
+    _ChunkDense,
+    compile_parametric_plan,
+    compile_plan,
+)
+
+__all__ = [
+    "SharedStatePool",
+    "get_shared_state_pool",
+    "shutdown_shared_state_pools",
+    "SEGMENT_PREFIX",
+]
+
+#: Every segment this module creates is named ``repro-shm-<pid>-<token>-…``
+#: so leak checks (tests, CI) can assert ``/dev/shm`` holds none afterwards.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Seconds between liveness checks while the parent waits for worker acks.
+_POLL_INTERVAL = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Worker-side code (runs inside pool worker processes; module level so it is
+# picklable by reference under the spawn/forkserver start methods)
+# ---------------------------------------------------------------------------
+
+#: Per-process plan cache: (content hash, width, compile options) -> plan.
+_POOL_WORKER_PLANS: "OrderedDict[tuple, object]" = OrderedDict()
+_POOL_WORKER_PLAN_CAPACITY = 64
+
+
+def _attach_segment(name: str) -> SharedMemory:
+    """Attach to a parent-owned segment without confusing the tracker.
+
+    Pool workers are children of the segment-owning parent, so they share
+    its resource-tracker process: a worker's attach re-registers the same
+    name into the tracker's (set-based) cache — idempotent — and the
+    parent's ``unlink`` unregisters it exactly once.  Workers must
+    therefore *not* unregister on their own (that would strip the parent's
+    registration and make the later unlink complain).  Python 3.13+ skips
+    the redundant worker-side registration entirely via ``track=False``.
+    """
+    try:
+        return SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13
+        return SharedMemory(name=name)
+
+
+def _worker_plan_for_job(job: dict):
+    """Compile-once lookup inside a pool worker (mirrors the shard workers).
+
+    The worker compiles from the shipped canonical JSON with the *same*
+    compile options the parent used, so its plan — and therefore its chunk
+    decomposition and its per-chunk arithmetic — is bitwise identical to
+    the parent's.  Parametric circuits compile once and rebind per job.
+    """
+    from ..ir.serialization import circuit_from_json
+
+    options = job["options"]
+    key = (
+        job["digest"],
+        job["width"],
+        options["optimize"],
+        options["fusion_max_qubits"],
+        options["batch_diagonals"],
+        options["chunk_threshold"],
+    )
+    plan = _POOL_WORKER_PLANS.get(key)
+    if plan is None:
+        circuit = circuit_from_json(job["payload"])
+        compiler = (
+            compile_parametric_plan if circuit.is_parameterized else compile_plan
+        )
+        plan = compiler(
+            circuit,
+            job["width"],
+            optimize=options["optimize"],
+            fusion_max_qubits=options["fusion_max_qubits"],
+            batch_diagonals=options["batch_diagonals"],
+            chunk_threshold=options["chunk_threshold"],
+        )
+        _POOL_WORKER_PLANS[key] = plan
+        while len(_POOL_WORKER_PLANS) > _POOL_WORKER_PLAN_CAPACITY:
+            _POOL_WORKER_PLANS.popitem(last=False)
+    else:
+        _POOL_WORKER_PLANS.move_to_end(key)
+    if plan.is_parametric:
+        plan = plan.bind(job["params"])
+    return plan
+
+
+def _run_step_shm(plan, step, spec, cur, spare, shape, index, workers, barrier):
+    """Execute this worker's share of one plan step; returns ``swapped``.
+
+    Every worker walks the identical step/spec sequence, so the ping-pong
+    bookkeeping (which buffer currently holds the state) stays in lockstep
+    without any communication.  Steps with no chunk spec run serially on
+    worker 0 while the others wait at the barrier; dense steps barrier
+    between their gather / matmul / scatter phases because each phase
+    reads what the previous one wrote.
+    """
+    if spec is None:
+        if index == 0:
+            plan._apply_step(step, cur, spare, shape, None)
+        barrier.wait()
+        return step.tag in (KERNEL_DENSE, KERNEL_GATHER)
+    if isinstance(spec, _ChunkDense):
+        for task in spec.tasks[index::workers]:
+            spec.gather_part(task, cur, spare)
+        barrier.wait()
+        if index == 0:
+            spec.matmul(cur, spare)
+        barrier.wait()
+        for task in spec.tasks[index::workers]:
+            spec.scatter_part(task, cur, spare)
+        barrier.wait()
+        return True
+    for task in spec.tasks[index::workers]:
+        spec.apply(task, cur, spare, shape)
+    barrier.wait()
+    return spec.swaps
+
+
+def _worker_replay(job: dict, segments: dict, index: int, workers: int, barrier) -> bool:
+    """One worker's full replay; returns whether the result is in the
+    state buffer (as opposed to the scratch buffer)."""
+    plan = _worker_plan_for_job(job)
+    dim = 1 << plan.n_qubits
+    # Attach (and memoise) the parent's segments; drop stale ones when the
+    # parent grew its buffers under new names.
+    names = (job["state"], job["scratch"])
+    for stale in [n for n in segments if n not in names]:
+        try:
+            segments.pop(stale).close()
+        except Exception:
+            pass
+    for name in names:
+        if name not in segments:
+            segments[name] = _attach_segment(name)
+    cur = np.ndarray(dim, dtype=np.complex128, buffer=segments[job["state"]].buf)
+    spare = np.ndarray(dim, dtype=np.complex128, buffer=segments[job["scratch"]].buf)
+    state_buffer = cur
+    shape = (2,) * plan.n_qubits
+    program = plan.chunk_program(workers)
+    for step, spec in zip(plan.steps, program):
+        if _run_step_shm(plan, step, spec, cur, spare, shape, index, workers, barrier):
+            cur, spare = spare, cur
+    return cur is state_buffer
+
+
+def _shm_worker_main(conn, barrier, index: int, workers: int) -> None:
+    """Worker process loop: replay commands until ``stop`` or pipe EOF."""
+    segments: dict[str, SharedMemory] = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            command = message[0]
+            if command == "stop":
+                break
+            if command == "ping":
+                conn.send(("ok", os.getpid()))
+                continue
+            # command == "replay"
+            try:
+                final_in_state = _worker_replay(
+                    message[1], segments, index, workers, barrier
+                )
+                conn.send(("ok", final_in_state))
+            except BaseException:
+                # Release siblings blocked at the step barrier, then report;
+                # the parent tears the whole worker set down either way.
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+                try:
+                    conn.send(("error", traceback.format_exc()))
+                except Exception:
+                    break
+    finally:
+        for shm in segments.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Parent-side pool
+# ---------------------------------------------------------------------------
+
+
+class SharedStatePool:
+    """Persistent worker processes cooperating on one shared-memory state.
+
+    The pool implements the :class:`~repro.simulator.execution_plan.ChunkPool`
+    protocol: pass it as ``pool=`` to ``ExecutionPlan.execute`` /
+    ``StateVector.run`` / ``StateVector.apply_plan``, or hang it on a
+    :class:`~repro.exec.backend.LocalBackend` — for states at or above the
+    plan's ``chunk_threshold`` the replay runs across the worker processes
+    instead of the calling process's threads, bitwise identical either way.
+
+    ``mp_context`` selects the multiprocessing start method (``"fork"``,
+    ``"spawn"``, ``"forkserver"``; default: the platform default).  Under
+    spawn/forkserver each worker preloads the simulator stack while
+    starting (the worker target lives in this module, so unpickling it
+    imports everything), keeping first-replay latency off the hot path.
+
+    ``fallback`` is an optional :class:`ChunkPool` consulted when this pool
+    cannot replay a plan (mid-circuit resets, plans without provenance) —
+    a :class:`ParallelSimulationEngine` keeps such replays thread-chunked
+    instead of dropping to serial.
+    """
+
+    def __init__(
+        self,
+        processes: int = 2,
+        *,
+        name: str = "shm-pool",
+        mp_context: str | None = None,
+        fallback=None,
+    ):
+        if processes < 1:
+            raise ExecutionError(f"processes must be at least 1, got {processes}")
+        self.processes = int(processes)
+        self.name = name
+        self.fallback = fallback
+        self._ctx = get_context(mp_context)
+        self.start_method = self._ctx.get_start_method()
+        self._lock = threading.RLock()
+        self._closed = False
+        self._workers: list[tuple] = []  # (process, parent_connection)
+        self._barrier = None
+        self._state: SharedMemory | None = None
+        self._scratch: SharedMemory | None = None
+        self._capacity = 0  # complex128 amplitudes per buffer
+        self._respawns = 0
+        # Registered for the atexit/finalizer sweep: the segment-name set
+        # below tracks every live allocation, and _sweep_at_exit unlinks
+        # whatever close() did not get to (including after worker SIGKILLs).
+        _ensure_exit_sweep()
+        _register_pool(self)
+        self._spawn_workers()
+
+    # -- lifecycle -----------------------------------------------------------
+    def _spawn_workers(self) -> None:
+        # Start the resource tracker *before* forking workers: a worker
+        # forked while no tracker exists spawns its own, and a private
+        # tracker believes every attached segment leaked when the worker
+        # exits.  With the parent's tracker already running, every worker
+        # inherits it and register/unregister reconcile exactly once.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        barrier = self._ctx.Barrier(self.processes)
+        workers = []
+        try:
+            for index in range(self.processes):
+                parent_conn, child_conn = self._ctx.Pipe()
+                process = self._ctx.Process(
+                    target=_shm_worker_main,
+                    args=(child_conn, barrier, index, self.processes),
+                    name=f"{self.name}-worker-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                workers.append((process, parent_conn))
+        except BaseException:
+            for process, conn in workers:
+                try:
+                    conn.close()
+                    process.terminate()
+                except Exception:
+                    pass
+            raise
+        self._barrier = barrier
+        self._workers = workers
+
+    def _teardown_workers(self, graceful: bool) -> None:
+        workers, self._workers = self._workers, []
+        for process, conn in workers:
+            if graceful:
+                try:
+                    conn.send(("stop",))
+                except Exception:
+                    pass
+        for process, conn in workers:
+            process.join(timeout=2.0 if graceful else 0.2)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._barrier = None
+
+    def _release_segments(self) -> None:
+        for attr in ("_state", "_scratch"):
+            shm = getattr(self, attr)
+            setattr(self, attr, None)
+            if shm is None:
+                continue
+            _forget_segment(shm.name)
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        self._capacity = 0
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the workers and unlink the shared segments.
+
+        Idempotent and exception-safe; after close the pool refuses new
+        replays (``can_replay`` returns ``False``).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._teardown_workers(graceful=wait)
+            self._release_segments()
+        _unregister_pool(self)
+
+    def __enter__(self) -> "SharedStatePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def respawns(self) -> int:
+        """Times the worker set was rebuilt after a worker death."""
+        with self._lock:
+            return self._respawns
+
+    def worker_pids(self) -> list[int]:
+        """PID of each live worker process."""
+        with self._lock:
+            return [process.pid for process, _ in self._workers]
+
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of the currently allocated shared segments (tests/CI)."""
+        with self._lock:
+            return tuple(
+                shm.name for shm in (self._state, self._scratch) if shm is not None
+            )
+
+    # -- ChunkPool protocol ---------------------------------------------------
+    def effective_threads(self) -> int:
+        """Worker processes a replay splits across (ChunkPool parity)."""
+        return self.processes
+
+    def can_replay(self, plan) -> bool:
+        """Whether :meth:`replay_plan` would handle ``plan`` itself.
+
+        Requires ≥2 workers, an open pool, no mid-circuit resets (the
+        global probability reduction + RNG draw cannot span processes) and
+        plan provenance (the source circuit to ship; see
+        :meth:`ExecutionPlan.replay_descriptor`).
+        """
+        if self.processes < 2 or self.closed:
+            return False
+        if not isinstance(plan, ExecutionPlan):
+            return False
+        if any(step.tag == KERNEL_RESET for step in plan.steps):
+            return False
+        return plan.replay_descriptor() is not None
+
+    def replay_plan(
+        self, plan: ExecutionPlan, data: np.ndarray, rng=None
+    ) -> np.ndarray | None:
+        """Replay ``plan`` over ``data`` across the worker processes.
+
+        ``data`` is copied into the shared state buffer once, evolved in
+        place by every worker cooperatively, and copied back — the only
+        amplitude traffic between processes is through the shared mapping.
+        Returns ``data`` (mutated to the final state), or delegates to
+        ``fallback``/serial (``None``) when the plan is not replayable
+        here.  Raises :class:`ExecutionError` when a worker dies mid-step;
+        the worker set is respawned so the next replay starts clean.
+        """
+        if not self.can_replay(plan):
+            fallback = self.fallback
+            if fallback is not None:
+                return fallback.replay_plan(plan, data, rng=rng)
+            return None
+        circuit, options, params = plan.replay_descriptor()
+        from .sharded import _circuit_payload
+
+        payload, digest = _circuit_payload(circuit)
+        with self._lock:
+            if self._closed:
+                return None
+            if not self._workers:
+                self._spawn_workers()
+            dim = int(data.size)
+            self._ensure_capacity(dim)
+            state = np.ndarray(dim, dtype=np.complex128, buffer=self._state.buf)
+            np.copyto(state, data)
+            job = {
+                "payload": payload,
+                "digest": digest,
+                "width": plan.n_qubits,
+                "options": options,
+                "params": params,
+                "state": self._state.name,
+                "scratch": self._scratch.name,
+            }
+            try:
+                for _, conn in self._workers:
+                    conn.send(("replay", job))
+            except (BrokenPipeError, OSError) as exc:
+                # A worker died between replays; siblings that did get the
+                # job will block at the first barrier — same recovery as a
+                # mid-step death.
+                self._recover(f"worker pipe rejected the job: {exc}")
+            final_in_state = self._collect_acks()
+            source = (
+                state
+                if final_in_state
+                else np.ndarray(dim, dtype=np.complex128, buffer=self._scratch.buf)
+            )
+            np.copyto(data, source)
+            return data
+
+    # -- internals ------------------------------------------------------------
+    def _ensure_capacity(self, dim: int) -> None:
+        """(Re)allocate the state + scratch segments to hold ``dim`` amps.
+
+        Grow-only: replaying a smaller state reuses the larger segments
+        (workers view only the first ``dim`` amplitudes).
+        """
+        if self._state is not None and self._capacity >= dim:
+            return
+        self._release_segments()
+        token = secrets.token_hex(4)
+        prefix = f"{SEGMENT_PREFIX}-{os.getpid()}-{token}"
+        state = SharedMemory(create=True, size=dim * 16, name=f"{prefix}-state")
+        _remember_segment(state.name)
+        try:
+            scratch = SharedMemory(create=True, size=dim * 16, name=f"{prefix}-scratch")
+        except BaseException:
+            _forget_segment(state.name)
+            state.close()
+            state.unlink()
+            raise
+        _remember_segment(scratch.name)
+        self._state, self._scratch, self._capacity = state, scratch, dim
+
+    def _collect_acks(self) -> bool:
+        """Wait for every worker's replay ack; recover from worker death.
+
+        A worker that died mid-step leaves its siblings blocked at the
+        step barrier, so the parent aborts the barrier (releasing them
+        with ``BrokenBarrierError``), rebuilds the entire worker set and
+        raises.  Acks are awaited with :func:`multiprocessing.connection.wait`
+        over *all* pending pipes, and every quiet interval re-checks the
+        liveness of *every* pending worker — waiting on workers in order
+        would hang forever on a live worker blocked at the barrier while a
+        different worker is the one that died.  Called with the lock held.
+        """
+        from multiprocessing.connection import wait as connection_wait
+
+        finals: list[bool] = []
+        failure: str | None = None
+        pending = list(self._workers)
+        while pending and failure is None:
+            ready = connection_wait(
+                [conn for _, conn in pending], timeout=_POLL_INTERVAL
+            )
+            if not ready:
+                for process, _ in pending:
+                    if not process.is_alive():
+                        failure = (
+                            f"worker {process.name!r} (pid {process.pid}) "
+                            "died mid-replay"
+                        )
+                        break
+                continue
+            for done in ready:
+                entry = next(e for e in pending if e[1] is done)
+                try:
+                    kind, value = done.recv()
+                except (EOFError, OSError):
+                    failure = (
+                        f"worker {entry[0].name!r} closed its pipe mid-replay"
+                    )
+                    break
+                if kind == "error":
+                    failure = value
+                    break
+                finals.append(value)
+                pending.remove(entry)
+        if failure is None:
+            return finals[0]
+        self._recover(failure)
+
+    def _recover(self, failure: str) -> None:
+        """Abort the step barrier, rebuild the worker set, raise.
+
+        Unblocks survivors (they see ``BrokenBarrierError``), then rebuilds
+        everything: a broken barrier and a half-applied step are not worth
+        salvaging worker by worker.  Called with the lock held.
+        """
+        try:
+            self._barrier.abort()
+        except Exception:
+            pass
+        self._teardown_workers(graceful=False)
+        self._respawns += 1
+        self._spawn_workers()
+        raise ExecutionError(
+            f"shared-memory pool {self.name!r} lost a worker mid-replay "
+            f"(workers respawned, state discarded): {failure}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedStatePool(name={self.name!r}, processes={self.processes}, "
+            f"start_method={self.start_method!r}, closed={self.closed})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide registries: shared pools + segment sweep
+# ---------------------------------------------------------------------------
+
+_pools_lock = threading.Lock()
+#: Every open pool, so the atexit sweep can close them (and their segments).
+_open_pools: "weakref.WeakSet[SharedStatePool]" = weakref.WeakSet()
+#: Segment names currently owned by this process; the sweep unlinks any that
+#: survive (a pool leaked without close(), or close() interrupted mid-way).
+_owned_segments: set[str] = set()
+#: Shared pools keyed by worker count (the accelerator's ``shm-processes``).
+_shared_pools: dict[int, SharedStatePool] = {}
+_shared_pools_lock = threading.Lock()
+
+
+def _register_pool(pool: SharedStatePool) -> None:
+    with _pools_lock:
+        _open_pools.add(pool)
+
+
+def _unregister_pool(pool: SharedStatePool) -> None:
+    with _pools_lock:
+        _open_pools.discard(pool)
+
+
+def _remember_segment(name: str) -> None:
+    with _pools_lock:
+        _owned_segments.add(name)
+
+
+def _forget_segment(name: str) -> None:
+    with _pools_lock:
+        _owned_segments.discard(name)
+
+
+def get_shared_state_pool(processes: int) -> SharedStatePool:
+    """The process-wide shared pool with ``processes`` workers (created once).
+
+    Shared for the same reason the sharded executors are: every accelerator
+    clone asking for the same lane reuses one worker set — and its warm
+    per-worker plan caches — instead of forking per clone.
+    """
+    if processes < 1:
+        raise ExecutionError(f"processes must be at least 1, got {processes}")
+    with _shared_pools_lock:
+        pool = _shared_pools.get(processes)
+        if pool is None or pool.closed:
+            pool = SharedStatePool(processes, name=f"shared-shm-{processes}")
+            _shared_pools[processes] = pool
+        return pool
+
+
+def shutdown_shared_state_pools(wait: bool = True) -> None:
+    """Close every shared pool (tests, interpreter exit)."""
+    with _shared_pools_lock:
+        pools = list(_shared_pools.values())
+        _shared_pools.clear()
+    for pool in pools:
+        try:
+            pool.close(wait=wait)
+        except Exception:
+            pass
+
+
+def _sweep_at_exit() -> None:
+    shutdown_shared_state_pools(wait=False)
+    with _pools_lock:
+        pools = list(_open_pools)
+        leftovers = list(_owned_segments)
+        _owned_segments.clear()
+    for pool in pools:
+        try:
+            pool.close(wait=False)
+        except Exception:
+            pass
+    for name in leftovers:
+        try:
+            segment = SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        except Exception:
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:
+            pass
+
+
+#: PID that last registered the exit sweep.  The registration must be
+#: re-done per process: multiprocessing children clear the inherited
+#: finalizer registry in ``_bootstrap``, so an import-time hook from the
+#: parent silently disappears in every fork child.
+_sweep_registered_pid: int | None = None
+
+
+def _ensure_exit_sweep() -> None:
+    """Register the sweep for *this* process (idempotent per PID).
+
+    Both hooks are needed: ``atexit`` covers normal interpreters, while
+    multiprocessing children (e.g. shard workers that borrowed an shm
+    pool) exit through ``util._exit_function()`` + ``os._exit()`` without
+    ever running atexit handlers — only a ``multiprocessing.util.Finalize``
+    fires there.  The sweep is idempotent, so a process hitting both hooks
+    is fine.
+    """
+    global _sweep_registered_pid
+    pid = os.getpid()
+    if _sweep_registered_pid == pid:
+        return
+    _sweep_registered_pid = pid
+    atexit.register(_sweep_at_exit)
+    try:
+        from multiprocessing import util
+
+        util.Finalize(None, _sweep_at_exit, exitpriority=100)
+    except Exception:  # pragma: no cover - registration best-effort
+        pass
+
+
+def _neuter_after_fork(_module) -> None:
+    """Disarm bookkeeping a fork child inherited from its parent.
+
+    A forked child gets copies of the parent's open pools, shared-pool
+    registry and owned-segment names.  Acting on any of it — a child-side
+    ``close()``, ``__del__`` or exit sweep — would stop worker processes
+    and unlink ``/dev/shm`` segments the *parent* is still using.  Mark
+    every inherited pool closed-and-empty and forget the names; pools the
+    child creates itself register fresh.
+    """
+    global _sweep_registered_pid
+    _sweep_registered_pid = None
+    for pool in list(_open_pools):
+        pool._closed = True
+        pool._workers = []
+        pool._barrier = None
+        pool._state = None
+        pool._scratch = None
+        pool._capacity = 0
+    _open_pools.clear()
+    _owned_segments.clear()
+    _shared_pools.clear()
+
+
+try:
+    from multiprocessing import util as _mp_util
+    import sys as _sys
+
+    _mp_util.register_after_fork(_sys.modules[__name__], _neuter_after_fork)
+except Exception:  # pragma: no cover - registration best-effort
+    pass

@@ -115,7 +115,15 @@ class QuantumJobService:
                 )
             from ..exec.sharded import ShardedExecutor
 
-            self._sharded = ShardedExecutor(self.processes, name=f"{name}-shard")
+            # "shm-processes" lets each shard borrow a shared-memory pool
+            # for super-threshold single-state replays (the ≥20-qubit lane);
+            # in in-process mode the same option flows to the accelerator
+            # clones through backend_options instead.
+            self._sharded = ShardedExecutor(
+                self.processes,
+                name=f"{name}-shard",
+                shm_processes=int(self.backend_options.get("shm-processes", 0) or 0),
+            )
         self._queue = BatchingJobQueue(max_pending=max_pending)
         self._cache: ResultCache | None = (
             ResultCache(cache_capacity) if enable_cache else None

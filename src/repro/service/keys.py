@@ -31,16 +31,25 @@ __all__ = ["job_key", "circuit_content_hash", "config_fingerprint"]
 #: fragment the cache (they tune performance, not physics).  ``processes``
 #: selects the process-sharded execution backend; its reductions are
 #: deterministic, so it is a routing knob, not part of the result identity.
-#: ``chunk-threshold`` gates chunk-parallel plan replay (bitwise identical
-#: to serial replay) and ``batch-diagonals`` collapses diagonal runs at
-#: compile time (reassociates floating-point products — ulp-level amplitude
-#: shifts, identical distributions), so both stay out of the job identity.
-#: Consequence: the result cache may serve a batched-plan histogram to a
-#: ``batch-diagonals: False`` submission; callers who need bit-exact
-#: gate-by-gate reproduction (not just distributional identity) should
-#: disable the result cache rather than rely on this option fragmenting it.
+#: ``chunk-threshold`` gates chunk-parallel plan replay and
+#: ``shm-processes`` moves that replay onto shared-memory worker processes
+#: (both bitwise identical to serial replay); ``batch-diagonals`` collapses
+#: diagonal runs at compile time (reassociates floating-point products —
+#: ulp-level amplitude shifts, identical distributions).  All of them stay
+#: out of the job identity.  Consequence: the result cache may serve a
+#: batched-plan histogram to a ``batch-diagonals: False`` submission;
+#: callers who need bit-exact gate-by-gate reproduction (not just
+#: distributional identity) should disable the result cache rather than
+#: rely on this option fragmenting it.
 _NON_SEMANTIC_OPTIONS = frozenset(
-    {"threads", "latency-seconds", "processes", "batch-diagonals", "chunk-threshold"}
+    {
+        "threads",
+        "latency-seconds",
+        "processes",
+        "shm-processes",
+        "batch-diagonals",
+        "chunk-threshold",
+    }
 )
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "SimulationCostModel",
     "DEFAULT_KERNEL_COST_FACTORS",
     "DEFAULT_KERNEL_PARALLEL_EFFICIENCY",
+    "DEFAULT_KERNEL_PROCESS_EFFICIENCY",
 ]
 
 #: Relative per-amplitude work of each compiled-plan kernel class, with a
@@ -61,6 +62,24 @@ DEFAULT_KERNEL_PARALLEL_EFFICIENCY: dict[str, float] = {
     "permutation": 0.8,
     "gather": 0.75,
     "dense": 0.7,
+    "reset": 0.0,
+}
+
+#: Fraction of each kernel class's sweep that *shared-memory process*
+#: replay overlaps across worker processes.  Slightly below the thread
+#: efficiencies: the sweeps themselves are identical, but every worker
+#: touches the shared mapping cold (no cache reuse between steps that
+#: threads get for free) and dense blocks leave their matmul on one
+#: worker.  The per-step barrier/IPC cost is modelled separately
+#: (:attr:`SimulationCostModel.shm_step_barrier_cost`) because it is a
+#: fixed synchronisation price, not a fraction of the sweep.
+DEFAULT_KERNEL_PROCESS_EFFICIENCY: dict[str, float] = {
+    "single": 0.9,
+    "controlled": 0.85,
+    "diagonal": 0.82,
+    "permutation": 0.76,
+    "gather": 0.7,
+    "dense": 0.6,
     "reset": 0.0,
 }
 
@@ -145,6 +164,18 @@ class SimulationCostModel:
     kernel_parallel_efficiency: Mapping[str, float] = field(
         default_factory=lambda: dict(DEFAULT_KERNEL_PARALLEL_EFFICIENCY)
     )
+    #: Per-kernel-class fraction the shared-memory *process* lane overlaps
+    #: (see :data:`DEFAULT_KERNEL_PROCESS_EFFICIENCY`).
+    kernel_process_efficiency: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_KERNEL_PROCESS_EFFICIENCY)
+    )
+    #: Serial cost of one inter-process step barrier (semaphore round +
+    #: worker wake-up) in shared-memory replay.  Dense steps pay three
+    #: (gather / matmul / scatter each barrier); every other chunked step
+    #: pays one.  This is the term that makes shallow plans on small
+    #: states *lose* from process parallelism in the model, exactly as
+    #: they do on hardware.
+    shm_step_barrier_cost: float = 60.0
 
     def gate_cost(self, n_qubits: int, gate_qubits: int) -> float:
         """Parallelisable work of one gate application on an ``n_qubits`` state."""
@@ -188,7 +219,9 @@ class SimulationCostModel:
             factor *= self.multi_qubit_factor ** max(0, targets - 1)
         return amplitudes * self.amplitude_update_cost * factor
 
-    def plan_cost(self, plan, shots: int, *, chunked: bool = False) -> CircuitCost:
+    def plan_cost(
+        self, plan, shots: int, *, chunked: bool = False, processes: int = 0
+    ) -> CircuitCost:
         """Estimate the cost of replaying a compiled :class:`ExecutionPlan`.
 
         The ``modeled`` execution mode uses this to predict *plan-executed*
@@ -205,18 +238,40 @@ class SimulationCostModel:
         is single-threaded (all sweep work is serial — exactly what the
         real engine does), and above it each kernel class parallelises only
         its :attr:`kernel_parallel_efficiency` fraction.
+
+        ``processes=N`` (N > 1) models the shared-memory *process* lane
+        instead: above the threshold each kernel class overlaps its
+        :attr:`kernel_process_efficiency` fraction across the worker
+        processes and every chunked step additionally pays
+        :attr:`shm_step_barrier_cost` per barrier (three for dense steps:
+        gather / matmul / scatter), the IPC price the thread lane does not
+        have; below the threshold the lane never engages, so the sweep is
+        serial with no barrier cost — matching
+        :class:`~repro.exec.shm.SharedStatePool` exactly.
         """
         steps = getattr(plan, "steps", None)
         if steps is None:  # ParametricExecutionPlan delegates to its template
             steps = plan.template_steps
         n = max(int(plan.n_qubits), 1)
-        chunking_engages = chunked and (1 << n) >= self.chunk_threshold
+        process_mode = processes > 1
+        chunking_engages = (chunked or process_mode) and (
+            1 << n
+        ) >= self.chunk_threshold
         parallel = 0.0
         serial = 0.0
         locked = self.launch_overhead
         for step in steps:
             work = self.kernel_cost(n, step.kernel, len(step.targets))
-            if not chunked:
+            if process_mode:
+                if chunking_engages:
+                    parallel_fraction = float(
+                        self.kernel_process_efficiency.get(step.kernel, 0.6)
+                    )
+                    barriers = 3 if step.kernel == "dense" else 1
+                    serial += self.shm_step_barrier_cost * barriers
+                else:
+                    parallel_fraction = 0.0
+            elif not chunked:
                 parallel_fraction = 1.0 - self.gate_serial_fraction
             elif chunking_engages:
                 parallel_fraction = float(

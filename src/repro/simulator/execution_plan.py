@@ -24,14 +24,17 @@ amortises gate application with fused OpenMP kernels:
   compile time into one combined :data:`KERNEL_DIAGONAL` step holding the
   precomputed product diagonal over the union of touched qubits, shrinking
   step counts and full-state memory passes.
-* **Chunk-parallel replay** (``execute(state, pool=engine)``): for states
+* **Chunk-parallel replay** (``execute(state, pool=...)``): for states
   of at least ``chunk_threshold`` amplitudes, every kernel splits into
-  contiguous/disjoint sub-views dispatched on a
-  :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`
-  worker pool.  NumPy releases the GIL inside the vectorised inner loops,
-  so chunks genuinely overlap — and because every chunk performs exactly
-  the per-amplitude arithmetic of the serial kernel, chunked replay is
-  **bitwise identical** to serial replay.
+  contiguous/disjoint sub-views dispatched on a :class:`ChunkPool` — the
+  thread-pool :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`
+  (NumPy releases the GIL inside the vectorised inner loops, so chunks
+  genuinely overlap) or the shared-memory process pool
+  :class:`~repro.exec.shm.SharedStatePool` (each worker process maps the
+  same amplitude buffers and replays its sub-views with a barrier per
+  step).  Because every chunk performs exactly the per-amplitude
+  arithmetic of the serial kernel, chunked replay is **bitwise
+  identical** to serial replay on either pool.
 
 Plans are immutable after compilation (parametric binding mutates only
 per-thread step copies), so one plan can be shared by every trajectory
@@ -44,7 +47,7 @@ import cmath
 import math
 import threading
 from collections import Counter
-from typing import Mapping, Sequence
+from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -56,6 +59,7 @@ from ..ir.parameter import bind_value
 from ..ir.transforms import default_pass_manager
 
 __all__ = [
+    "ChunkPool",
     "ExecutionPlan",
     "ParametricExecutionPlan",
     "PlanStep",
@@ -65,6 +69,31 @@ __all__ = [
     "DEFAULT_CHUNK_THRESHOLD",
     "DEFAULT_DIAGONAL_BATCH_MAX_QUBITS",
 ]
+
+
+@runtime_checkable
+class ChunkPool(Protocol):
+    """Anything :meth:`ExecutionPlan.execute` accepts as ``pool=``.
+
+    A chunk pool owns a set of workers (threads or processes) and knows how
+    to replay a compiled plan across them.  :meth:`replay_plan` returns the
+    resulting amplitude array, or ``None`` when the pool cannot improve on
+    serial replay for this plan (too few workers, unsupported kernels) —
+    the caller then falls back to the serial sweep.  Implementations must
+    keep chunked replay bitwise identical to serial replay; the thread
+    engine and the shared-memory process pool are interchangeable behind
+    this protocol.
+    """
+
+    def effective_threads(self) -> int:
+        """Worker count the pool would split a replay across."""
+        ...  # pragma: no cover - protocol
+
+    def replay_plan(
+        self, plan: "ExecutionPlan", data: np.ndarray, rng=None
+    ) -> np.ndarray | None:
+        """Chunk-replay ``plan`` over ``data``; ``None`` = use serial."""
+        ...  # pragma: no cover - protocol
 
 #: Kernel tags (ints for tight dispatch; names for introspection).
 KERNEL_SINGLE = 0  #: in-place 2x2 update on one qubit
@@ -270,6 +299,14 @@ class ExecutionPlan:
         #: Memoised chunk programs keyed by worker count (built on first
         #: chunked execute; benign if two threads race to build one).
         self._chunk_programs: dict[int, tuple] = {}
+        #: Provenance for cross-process replay (see :meth:`replay_descriptor`):
+        #: the circuit the plan was lowered from, the compile options that
+        #: produced it, and — for plans bound from a parametric template —
+        #: the parameter values of the current binding.  Set by the
+        #: compilers/binders; plans built directly from steps have none.
+        self.source_circuit: CompositeInstruction | None = None
+        self.compile_options: dict[str, object] = {}
+        self.bound_params: dict[str, float] | None = None
 
     # -- introspection -------------------------------------------------------
     @property
@@ -287,6 +324,27 @@ class ExecutionPlan:
     def kernel_counts(self) -> Counter:
         """Histogram of kernel classes, e.g. ``{"single": 3, "diagonal": 2}``."""
         return Counter(step.kernel for step in self._steps)
+
+    def replay_descriptor(
+        self,
+    ) -> tuple[CompositeInstruction, dict[str, object], dict[str, float] | None] | None:
+        """``(circuit, compile_options, params)`` recompiling this plan
+        elsewhere, or ``None`` when the plan cannot be shipped.
+
+        Plans never cross process boundaries (thread-local scratch, numpy
+        views); the shared-memory pool instead ships the *source circuit*
+        by canonical JSON + content hash and lets each worker compile an
+        identical plan into its own cache.  That requires the provenance
+        recorded at compile time — and, for a plan bound from a parametric
+        template, the values of the current binding.
+        """
+        circuit = self.source_circuit
+        if circuit is None:
+            return None
+        if self._parametric_steps and self.bound_params is None:
+            return None
+        params = dict(self.bound_params) if self.bound_params is not None else None
+        return circuit, dict(self.compile_options), params
 
     # -- execution -----------------------------------------------------------
     def new_state(self) -> np.ndarray:
@@ -313,15 +371,18 @@ class ExecutionPlan:
         The returned array may be a recycled scratch buffer rather than
         ``data`` itself — always use the return value.
 
-        ``pool`` is a :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`
-        (anything with ``effective_threads()`` and ``chunk_pool(workers)``).
-        When given — and the state holds at least :attr:`chunk_threshold`
-        amplitudes — each kernel is split into disjoint sub-views executed
-        on the pool's worker threads.  Chunks perform exactly the serial
-        kernel's per-amplitude arithmetic, so the chunked result is bitwise
-        identical to the serial one.  Never pass a pool from *inside* one
-        of its own worker threads (the barrier would deadlock a saturated
-        pool); the trajectory paths therefore only chunk single-chunk runs.
+        ``pool`` is a :class:`ChunkPool` — the thread-pool
+        :class:`~repro.simulator.parallel_engine.ParallelSimulationEngine`
+        or the shared-memory :class:`~repro.exec.shm.SharedStatePool`
+        (legacy duck-typed pools exposing only ``effective_threads()`` +
+        ``chunk_pool(workers)`` keep working).  When given — and the state
+        holds at least :attr:`chunk_threshold` amplitudes — each kernel is
+        split into disjoint sub-views executed on the pool's workers.
+        Chunks perform exactly the serial kernel's per-amplitude
+        arithmetic, so the chunked result is bitwise identical to the
+        serial one.  Never pass a pool from *inside* one of its own worker
+        threads (the barrier would deadlock a saturated pool); the
+        trajectory paths therefore only chunk single-chunk runs.
         """
         if self._requires_binding:
             raise ExecutionError(
@@ -336,9 +397,15 @@ class ExecutionPlan:
         if data.dtype != np.complex128 or not data.flags.c_contiguous:
             data = np.ascontiguousarray(data, dtype=complex)
         if pool is not None and self._dim >= self.chunk_threshold:
-            workers = int(pool.effective_threads())
-            if workers > 1:
-                return self._execute_chunked(data, rng, pool, workers)
+            replay = getattr(pool, "replay_plan", None)
+            if replay is not None:
+                result = replay(self, data, rng=rng)
+                if result is not None:
+                    return result
+            else:
+                workers = int(pool.effective_threads())
+                if workers > 1:
+                    return self._execute_chunked(data, rng, pool, workers)
         cur = data
         spare = self._scratch()
         shape = self._shape
@@ -349,14 +416,16 @@ class ExecutionPlan:
         return cur
 
     # -- chunk-parallel execution --------------------------------------------
-    def _execute_chunked(
-        self, cur: np.ndarray, rng, pool, workers: int
-    ) -> np.ndarray:
-        """Replay every kernel as disjoint chunks on the pool's threads.
+    def chunk_program(self, workers: int) -> tuple:
+        """The per-step chunk decomposition for ``workers`` workers.
 
-        The chunk *program* (per-step split geometry) is memoised per worker
-        count; chunk specs hold only geometry and read the step's matrices /
-        diagonals at run time, so parametric rebinding keeps working.
+        Memoised per worker count (benign if two threads race to build
+        one); chunk specs hold only geometry and read the step's matrices /
+        diagonals at run time, so parametric rebinding keeps working.  A
+        ``None`` entry means that step runs serially.  The decomposition is
+        deterministic in ``(plan, workers)``, which is what lets every
+        shared-memory worker process rebuild the identical program from its
+        own compiled copy of the plan.
         """
         program = self._chunk_programs.get(workers)
         if program is None:
@@ -365,6 +434,13 @@ class ExecutionPlan:
                 for step in self._steps
             )
             self._chunk_programs[workers] = program
+        return program
+
+    def _execute_chunked(
+        self, cur: np.ndarray, rng, pool, workers: int
+    ) -> np.ndarray:
+        """Replay every kernel as disjoint chunks on the pool's threads."""
+        program = self.chunk_program(workers)
         executor = pool.chunk_pool(workers)
 
         def pool_map(fn, tasks):
@@ -556,6 +632,10 @@ class ParametricExecutionPlan:
                 chunk_threshold=template.chunk_threshold,
                 requires_binding=True,
             )
+            # Provenance carries over so a bound plan can still be shipped
+            # (recompiled + rebound) by the shared-memory process pool.
+            plan.source_circuit = template.source_circuit
+            plan.compile_options = dict(template.compile_options)
             self._tls.plan = plan
         return plan
 
@@ -576,6 +656,7 @@ class ParametricExecutionPlan:
         for step in plan._parametric_steps:
             step.rebind(mapping)
         plan._requires_binding = False
+        plan.bound_params = mapping
         return plan
 
     def _normalize(
@@ -660,67 +741,81 @@ def _merge_index(
     return tuple(merged)
 
 
-class _ChunkSingle:
+class _ChunkSpec:
+    """Base chunk spec: a task list plus one per-task kernel application.
+
+    The uniform ``tasks`` / ``apply`` / ``swaps`` surface is what lets two
+    very different drivers share the arithmetic: the thread path maps
+    ``apply`` over the whole task list on an executor, while each
+    shared-memory worker process applies only its slice
+    (``tasks[index::workers]``) of the same deterministic decomposition,
+    with a barrier per step.  ``swaps`` tells both drivers whether the
+    step's output landed in the scratch buffer.
+    """
+
+    __slots__ = ("step", "tasks")
+    swaps = False
+
+    def apply(self, task, cur, spare, shape) -> None:
+        raise NotImplementedError
+
+    def run(self, pool_map, cur, spare, shape):
+        apply = self.apply
+        pool_map(lambda task: apply(task, cur, spare, shape), self.tasks)
+        return (spare, cur) if self.swaps else (cur, spare)
+
+
+class _ChunkSingle(_ChunkSpec):
     """Row- (or, for top-qubit targets, column-) sliced single-qubit update."""
 
-    __slots__ = ("step", "spans", "by_rows")
+    __slots__ = ("by_rows",)
 
     def __init__(self, step: PlanStep, dim: int, workers: int):
         self.step = step
         rows = dim >> (step.targets[0] + 1)
         self.by_rows = rows >= workers
-        self.spans = _split_ranges(rows if self.by_rows else step.block, workers)
+        self.tasks = _split_ranges(rows if self.by_rows else step.block, workers)
 
-    def run(self, pool_map, cur, spare, shape):
+    def apply(self, task, cur, spare, shape):
         step = self.step
         view = cur.reshape(-1, 2, step.block)
-        by_rows = self.by_rows
-
-        def work(span):
-            lo, hi = span
-            block = view[lo:hi] if by_rows else view[:, :, lo:hi]
-            s0 = block[:, 0, :].copy()
-            s1 = block[:, 1, :]
-            block[:, 0, :] = step.m00 * s0 + step.m01 * s1
-            block[:, 1, :] = step.m10 * s0 + step.m11 * s1
-
-        pool_map(work, self.spans)
-        return cur, spare
+        lo, hi = task
+        block = view[lo:hi] if self.by_rows else view[:, :, lo:hi]
+        s0 = block[:, 0, :].copy()
+        s1 = block[:, 1, :]
+        block[:, 0, :] = step.m00 * s0 + step.m01 * s1
+        block[:, 1, :] = step.m10 * s0 + step.m11 * s1
 
 
-class _ChunkControlled:
+class _ChunkControlled(_ChunkSpec):
     """Controlled 2x2 update split over assignments of free high qubits."""
 
-    __slots__ = ("step", "tasks")
+    __slots__ = ()
 
     def __init__(self, step: PlanStep, n_qubits: int, assignments):
         control, target = step.targets
         target_axis = n_qubits - 1 - target
         self.step = step
-        self.tasks = []
+        tasks = []
         for assignment in assignments:
             idx = _merge_index(step.ctrl_index, assignment, n_qubits)
             fixed_axes = [i for i, v in enumerate(idx) if not isinstance(v, slice)]
             pos = target_axis - sum(1 for a in fixed_axes if a < target_axis)
-            self.tasks.append((idx, pos))
+            tasks.append((idx, pos))
+        self.tasks = tasks
 
-    def run(self, pool_map, cur, spare, shape):
+    def apply(self, task, cur, spare, shape):
         step = self.step
         psi = cur.reshape(shape)
-
-        def work(task):
-            idx, pos = task
-            sub = np.moveaxis(psi[idx], pos, 0)
-            s0 = sub[0].copy()
-            s1 = sub[1]
-            sub[0] = step.m00 * s0 + step.m01 * s1
-            sub[1] = step.m10 * s0 + step.m11 * s1
-
-        pool_map(work, self.tasks)
-        return cur, spare
+        idx, pos = task
+        sub = np.moveaxis(psi[idx], pos, 0)
+        s0 = sub[0].copy()
+        s1 = sub[1]
+        sub[0] = step.m00 * s0 + step.m01 * s1
+        sub[1] = step.m10 * s0 + step.m11 * s1
 
 
-class _ChunkDiagonalBroadcast:
+class _ChunkDiagonalBroadcast(_ChunkSpec):
     """Broadcast-diagonal multiply over contiguous flat slabs.
 
     Splitting fixes the *leading* tensor axes, so each task is one
@@ -729,7 +824,7 @@ class _ChunkDiagonalBroadcast:
     array does against the full state.
     """
 
-    __slots__ = ("step", "tasks", "slab_shape")
+    __slots__ = ("slab_shape",)
 
     def __init__(self, step: PlanStep, n_qubits: int, dim: int, workers: int):
         h = 0
@@ -739,31 +834,25 @@ class _ChunkDiagonalBroadcast:
         self.slab_shape = (2,) * (n_qubits - h)
         slab = dim >> h
         nd_shape = step.diag_nd.shape
-        self.tasks = []
+        tasks = []
         for j in range(1 << h):
             prefix = tuple(
                 ((j >> (h - 1 - a)) & 1) if nd_shape[a] == 2 else 0
                 for a in range(h)
             )
-            self.tasks.append((j * slab, (j + 1) * slab, prefix))
+            tasks.append((j * slab, (j + 1) * slab, prefix))
+        self.tasks = tasks
 
-    def run(self, pool_map, cur, spare, shape):
-        diag_nd = self.step.diag_nd
-        slab_shape = self.slab_shape
-
-        def work(task):
-            lo, hi, prefix = task
-            view = cur[lo:hi].reshape(slab_shape)
-            view *= diag_nd[prefix]
-
-        pool_map(work, self.tasks)
-        return cur, spare
+    def apply(self, task, cur, spare, shape):
+        lo, hi, prefix = task
+        view = cur[lo:hi].reshape(self.slab_shape)
+        view *= self.step.diag_nd[prefix]
 
 
-class _ChunkDiagonalStrided:
+class _ChunkDiagonalStrided(_ChunkSpec):
     """Strided diagonal multiplies split over free-high-qubit assignments."""
 
-    __slots__ = ("step", "tasks")
+    __slots__ = ()
 
     def __init__(self, step: PlanStep, n_qubits: int, assignments):
         self.step = step
@@ -775,24 +864,19 @@ class _ChunkDiagonalStrided:
             for assignment in assignments
         ]
 
-    def run(self, pool_map, cur, spare, shape):
+    def apply(self, task, cur, spare, shape):
         diag = self.step.diag
         psi = cur.reshape(shape)
-
-        def work(ops):
-            for slot, idx in ops:
-                d = diag[slot]
-                if d != 1.0:
-                    psi[idx] *= d
-
-        pool_map(work, self.tasks)
-        return cur, spare
+        for slot, idx in task:
+            d = diag[slot]
+            if d != 1.0:
+                psi[idx] *= d
 
 
-class _ChunkPermutation:
+class _ChunkPermutation(_ChunkSpec):
     """Slice exchanges split over free-high-qubit assignments."""
 
-    __slots__ = ("step", "tasks")
+    __slots__ = ()
 
     def __init__(self, step: PlanStep, n_qubits: int, assignments):
         self.step = step
@@ -807,75 +891,70 @@ class _ChunkPermutation:
             for assignment in assignments
         ]
 
-    def run(self, pool_map, cur, spare, shape):
+    def apply(self, task, cur, spare, shape):
         psi = cur.reshape(shape)
-
-        def work(pairs):
-            for a, b in pairs:
-                tmp = psi[a].copy()
-                psi[a] = psi[b]
-                psi[b] = tmp
-
-        pool_map(work, self.tasks)
-        return cur, spare
+        for a, b in task:
+            tmp = psi[a].copy()
+            psi[a] = psi[b]
+            psi[b] = tmp
 
 
-class _ChunkGather:
+class _ChunkGather(_ChunkSpec):
     """Whole-state index gather split into contiguous output ranges."""
 
-    __slots__ = ("step", "spans")
+    __slots__ = ()
+    swaps = True
 
     def __init__(self, step: PlanStep, dim: int, workers: int):
         self.step = step
-        self.spans = _split_ranges(dim, workers)
+        self.tasks = _split_ranges(dim, workers)
 
-    def run(self, pool_map, cur, spare, shape):
-        gather = self.step.gather
-
-        def work(span):
-            lo, hi = span
-            np.take(cur, gather[lo:hi], out=spare[lo:hi])
-
-        pool_map(work, self.spans)
-        return spare, cur
+    def apply(self, task, cur, spare, shape):
+        lo, hi = task
+        np.take(cur, self.step.gather[lo:hi], out=spare[lo:hi])
 
 
-class _ChunkDense:
+class _ChunkDense(_ChunkSpec):
     """Fused dense block: parallel gather and scatter around the matmul.
 
     The two indexed-copy passes (the memory-bound majority of the kernel)
     split into contiguous output ranges; the small ``(2^k, 2^k) @ (2^k, M)``
     product itself runs as the *exact* serial call — BLAS picks different
     (differently-rounded) microkernels per operand shape, so slicing its
-    columns would forfeit the bitwise-identity guarantee.
+    columns would forfeit the bitwise-identity guarantee.  The three phases
+    are exposed individually (``gather_part`` / ``matmul`` /
+    ``scatter_part``) because the shared-memory driver needs a barrier
+    between each: all workers gather, one worker multiplies, all workers
+    scatter.
     """
 
-    __slots__ = ("step", "el_spans")
+    __slots__ = ()
+    swaps = True
 
     def __init__(self, step: PlanStep, dim: int, workers: int):
         self.step = step
-        self.el_spans = _split_ranges(dim, workers)
+        self.tasks = _split_ranges(dim, workers)
 
-    def run(self, pool_map, cur, spare, shape):
+    def gather_part(self, task, cur, spare):
+        lo, hi = task
+        np.take(cur, self.step.perm[lo:hi], out=spare[lo:hi])
+
+    def matmul(self, cur, spare):
         step = self.step
-        perm, inv_perm = step.perm, step.inv_perm
-
-        def gather(span):
-            lo, hi = span
-            np.take(cur, perm[lo:hi], out=spare[lo:hi])
-
-        pool_map(gather, self.el_spans)
         np.matmul(
             step.matrix,
             spare.reshape(step.dim_k, -1),
             out=cur.reshape(step.dim_k, -1),
         )
 
-        def scatter(span):
-            lo, hi = span
-            np.take(cur, inv_perm[lo:hi], out=spare[lo:hi])
+    def scatter_part(self, task, cur, spare):
+        lo, hi = task
+        np.take(cur, self.step.inv_perm[lo:hi], out=spare[lo:hi])
 
-        pool_map(scatter, self.el_spans)
+    def run(self, pool_map, cur, spare, shape):
+        pool_map(lambda span: self.gather_part(span, cur, spare), self.tasks)
+        self.matmul(cur, spare)
+        pool_map(lambda span: self.scatter_part(span, cur, spare), self.tasks)
         return spare, cur
 
 
@@ -884,7 +963,7 @@ def _chunk_step(step: PlanStep, n_qubits: int, dim: int, workers: int):
     tag = step.tag
     if tag == KERNEL_SINGLE:
         spec = _ChunkSingle(step, dim, workers)
-        return spec if spec.spans else None
+        return spec if spec.tasks else None
     if tag == KERNEL_DIAGONAL:
         if step.diag_nd is not None:
             return _ChunkDiagonalBroadcast(step, n_qubits, dim, workers)
@@ -1028,7 +1107,7 @@ def _compile(
     if batch_diagonals:
         steps, batched_diagonals = _batch_diagonal_steps(steps, width)
 
-    return ExecutionPlan(
+    plan = ExecutionPlan(
         width,
         steps,
         name=circuit.name,
@@ -1041,6 +1120,17 @@ def _compile(
         chunk_threshold=chunk_threshold,
         requires_binding=requires_binding,
     )
+    # Recorded so the shared-memory pool can ship the *source* circuit by
+    # content hash and have every worker compile a bitwise-identical plan
+    # with the same options (see ExecutionPlan.replay_descriptor).
+    plan.source_circuit = circuit
+    plan.compile_options = {
+        "optimize": bool(optimize),
+        "fusion_max_qubits": int(fusion_max_qubits),
+        "batch_diagonals": bool(batch_diagonals),
+        "chunk_threshold": chunk_threshold,
+    }
+    return plan
 
 
 # -- diagonal batching -------------------------------------------------------

@@ -157,6 +157,22 @@ class ParallelSimulationEngine:
         """
         return self._executor(workers)
 
+    def replay_plan(
+        self, plan: ExecutionPlan, data: np.ndarray, rng=None
+    ) -> np.ndarray | None:
+        """Chunk-replay ``plan`` over ``data`` on the worker threads.
+
+        The engine's :class:`~repro.simulator.execution_plan.ChunkPool`
+        implementation: every kernel splits into disjoint sub-views mapped
+        over the thread pool, bitwise identical to serial replay.  Returns
+        ``None`` when a single worker could not beat the serial sweep —
+        the caller then replays serially.
+        """
+        workers = int(self.effective_threads())
+        if workers <= 1:
+            return None
+        return plan._execute_chunked(data, rng, self, workers)
+
     def close(self, wait: bool = True) -> None:
         """Tear the worker pool down (the engine stays usable: the next
         parallel call lazily builds a fresh pool).

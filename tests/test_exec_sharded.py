@@ -377,3 +377,86 @@ class TestShardHealthMetrics:
             executor.execute(circuit, 32, seed=5)
             assert executor.total_retries >= 1
             assert executor.shard_queue_depths() == [0, 0]
+
+
+class TestColdKeyWorkStealing:
+    def _depths(self, executor, values):
+        with executor._lock:
+            executor._inflight[:] = values
+
+    def test_cold_key_steered_away_from_busy_affine_shard(self, sharded2):
+        key = "00" * 32  # shard_for -> 0
+        assert sharded2.shard_for(key) == 0
+        self._depths(sharded2, [5, 0])
+        try:
+            result = sharded2.execute_for_key(
+                key, algorithm_suite()["bell"], 64, seed=9
+            )
+        finally:
+            self._depths(sharded2, [0, 0])
+        assert sum(result.counts.values()) == 64
+        with sharded2._lock:
+            assert sharded2._key_owners[key] == 1
+        assert sharded2.total_steals >= 1
+
+    def test_stolen_key_stays_affine_to_new_owner(self, sharded2):
+        """Future hits follow the owner recorded at steal time even when the
+        load situation has reversed — that worker's plan cache is the warm
+        one now."""
+        key = "02" * 32
+        assert sharded2.shard_for(key) == 0
+        self._depths(sharded2, [5, 0])
+        try:
+            sharded2.execute_for_key(key, algorithm_suite()["bell"], 32, seed=9)
+            # Owner 1 is now the busy one; the key must not migrate back.
+            self._depths(sharded2, [0, 5])
+            sharded2.execute_for_key(key, algorithm_suite()["bell"], 32, seed=9)
+        finally:
+            self._depths(sharded2, [0, 0])
+        with sharded2._lock:
+            assert sharded2._key_owners[key] == 1
+
+    def test_idle_executor_routes_pure_hash_affinity(self, sharded2):
+        """All depths equal -> ties prefer the affine shard, no steal."""
+        key = "04" * 32
+        assert sharded2.shard_for(key) == 0
+        steals_before = sharded2.total_steals
+        sharded2.execute_for_key(key, algorithm_suite()["bell"], 32, seed=9)
+        with sharded2._lock:
+            assert sharded2._key_owners[key] == 0
+        assert sharded2.total_steals == steals_before
+
+    def test_stealing_never_changes_fixed_seed_counts(self, sharded2):
+        """The chunk seed derivation is shard-agnostic, so a stolen job
+        reduces to the identical histogram."""
+        circuit = algorithm_suite()["ghz"]
+        key = "06" * 32
+        assert sharded2.shard_for(key) == 0
+        affine = sharded2.execute(circuit, 128, seed=31, shard=0)
+        self._depths(sharded2, [5, 0])
+        try:
+            stolen = sharded2.execute_for_key(key, circuit, 128, seed=31)
+        finally:
+            self._depths(sharded2, [0, 0])
+        assert dict(stolen.counts) == dict(affine.counts)
+
+    def test_owner_map_is_bounded(self):
+        with ShardedExecutor(2, name="owner-bound", warm_start=False) as executor:
+            executor._key_owner_capacity = 8
+            for index in range(20):
+                executor._owner_for_key(f"{index:064x}")
+            assert len(executor._key_owners) == 8
+
+
+class TestStartMethods:
+    @pytest.mark.parametrize("method", ["spawn", "forkserver"])
+    def test_start_method_lifecycle_and_determinism(self, method):
+        """The macOS/Windows start methods (ROADMAP follow-up): workers are
+        preloaded via the pool initializer, and fixed-seed counts stay
+        bit-identical to the fork-started executor."""
+        circuit = algorithm_suite()["bell"]
+        with ShardedExecutor(2, name=f"shard-{method}", mp_context=method) as executor:
+            counts = executor.execute(circuit, 128, seed=17)
+        with ShardedExecutor(2, name="shard-fork-ref") as reference:
+            expected = reference.execute(circuit, 128, seed=17)
+        assert dict(counts.counts) == dict(expected.counts)

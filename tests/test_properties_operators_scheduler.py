@@ -49,7 +49,13 @@ class TestPauliAlgebraProperties:
     def test_commutation_predicate_matches_matrices(self, a, b):
         n = 4
         commutator = a.to_matrix(n) @ b.to_matrix(n) - b.to_matrix(n) @ a.to_matrix(n)
-        assert a.commutes_with(b) == np.allclose(commutator, 0, atol=1e-9)
+        # Scale the tolerance by the coefficient product: two ~1e-6
+        # coefficients shrink a genuine non-zero commutator (entries
+        # 2*|c_a*c_b|) below any fixed atol, which would wrongly read as
+        # "commutes".  Relative to the scale, zero and non-zero are
+        # cleanly separated.
+        scale = abs(a.coefficient) * abs(b.coefficient)
+        assert a.commutes_with(b) == np.allclose(commutator, 0, atol=1e-9 * scale)
 
     @_SETTINGS
     @given(st.lists(pauli_terms(), min_size=1, max_size=5))

@@ -169,3 +169,103 @@ class TestChunkedPlanCost:
         baseline = model.plan_cost(plan, 256)
         assert chunked.total_work == pytest.approx(baseline.total_work)
         assert chunked.parallel_work < baseline.parallel_work  # efficiencies < 1 - serial_fraction
+
+
+class TestShmProcessPlanCost:
+    def test_below_threshold_is_serial_with_no_barrier_cost(self):
+        """The shm lane never engages under the chunk threshold, so the
+        process model must match the plain serial chunked model exactly."""
+        from repro.simulator.cost_model import SimulationCostModel
+        from repro.simulator.execution_plan import compile_plan
+
+        model = SimulationCostModel()
+        plan = compile_plan(bell_circuit(2), 2)
+        assert (1 << plan.n_qubits) < model.chunk_threshold
+        process = model.plan_cost(plan, 64, processes=4)
+        chunked = model.plan_cost(plan, 64, chunked=True)
+        assert process.parallel_work == pytest.approx(chunked.parallel_work)
+        assert process.total_work == pytest.approx(chunked.total_work)
+
+    def test_above_threshold_uses_process_efficiency_and_barriers(self):
+        from repro.simulator.cost_model import (
+            DEFAULT_KERNEL_PROCESS_EFFICIENCY,
+            SimulationCostModel,
+        )
+        from repro.simulator.execution_plan import compile_plan
+        from repro.ir.builder import CircuitBuilder
+
+        model = SimulationCostModel(chunk_threshold=4)  # tiny: always engaged
+        circuit = CircuitBuilder(3).h(0).cphase(0, 1, 0.4).cx(1, 2).build()
+        plan = compile_plan(circuit, 3, optimize=False)
+        cost = model.plan_cost(plan, 16, processes=2)
+        expected_parallel = 0.0
+        expected_barriers = 0.0
+        for step in plan.steps:
+            work = model.kernel_cost(3, step.kernel, len(step.targets))
+            expected_parallel += work * DEFAULT_KERNEL_PROCESS_EFFICIENCY[step.kernel]
+            expected_barriers += model.shm_step_barrier_cost * (
+                3 if step.kernel == "dense" else 1
+            )
+        expected_parallel += float(1 << 3) + 16 * model.shot_parallel_cost
+        assert cost.parallel_work == pytest.approx(expected_parallel)
+        # Sweep work is conserved; the barrier/IPC term is pure extra
+        # serial work the thread lane does not pay.
+        chunked = model.plan_cost(plan, 16, chunked=True)
+        assert cost.total_work == pytest.approx(chunked.total_work + expected_barriers)
+        assert cost.serial_work > chunked.serial_work
+
+    def test_dense_steps_pay_three_barriers(self):
+        from repro.simulator.cost_model import SimulationCostModel
+        from repro.simulator.execution_plan import compile_plan
+        from repro.ir.gates import CPhase, UnitaryGate
+        from repro.ir.composite import CompositeInstruction
+
+        model = SimulationCostModel(chunk_threshold=4)
+        rng = np.random.default_rng(5)
+        matrix = np.linalg.qr(
+            rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        )[0]
+        dense = CompositeInstruction("dense", 3)
+        dense.add(UnitaryGate(matrix, [0, 1]))
+        diagonal = CompositeInstruction("diag", 3)
+        diagonal.add(CPhase([0, 1], [0.3]))
+        dense_plan = compile_plan(dense, 3, optimize=False)
+        diag_plan = compile_plan(diagonal, 3, optimize=False)
+        assert dense_plan.steps[0].kernel == "dense"
+        assert diag_plan.steps[0].kernel == "diagonal"
+        base = SimulationCostModel(chunk_threshold=4, shm_step_barrier_cost=0.0)
+        dense_extra = (
+            model.plan_cost(dense_plan, 1, processes=2).serial_work
+            - base.plan_cost(dense_plan, 1, processes=2).serial_work
+        )
+        diag_extra = (
+            model.plan_cost(diag_plan, 1, processes=2).serial_work
+            - base.plan_cost(diag_plan, 1, processes=2).serial_work
+        )
+        assert dense_extra == pytest.approx(3 * model.shm_step_barrier_cost)
+        assert diag_extra == pytest.approx(model.shm_step_barrier_cost)
+
+    def test_harness_shm_mode_runs(self):
+        """BenchmarkHarness(shm_plan_processes=N) gives the process cost
+        mode a modeled-mode caller, and the barrier term makes the modeled
+        duration strictly longer than the thread-chunked mode on the same
+        workload (sub-threshold states: equal; this workload chunks)."""
+        from repro.benchmark.harness import BenchmarkHarness
+        from repro.benchmark.workloads import bell_workload
+        from repro.simulator.cost_model import SimulationCostModel
+
+        model = SimulationCostModel(chunk_threshold=4)
+        workload = bell_workload(n_kernels=1, shots=64)
+        shm = BenchmarkHarness(
+            mode="modeled",
+            cost_model=model,
+            use_plan_costs=True,
+            shm_plan_processes=4,
+        ).run_variant(workload, "one-by-one", 4)
+        threaded = BenchmarkHarness(
+            mode="modeled",
+            cost_model=model,
+            use_plan_costs=True,
+            chunked_plan_costs=True,
+        ).run_variant(workload, "one-by-one", 4)
+        assert shm.duration > threaded.duration > 0

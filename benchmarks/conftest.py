@@ -14,8 +14,15 @@ if _SRC not in sys.path:
 from repro.config import reset_config, set_config  # noqa: E402
 from repro.core.qpu_manager import QPUManager  # noqa: E402
 from repro.core.race_detector import reset_race_detector  # noqa: E402
+from repro.obs import disable_profiler, disable_tracing, get_tracer  # noqa: E402
 from repro.runtime.allocation import clear_allocated_buffers  # noqa: E402
 from repro.runtime.service_registry import reset_registry  # noqa: E402
+
+
+def _reset_observability():
+    disable_tracing()
+    disable_profiler()
+    get_tracer().clear()
 
 
 @pytest.fixture(autouse=True)
@@ -27,9 +34,11 @@ def clean_runtime_state():
     QPUManager.reset_instance()
     reset_race_detector()
     clear_allocated_buffers()
+    _reset_observability()
     yield
     reset_config()
     reset_registry()
     QPUManager.reset_instance()
     reset_race_detector()
     clear_allocated_buffers()
+    _reset_observability()

@@ -27,6 +27,7 @@ import repro
 from repro import QuantumJobService, configure
 from repro.algorithms.qaoa import qaoa_circuit
 from repro.core.race_detector import get_race_detector, reset_race_detector
+from repro.obs import disable_profiler, disable_tracing, enable_profiler, enable_tracing
 
 N_CLIENTS = 16
 JOBS_PER_CLIENT = 6
@@ -63,9 +64,18 @@ def main() -> None:
     total_jobs = N_CLIENTS * JOBS_PER_CLIENT
 
     print(f"== {N_CLIENTS} tenants x {JOBS_PER_CLIENT} jobs through the broker ==")
-    with QuantumJobService(backend="qpp", workers=4, max_pending=256) as service:
-        wall = run_clients(service)
-        metrics = service.metrics()
+    # Observability on for the dashboard: spans trace every job's lifecycle
+    # (sampled at 25% to keep overhead bounded under flood traffic), the
+    # profiler attributes replay time to kernel classes.
+    tracer = enable_tracing(sample_rate=0.25)
+    profiler = enable_profiler()
+    try:
+        with QuantumJobService(backend="qpp", workers=4, max_pending=256) as service:
+            wall = run_clients(service)
+            metrics = service.metrics()
+    finally:
+        disable_tracing()
+        disable_profiler()
     print(f"jobs completed:      {metrics.completed}/{total_jobs} in {wall * 1e3:.0f} ms")
     print(f"backend executions:  {metrics.executions} "
           f"(coalesced riders: {metrics.coalesced}, cache hits: {metrics.cache_hits})")
@@ -80,10 +90,25 @@ def main() -> None:
               f"{metrics.shard_respawns} respawns, "
               f"queue depths {list(metrics.shard_queue_depths)}")
     for backend, latency in metrics.backend_latency.items():
-        print(f"{backend} mean execution: {latency.mean_seconds * 1e3:.1f} ms "
-              f"over {latency.executions} runs")
+        print(f"{backend} execution latency: p50 {latency.p50_seconds * 1e3:.1f} ms / "
+              f"p95 {latency.p95_seconds * 1e3:.1f} ms / "
+              f"p99 {latency.p99_seconds * 1e3:.1f} ms "
+              f"(mean {latency.mean_seconds * 1e3:.1f} ms over {latency.executions} runs)")
+    profile = profiler.snapshot()
+    if profile.kernels:
+        print("\nper-kernel replay profile (cumulative worker-seconds):")
+        for line in profile.as_table().splitlines():
+            print(f"  {line}")
+    traces = tracer.trace_ids()
+    if traces:
+        # Show the deepest tree (batch leaders host the execution subtree;
+        # coalesced riders close with a bare root span).
+        richest = max(traces, key=lambda t: len(tracer.spans(t)))
+        print(f"\ntraced {len(traces)} of {metrics.completed} jobs; one span tree:")
+        for line in tracer.render_tree(richest).splitlines():
+            print(f"  {line}")
     races = get_race_detector().race_count()
-    print(f"race-detector reports (thread-safe mode): {races}")
+    print(f"\nrace-detector reports (thread-safe mode): {races}")
 
     print("\n== the same load in legacy (pre-paper) mode ==")
     reset_race_detector()

@@ -88,6 +88,14 @@ from .runtime import (
     get_accelerator,
     qreg,
 )
+from .obs import (
+    active_profiler,
+    disable_profiler,
+    disable_tracing,
+    enable_profiler,
+    enable_tracing,
+    get_tracer,
+)
 from .service import (
     QuantumJobService,
     JobHandle,
@@ -168,6 +176,13 @@ __all__ = [
     "RemoteAccelerator",
     "get_accelerator",
     "qreg",
+    # observability
+    "enable_tracing",
+    "disable_tracing",
+    "get_tracer",
+    "enable_profiler",
+    "disable_profiler",
+    "active_profiler",
     # job broker service
     "QuantumJobService",
     "JobHandle",

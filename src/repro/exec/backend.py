@@ -33,6 +33,7 @@ import numpy as np
 
 from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
+from ..obs.trace import get_tracer
 from ..simulator.parallel_engine import ParallelSimulationEngine
 from ..simulator.plan_cache import PlanCache, get_plan_cache
 from ..simulator.statevector import StateVector
@@ -189,17 +190,20 @@ class LocalBackend(ExecutionBackend):
         chunk_threshold: int | None = None,
     ) -> ExecutionResult:
         width = _resolve_width(circuit, n_qubits)
+        tracer = get_tracer()
         # The timer covers the cache lookup so a plan-cache miss reports its
         # compilation cost in `seconds` (matching the historical accelerator
         # path); cached replays pay only the lookup.
         started = time.perf_counter()
-        plan, cached = self._cache().lookup_or_compile(
-            circuit,
-            width,
-            optimize=optimize,
-            batch_diagonals=batch_diagonals,
-            chunk_threshold=chunk_threshold,
-        )
+        with tracer.span("compile", attrs={"circuit": circuit.name}) as compile_span:
+            plan, cached = self._cache().lookup_or_compile(
+                circuit,
+                width,
+                optimize=optimize,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=chunk_threshold,
+            )
+            compile_span.set_attribute("plan_cached", cached)
         if plan.is_parametric:
             if params is None:
                 raise ExecutionError(
@@ -207,18 +211,27 @@ class LocalBackend(ExecutionBackend):
                 )
             plan = plan.bind(params)
         if plan.has_reset:
-            counts = self._engine.run_trajectories(
-                width, circuit, shots, seed=seed, plan=plan
-            )
+            with tracer.span("replay", attrs={"mode": "trajectories", "shots": shots}):
+                counts = self._engine.run_trajectories(
+                    width, circuit, shots, seed=seed, plan=plan
+                )
         else:
             state = StateVector(width)
             # The chunk pool — shm processes for large states when
             # configured, the engine's threads otherwise — parallelises the
             # single large-state replay (bitwise identical to serial);
             # sampling then draws shots on the engine's threads either way.
-            state.apply_plan(plan, pool=self._replay_pool(plan))
+            pool = self._replay_pool(plan)
+            with tracer.span(
+                "replay",
+                attrs={"n_qubits": width, "lane": type(pool).__name__},
+            ):
+                state.apply_plan(plan, pool=pool)
             measured = plan.measured_qubits or tuple(range(width))
-            counts = self._engine.sample_parallel(state, shots, measured, seed=seed)
+            with tracer.span("sample", attrs={"shots": shots}):
+                counts = self._engine.sample_parallel(
+                    state, shots, measured, seed=seed
+                )
         elapsed = time.perf_counter() - started
         return ExecutionResult(
             counts=counts,

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import atexit
 import concurrent.futures
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -46,6 +47,8 @@ import numpy as np
 from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
 from ..ir.serialization import circuit_from_json, circuit_to_json
+from ..obs.profiler import ReplayProfiler, active_profiler, profiler_installed
+from ..obs.trace import TraceContext, get_tracer
 from ..simulator.execution_plan import compile_parametric_plan, compile_plan
 from ..simulator.parallel_engine import (
     merge_counts,
@@ -211,6 +214,57 @@ def _worker_plan(
     return plan, False
 
 
+def _replay_chunk_body(
+    payload: str,
+    digest: str,
+    width: int,
+    optimize: bool,
+    shots: int,
+    seed_seq: np.random.SeedSequence,
+    params: Params,
+    trajectories: bool,
+    batch_diagonals: bool,
+    chunk_threshold: int | None,
+) -> tuple[dict[str, int], int, int, bool]:
+    """The chunk execution itself: (counts, depth, n_gates, plan_cached).
+
+    Mirrors the in-process paths operation for operation so fixed-seed
+    results reduce bit-identically: non-reset circuits replay the plan once
+    and multinomial-sample the chunk from one RNG stream
+    (:meth:`ParallelSimulationEngine.sample_parallel`'s per-chunk body);
+    reset circuits run one trajectory per shot with the chunk RNG shared
+    between collapses and sampling (:meth:`run_trajectories`'s chunk body).
+    Large states chunk-parallelise each replay on the worker's own engine —
+    chunked replay is bitwise identical to serial, so the cross-process
+    bit-identity guarantee is untouched.
+
+    The spans below record only under an active trace (the tracer hands
+    out shared no-op spans otherwise), mirroring ``LocalBackend.execute``'s
+    compile/replay/sample stages.
+    """
+    tracer = get_tracer()
+    with tracer.span("compile") as compile_span:
+        plan, cached = _worker_plan(
+            payload, digest, width, optimize, batch_diagonals, chunk_threshold
+        )
+        compile_span.set_attribute("plan_cached", cached)
+    if plan.is_parametric:
+        plan = plan.bind(params if params is not None else ())
+    measured = plan.measured_qubits or tuple(range(width))
+    rng = np.random.default_rng(seed_seq)
+    if plan.has_reset or trajectories:
+        with tracer.span("replay", attrs={"mode": "trajectories", "shots": shots}):
+            counts = replay_trajectory_chunk(
+                plan, shots, rng, measured, width, pool=_worker_replay_pool(plan)
+            )
+    else:
+        with tracer.span("replay", attrs={"n_qubits": width}):
+            data = plan.execute(plan.new_state(), pool=_worker_replay_pool(plan))
+        with tracer.span("sample", attrs={"shots": shots}):
+            counts = sample_counts(np.abs(data) ** 2, shots, measured, width, rng)
+    return counts, plan.depth, plan.n_gates, cached
+
+
 def _replay_chunk(
     payload: str,
     digest: str,
@@ -222,34 +276,42 @@ def _replay_chunk(
     trajectories: bool = False,
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
-) -> tuple[dict[str, int], int, int, bool]:
-    """Execute one shard chunk; returns (counts, depth, n_gates, plan_cached).
+    obs: dict | None = None,
+) -> tuple[dict[str, int], int, int, bool, dict | None]:
+    """Execute one shard chunk; returns
+    ``(counts, depth, n_gates, plan_cached, obs_payload)``.
 
-    Mirrors the in-process paths operation for operation so fixed-seed
-    results reduce bit-identically: non-reset circuits replay the plan once
-    and multinomial-sample the chunk from one RNG stream
-    (:meth:`ParallelSimulationEngine.sample_parallel`'s per-chunk body);
-    reset circuits run one trajectory per shot with the chunk RNG shared
-    between collapses and sampling (:meth:`run_trajectories`'s chunk body).
-    Large states chunk-parallelise each replay on the worker's own engine —
-    chunked replay is bitwise identical to serial, so the cross-process
-    bit-identity guarantee is untouched.
+    ``obs`` is the parent's observability request: a serialised trace
+    context to record this worker's spans under, and/or a profile flag.
+    The returned ``obs_payload`` (``None`` when nothing was requested)
+    carries the worker's finished spans and per-kernel profile back across
+    the process boundary for the parent to stitch — including spans the
+    worker's own shm lane ingested from *its* workers, so two-hop traces
+    (broker → shard → shm) assemble into one tree.
     """
-    plan, cached = _worker_plan(
-        payload, digest, width, optimize, batch_diagonals, chunk_threshold
+    body_args = (
+        payload, digest, width, optimize, shots, seed_seq, params,
+        trajectories, batch_diagonals, chunk_threshold,
     )
-    if plan.is_parametric:
-        plan = plan.bind(params if params is not None else ())
-    measured = plan.measured_qubits or tuple(range(width))
-    rng = np.random.default_rng(seed_seq)
-    if plan.has_reset or trajectories:
-        counts = replay_trajectory_chunk(
-            plan, shots, rng, measured, width, pool=_worker_replay_pool(plan)
-        )
-    else:
-        data = plan.execute(plan.new_state(), pool=_worker_replay_pool(plan))
-        counts = sample_counts(np.abs(data) ** 2, shots, measured, width, rng)
-    return counts, plan.depth, plan.n_gates, cached
+    if obs is None:
+        counts, depth, n_gates, cached = _replay_chunk_body(*body_args)
+        return counts, depth, n_gates, cached, None
+    tracer = get_tracer()
+    parent_ctx = TraceContext.from_wire(obs.get("trace"))
+    profiler = ReplayProfiler() if obs.get("profile") else None
+    with tracer.capture() as sink:
+        with tracer.span(
+            "shard-replay",
+            attrs={"pid": os.getpid(), "shots": shots},
+            parent=parent_ctx,
+        ):
+            with profiler_installed(profiler):
+                counts, depth, n_gates, cached = _replay_chunk_body(*body_args)
+    obs_payload = {
+        "spans": [span.to_dict() for span in sink],
+        "profile": profiler.to_wire() if profiler is not None else None,
+    }
+    return counts, depth, n_gates, cached, obs_payload
 
 
 def _chunk_expectation(
@@ -510,13 +572,29 @@ class ShardedExecutor(ExecutionBackend):
             return list(self._inflight)
 
     def _run_on_shard(self, index: int, fn, /, *args):
-        """Run ``fn(*args)`` on shard ``index``, respawning it on worker death."""
+        """Run ``fn(*args)`` on shard ``index``, respawning it on worker death.
+
+        Under an active trace every attempt gets its own span: a worker
+        death closes the attempt's span error-tagged (the killed worker's
+        own spans die with it — the parent-side record is what keeps the
+        trace complete), and the respawned retry appears as the next
+        attempt under the same trace id.
+        """
         attempts = 0
+        tracer = get_tracer()
         while True:
             pool = self._pool(index)
+            span = tracer.span(
+                "shard-attempt", attrs={"shard": index, "attempt": attempts}
+            )
             try:
-                return self._submit_tracked(index, pool, fn, *args).result()
+                result = self._submit_tracked(index, pool, fn, *args).result()
+                span.finish()
+                return result
             except (BrokenProcessPool, EOFError, OSError) as exc:
+                span.mark_error(f"shard worker died: {exc}")
+                span.set_attribute("respawned", True)
+                span.finish()
                 self._replace_pool(index, pool)
                 attempts += 1
                 if attempts > self.max_retries:
@@ -610,6 +688,20 @@ class ShardedExecutor(ExecutionBackend):
         seeds = np.random.SeedSequence(seed).spawn(len(chunks))
         retries_before = self._retries
 
+        # Observability request shipped with every chunk: the ambient trace
+        # context (workers parent their spans to it) and whether a replay
+        # profiler is active here.  ``None`` — the common case — keeps the
+        # worker on its branch-free path.
+        tracer = get_tracer()
+        ctx = tracer.current_context()
+        profiler = active_profiler()
+        obs: dict | None = None
+        if ctx is not None or profiler is not None:
+            obs = {
+                "trace": ctx.to_wire() if ctx is not None else None,
+                "profile": profiler is not None,
+            }
+
         started = time.perf_counter()
         if len(chunks) == 1:
             outcomes = [
@@ -617,7 +709,7 @@ class ShardedExecutor(ExecutionBackend):
                     indices[0],
                     _replay_chunk,
                     payload, digest, width, optimize, chunks[0], seeds[0], params,
-                    trajectories, batch_diagonals, chunk_threshold,
+                    trajectories, batch_diagonals, chunk_threshold, obs,
                 )
             ]
         else:
@@ -627,13 +719,28 @@ class ShardedExecutor(ExecutionBackend):
                         index,
                         (
                             payload, digest, width, optimize, chunk, seq, params,
-                            trajectories, batch_diagonals, chunk_threshold,
+                            trajectories, batch_diagonals, chunk_threshold, obs,
                         ),
                     )
                     for index, chunk, seq in zip(indices, chunks, seeds)
                 ]
             )
         elapsed = time.perf_counter() - started
+
+        # Stitch worker-side observations back into this process: spans join
+        # the parent trace (and any active capture sinks, for two-hop
+        # shipping) and per-kernel timings merge into the active profiler.
+        if obs is not None:
+            for outcome in outcomes:
+                payload_obs = outcome[4]
+                if not payload_obs:
+                    continue
+                spans = payload_obs.get("spans")
+                if spans:
+                    tracer.ingest(spans)
+                profile = payload_obs.get("profile")
+                if profiler is not None and profile:
+                    profiler.merge_wire(profile)
 
         counts = merge_counts(outcome[0] for outcome in outcomes)
         depth, n_gates = outcomes[0][1], outcomes[0][2]
@@ -660,6 +767,7 @@ class ShardedExecutor(ExecutionBackend):
         pool) and the awaited result raising (this chunk's worker died).
         Retried chunks re-run synchronously on their respawned shard.
         """
+        tracer = get_tracer()
         entries: list[tuple[int, tuple, object, object]] = []
         for index, args in jobs:
             pool = self._pool(index)
@@ -667,7 +775,15 @@ class ShardedExecutor(ExecutionBackend):
                 entries.append(
                     (index, args, pool, self._submit_tracked(index, pool, _replay_chunk, *args))
                 )
-            except (BrokenProcessPool, EOFError, OSError):
+            except (BrokenProcessPool, EOFError, OSError) as exc:
+                tracer.record(
+                    "shard-attempt",
+                    parent=tracer.current_context(),
+                    start_wall=time.time(),
+                    duration=0.0,
+                    attrs={"shard": index, "respawned": True},
+                    error=f"shard worker died: {exc}",
+                )
                 self._replace_pool(index, pool)
                 entries.append((index, args, None, None))
         outcomes = []
@@ -677,7 +793,15 @@ class ShardedExecutor(ExecutionBackend):
                 continue
             try:
                 outcomes.append(future.result())
-            except (BrokenProcessPool, EOFError, OSError):
+            except (BrokenProcessPool, EOFError, OSError) as exc:
+                tracer.record(
+                    "shard-attempt",
+                    parent=tracer.current_context(),
+                    start_wall=time.time(),
+                    duration=0.0,
+                    attrs={"shard": index, "respawned": True},
+                    error=f"shard worker died: {exc}",
+                )
                 self._replace_pool(index, pool)
                 outcomes.append(self._run_on_shard(index, _replay_chunk, *args))
         return outcomes

@@ -41,6 +41,7 @@ import atexit
 import os
 import secrets
 import threading
+import time
 import traceback
 import weakref
 from collections import OrderedDict
@@ -50,6 +51,8 @@ from multiprocessing.shared_memory import SharedMemory
 import numpy as np
 
 from ..exceptions import ExecutionError
+from ..obs.profiler import ReplayProfiler, active_profiler
+from ..obs.trace import TraceContext, get_tracer
 from ..simulator.execution_plan import (
     KERNEL_DENSE,
     KERNEL_GATHER,
@@ -63,6 +66,7 @@ from ..simulator.execution_plan import (
 __all__ = [
     "SharedStatePool",
     "get_shared_state_pool",
+    "shm_health",
     "shutdown_shared_state_pools",
     "SEGMENT_PREFIX",
 ]
@@ -145,7 +149,8 @@ def _worker_plan_for_job(job: dict):
     return plan
 
 
-def _run_step_shm(plan, step, spec, cur, spare, shape, index, workers, barrier):
+def _run_step_shm(plan, step, spec, cur, spare, shape, index, workers, barrier,
+                  profiler=None):
     """Execute this worker's share of one plan step; returns ``swapped``.
 
     Every worker walks the identical step/spec sequence, so the ping-pong
@@ -154,32 +159,85 @@ def _run_step_shm(plan, step, spec, cur, spare, shape, index, workers, barrier):
     worker 0 while the others wait at the barrier; dense steps barrier
     between their gather / matmul / scatter phases because each phase
     reads what the previous one wrote.
+
+    With a ``profiler`` the work and the barrier waits are timed
+    separately — work seconds land on the step's kernel class, wait
+    seconds on the barrier counter — through an instrumented twin of the
+    same control flow, so the unprofiled path stays branch-free.
     """
+    if profiler is None:
+        if spec is None:
+            if index == 0:
+                plan._apply_step(step, cur, spare, shape, None)
+            barrier.wait()
+            return step.tag in (KERNEL_DENSE, KERNEL_GATHER)
+        if isinstance(spec, _ChunkDense):
+            for task in spec.tasks[index::workers]:
+                spec.gather_part(task, cur, spare)
+            barrier.wait()
+            if index == 0:
+                spec.matmul(cur, spare)
+            barrier.wait()
+            for task in spec.tasks[index::workers]:
+                spec.scatter_part(task, cur, spare)
+            barrier.wait()
+            return True
+        for task in spec.tasks[index::workers]:
+            spec.apply(task, cur, spare, shape)
+        barrier.wait()
+        return spec.swaps
+
+    perf_counter = time.perf_counter
+
+    def wait():
+        t0 = perf_counter()
+        barrier.wait()
+        profiler.record_barrier(perf_counter() - t0)
+
     if spec is None:
         if index == 0:
+            t0 = perf_counter()
             plan._apply_step(step, cur, spare, shape, None)
-        barrier.wait()
+            profiler.record_kernel(step.kernel, perf_counter() - t0)
+        wait()
         return step.tag in (KERNEL_DENSE, KERNEL_GATHER)
     if isinstance(spec, _ChunkDense):
+        t0 = perf_counter()
         for task in spec.tasks[index::workers]:
             spec.gather_part(task, cur, spare)
-        barrier.wait()
+        work = perf_counter() - t0
+        wait()
         if index == 0:
+            t0 = perf_counter()
             spec.matmul(cur, spare)
-        barrier.wait()
+            work += perf_counter() - t0
+        wait()
+        t0 = perf_counter()
         for task in spec.tasks[index::workers]:
             spec.scatter_part(task, cur, spare)
-        barrier.wait()
+        work += perf_counter() - t0
+        profiler.record_kernel(step.kernel, work)
+        wait()
         return True
+    t0 = perf_counter()
     for task in spec.tasks[index::workers]:
         spec.apply(task, cur, spare, shape)
-    barrier.wait()
+    profiler.record_kernel(step.kernel, perf_counter() - t0)
+    wait()
     return spec.swaps
 
 
-def _worker_replay(job: dict, segments: dict, index: int, workers: int, barrier) -> bool:
-    """One worker's full replay; returns whether the result is in the
-    state buffer (as opposed to the scratch buffer)."""
+def _worker_replay(
+    job: dict, segments: dict, index: int, workers: int, barrier
+) -> tuple[bool, dict | None]:
+    """One worker's full replay; returns ``(final_in_state, obs_payload)``.
+
+    ``final_in_state`` says whether the result landed in the state buffer
+    (as opposed to the scratch buffer).  ``obs_payload`` carries this
+    worker's observability data home when the parent asked for any —
+    spans recorded against the shipped trace context and/or the local
+    per-kernel/barrier profile — and is ``None`` otherwise.
+    """
     plan = _worker_plan_for_job(job)
     dim = 1 << plan.n_qubits
     # Attach (and memoise) the parent's segments; drop stale ones when the
@@ -198,10 +256,47 @@ def _worker_replay(job: dict, segments: dict, index: int, workers: int, barrier)
     state_buffer = cur
     shape = (2,) * plan.n_qubits
     program = plan.chunk_program(workers)
-    for step, spec in zip(plan.steps, program):
-        if _run_step_shm(plan, step, spec, cur, spare, shape, index, workers, barrier):
-            cur, spare = spare, cur
-    return cur is state_buffer
+
+    obs_req = job.get("obs") or {}
+    parent_ctx = TraceContext.from_wire(obs_req.get("trace"))
+    want_profile = bool(obs_req.get("profile"))
+    # Tracing needs the barrier timings too (for the barrier-wait span), so
+    # any observability request instruments the step loop; the profile only
+    # ships home when it was asked for.
+    profiler = ReplayProfiler() if (want_profile or parent_ctx is not None) else None
+    tracer = get_tracer()
+    with tracer.capture() as sink:
+        with tracer.span(
+            "shm-worker-replay",
+            attrs={"worker": index, "pid": os.getpid(), "n_qubits": plan.n_qubits},
+            parent=parent_ctx,
+        ) as span:
+            for step, spec in zip(plan.steps, program):
+                if _run_step_shm(
+                    plan, step, spec, cur, spare, shape, index, workers, barrier,
+                    profiler,
+                ):
+                    cur, spare = spare, cur
+        if profiler is not None and span.recording:
+            snap = profiler.snapshot()
+            if snap.barrier_waits:
+                # Summary child: total time this worker spent blocked at the
+                # step barrier (anchored at the replay start; the individual
+                # waits are interleaved with work, not one interval).
+                tracer.record(
+                    "barrier-wait",
+                    parent=span.context(),
+                    start_wall=span.start_wall,
+                    duration=snap.barrier_wait_seconds,
+                    attrs={"waits": snap.barrier_waits, "worker": index},
+                )
+    obs_out = None
+    if obs_req:
+        obs_out = {
+            "spans": [s.to_dict() for s in sink],
+            "profile": profiler.to_wire() if want_profile and profiler else None,
+        }
+    return cur is state_buffer, obs_out
 
 
 def _shm_worker_main(conn, barrier, index: int, workers: int) -> None:
@@ -221,10 +316,10 @@ def _shm_worker_main(conn, barrier, index: int, workers: int) -> None:
                 continue
             # command == "replay"
             try:
-                final_in_state = _worker_replay(
+                final_in_state, obs_payload = _worker_replay(
                     message[1], segments, index, workers, barrier
                 )
-                conn.send(("ok", final_in_state))
+                conn.send(("ok", final_in_state, obs_payload))
             except BaseException:
                 # Release siblings blocked at the step barrier, then report;
                 # the parent tears the whole worker set down either way.
@@ -294,6 +389,7 @@ class SharedStatePool:
         self._scratch: SharedMemory | None = None
         self._capacity = 0  # complex128 amplitudes per buffer
         self._respawns = 0
+        self._barrier_aborts = 0
         # Registered for the atexit/finalizer sweep: the segment-name set
         # below tracks every live allocation, and _sweep_at_exit unlinks
         # whatever close() did not get to (including after worker SIGKILLs).
@@ -412,6 +508,16 @@ class SharedStatePool:
         with self._lock:
             return self._respawns
 
+    @property
+    def barrier_aborts(self) -> int:
+        """Step barriers aborted while recovering from a worker death."""
+        return self._barrier_aborts
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes held in the shared amplitude segments (state + scratch)."""
+        return self._capacity * 16 * 2
+
     def worker_pids(self) -> list[int]:
         """PID of each live worker process."""
         with self._lock:
@@ -467,40 +573,79 @@ class SharedStatePool:
         from .sharded import _circuit_payload
 
         payload, digest = _circuit_payload(circuit)
-        with self._lock:
-            if self._closed:
-                return None
-            if not self._workers:
-                self._spawn_workers()
-            dim = int(data.size)
-            self._ensure_capacity(dim)
-            state = np.ndarray(dim, dtype=np.complex128, buffer=self._state.buf)
-            np.copyto(state, data)
-            job = {
-                "payload": payload,
-                "digest": digest,
-                "width": plan.n_qubits,
-                "options": options,
-                "params": params,
-                "state": self._state.name,
-                "scratch": self._scratch.name,
+        # Observability request: the ambient trace context (so worker spans
+        # stitch under the caller's replay span) and the profile flag.  Both
+        # read here, before the lock, on the caller's thread.
+        tracer = get_tracer()
+        ctx = tracer.current_context()
+        profiler = active_profiler()
+        obs_req = None
+        if ctx is not None or profiler is not None:
+            obs_req = {
+                "trace": ctx.to_wire() if ctx is not None else None,
+                "profile": profiler is not None,
             }
-            try:
-                for _, conn in self._workers:
-                    conn.send(("replay", job))
-            except (BrokenPipeError, OSError) as exc:
-                # A worker died between replays; siblings that did get the
-                # job will block at the first barrier — same recovery as a
-                # mid-step death.
-                self._recover(f"worker pipe rejected the job: {exc}")
-            final_in_state = self._collect_acks()
-            source = (
-                state
-                if final_in_state
-                else np.ndarray(dim, dtype=np.complex128, buffer=self._scratch.buf)
+        replay_started = time.time()
+        try:
+            with self._lock:
+                if self._closed:
+                    return None
+                if not self._workers:
+                    self._spawn_workers()
+                dim = int(data.size)
+                self._ensure_capacity(dim)
+                state = np.ndarray(dim, dtype=np.complex128, buffer=self._state.buf)
+                np.copyto(state, data)
+                job = {
+                    "payload": payload,
+                    "digest": digest,
+                    "width": plan.n_qubits,
+                    "options": options,
+                    "params": params,
+                    "state": self._state.name,
+                    "scratch": self._scratch.name,
+                    "obs": obs_req,
+                }
+                try:
+                    for _, conn in self._workers:
+                        conn.send(("replay", job))
+                except (BrokenPipeError, OSError) as exc:
+                    # A worker died between replays; siblings that did get
+                    # the job will block at the first barrier — same
+                    # recovery as a mid-step death.
+                    self._recover(f"worker pipe rejected the job: {exc}")
+                final_in_state, obs_payloads = self._collect_acks()
+                source = (
+                    state
+                    if final_in_state
+                    else np.ndarray(dim, dtype=np.complex128, buffer=self._scratch.buf)
+                )
+                np.copyto(data, source)
+        except ExecutionError as exc:
+            # The dead worker's spans died with it; this parent-side record
+            # is what keeps the trace complete through the failure.
+            tracer.record(
+                "shm-replay",
+                parent=ctx,
+                start_wall=replay_started,
+                duration=max(0.0, time.time() - replay_started),
+                attrs={"pool": self.name},
+                error=str(exc),
             )
-            np.copyto(data, source)
-            return data
+            raise
+        # Stitch the workers' observability data outside the lock: spans go
+        # into this process's tracer (and any active capture sink, so a
+        # shard worker re-ships them another hop), profiles into the
+        # installed profiler.
+        for obs_payload in obs_payloads:
+            if not obs_payload:
+                continue
+            spans = obs_payload.get("spans")
+            if spans:
+                tracer.ingest(spans)
+            if profiler is not None:
+                profiler.merge_wire(obs_payload.get("profile"))
+        return data
 
     # -- internals ------------------------------------------------------------
     def _ensure_capacity(self, dim: int) -> None:
@@ -526,8 +671,9 @@ class SharedStatePool:
         _remember_segment(scratch.name)
         self._state, self._scratch, self._capacity = state, scratch, dim
 
-    def _collect_acks(self) -> bool:
+    def _collect_acks(self) -> tuple[bool, list[dict | None]]:
         """Wait for every worker's replay ack; recover from worker death.
+        Returns ``(final_in_state, per-worker observability payloads)``.
 
         A worker that died mid-step leaves its siblings blocked at the
         step barrier, so the parent aborts the barrier (releasing them
@@ -541,6 +687,7 @@ class SharedStatePool:
         from multiprocessing.connection import wait as connection_wait
 
         finals: list[bool] = []
+        observations: list[dict | None] = []
         failure: str | None = None
         pending = list(self._workers)
         while pending and failure is None:
@@ -559,19 +706,20 @@ class SharedStatePool:
             for done in ready:
                 entry = next(e for e in pending if e[1] is done)
                 try:
-                    kind, value = done.recv()
+                    message = done.recv()
                 except (EOFError, OSError):
                     failure = (
                         f"worker {entry[0].name!r} closed its pipe mid-replay"
                     )
                     break
-                if kind == "error":
-                    failure = value
+                if message[0] == "error":
+                    failure = message[1]
                     break
-                finals.append(value)
+                finals.append(message[1])
+                observations.append(message[2] if len(message) > 2 else None)
                 pending.remove(entry)
         if failure is None:
-            return finals[0]
+            return finals[0], observations
         self._recover(failure)
 
     def _recover(self, failure: str) -> None:
@@ -585,6 +733,7 @@ class SharedStatePool:
             self._barrier.abort()
         except Exception:
             pass
+        self._barrier_aborts += 1
         self._teardown_workers(graceful=False)
         self._respawns += 1
         self._spawn_workers()
@@ -650,6 +799,38 @@ def get_shared_state_pool(processes: int) -> SharedStatePool:
             pool = SharedStatePool(processes, name=f"shared-shm-{processes}")
             _shared_pools[processes] = pool
         return pool
+
+
+def shm_health() -> dict[str, int]:
+    """Aggregate health of this process's open shm pools (broker metrics).
+
+    Lock-free by design: the gauges are read racily so a metrics snapshot
+    never blocks behind a replay in flight (``replay_plan`` holds each
+    pool's lock for the whole replay).  Shard-hosted pools live inside
+    shard worker processes and are invisible here — each process reports
+    its own pools.
+    """
+    workers = respawns = barrier_aborts = resident_bytes = 0
+    with _pools_lock:
+        pools = list(_open_pools)
+    for pool in pools:
+        try:
+            if pool._closed:
+                continue
+            workers += sum(
+                1 for process, _ in list(pool._workers) if process.is_alive()
+            )
+            respawns += pool._respawns
+            barrier_aborts += pool._barrier_aborts
+            resident_bytes += pool._capacity * 16 * 2
+        except Exception:  # a pool mid-teardown; skip it rather than block
+            continue
+    return {
+        "workers": workers,
+        "respawns": respawns,
+        "barrier_aborts": barrier_aborts,
+        "resident_bytes": resident_bytes,
+    }
 
 
 def shutdown_shared_state_pools(wait: bool = True) -> None:

@@ -55,6 +55,7 @@ from ..exceptions import (
     ServiceOverloadedError,
 )
 from ..ir.composite import CompositeInstruction
+from ..obs.trace import get_tracer
 from ..runtime.accelerator import Accelerator
 from ..runtime.buffer import AcceleratorBuffer
 from .batching import BatchingJobQueue, PendingBatch
@@ -280,6 +281,21 @@ class QuantumJobService:
         )
         handle = JobHandle(spec)
         self._metrics.increment("submitted")
+        # Root span of this job's trace.  The span stays open across the
+        # queue and the dispatcher thread (the handle carries it); every
+        # resolution path below closes it.  A no-op span when tracing is off.
+        tracer = get_tracer()
+        root = tracer.span(
+            "job",
+            attrs={
+                "backend": self.backend,
+                "shots": resolved_shots,
+                "key": spec.key[:16],
+                "priority": spec.priority.name,
+            },
+        )
+        handle._trace_span = root
+        handle._enqueued_wall = time.time()
 
         # Fast path: serve entirely from the cache, no queueing at all.
         if self._cache is not None:
@@ -298,6 +314,14 @@ class QuantumJobService:
                 self._metrics.increment("cache_hits")
                 self._metrics.increment("completed")
                 self._metrics.increment("served_shots", spec.shots)
+                tracer.record(
+                    "cache-hit",
+                    parent=root.context(),
+                    start_wall=handle._enqueued_wall,
+                    duration=max(0.0, time.time() - handle._enqueued_wall),
+                )
+                root.set_attribute("from_cache", True)
+                root.finish()
                 return handle
             # A partial entry stays put: the dispatcher tops it up with only
             # the missing shots when the batch reaches a worker.
@@ -306,19 +330,36 @@ class QuantumJobService:
             outcome = self._queue.put(handle, block=block, timeout=timeout)
         except ServiceOverloadedError:
             self._metrics.increment("rejected")
+            root.mark_error("rejected: queue full")
+            root.finish()
             raise
         if outcome == "coalesced":
             self._metrics.increment("coalesced")
+            root.set_attribute("coalesced", True)
         return handle
 
     # -- batch execution (runs on dispatcher threads) -------------------------------
     def _process_batch(self, batch: PendingBatch, qpu: Accelerator) -> None:
         spec = batch.spec
-        try:
-            target_shots = batch.target_shots
-            full_counts, execution_seconds, from_cache = self._counts_for(
-                spec, target_shots, qpu
+        tracer = get_tracer()
+        # The batch leader's root span hosts the execution subtree; riders'
+        # roots close with just the queue-wait/outcome attributes.  The
+        # queue-wait phase can only be measured retroactively, at dequeue.
+        leader = batch.handles[0]
+        ctx = leader._trace_span.context()
+        if ctx is not None:
+            tracer.record(
+                "queue-wait",
+                parent=ctx,
+                start_wall=leader._enqueued_wall,
+                duration=max(0.0, time.time() - leader._enqueued_wall),
             )
+        try:
+            with tracer.activate(ctx):
+                target_shots = batch.target_shots
+                full_counts, execution_seconds, from_cache = self._counts_for(
+                    spec, target_shots, qpu
+                )
             if from_cache:
                 # Warmed between submit and dispatch (a racing worker or an
                 # earlier batch): these jobs did no backend work either, so
@@ -326,28 +367,39 @@ class QuantumJobService:
                 self._metrics.increment("cache_hits", len(batch))
             total = sum(full_counts.values())
             coalesced = len(batch) > 1
-            for handle in batch.handles:
-                counts = (
-                    subsample_counts(full_counts, handle.shots, self._rng())
-                    if handle.shots < total
-                    else dict(full_counts)
-                )
-                handle._resolve(
-                    JobResult(
-                        counts=counts,
-                        shots=handle.shots,
-                        backend=spec.backend,
-                        key=spec.key,
-                        from_cache=from_cache,
-                        coalesced=coalesced,
-                        execution_seconds=execution_seconds,
+            with tracer.span(
+                "reconcile", parent=ctx, attrs={"riders": len(batch)}
+            ):
+                for handle in batch.handles:
+                    counts = (
+                        subsample_counts(full_counts, handle.shots, self._rng())
+                        if handle.shots < total
+                        else dict(full_counts)
                     )
-                )
-                self._metrics.increment("completed")
-                self._metrics.increment("served_shots", handle.shots)
+                    handle._resolve(
+                        JobResult(
+                            counts=counts,
+                            shots=handle.shots,
+                            backend=spec.backend,
+                            key=spec.key,
+                            from_cache=from_cache,
+                            coalesced=coalesced,
+                            execution_seconds=execution_seconds,
+                        )
+                    )
+                    self._metrics.increment("completed")
+                    self._metrics.increment("served_shots", handle.shots)
+            for handle in batch.handles:
+                span = handle._trace_span
+                span.set_attribute("coalesced", coalesced)
+                span.set_attribute("from_cache", from_cache)
+                span.finish()
         except BaseException as exc:  # resolve every rider, never hang a client
             for handle in batch.handles:
                 handle._fail(exc)
+                span = handle._trace_span
+                span.mark_error(f"{type(exc).__name__}: {exc}")
+                span.finish()
             self._metrics.increment("failed", len(batch))
 
     def _counts_for(
@@ -362,11 +414,15 @@ class QuantumJobService:
         histogram.  Returns (counts, execution seconds, served-purely-from-
         cache).
         """
+        tracer = get_tracer()
         execution_seconds = 0.0
         executed_any = False
         while True:
-            entry = self._cache.peek(spec.key) if self._cache is not None else None
-            cached_shots = entry.shots if entry is not None else 0
+            with tracer.span("cache-lookup") as lookup:
+                entry = self._cache.peek(spec.key) if self._cache is not None else None
+                cached_shots = entry.shots if entry is not None else 0
+                lookup.set_attribute("cached_shots", cached_shots)
+                lookup.set_attribute("hit", cached_shots >= target_shots)
             if entry is not None and cached_shots >= target_shots:
                 return entry.counts, execution_seconds, not executed_any
             missing = target_shots - cached_shots
@@ -397,25 +453,28 @@ class QuantumJobService:
         ``use-plans: False`` A/B option has no sharded form and is rejected
         with ``processes`` at construction.
         """
+        tracer = get_tracer()
         if self._sharded is not None:
             chunk_threshold = self.backend_options.get("chunk-threshold")
-            result = self._sharded.execute_for_key(
-                spec.key,
-                spec.circuit,
-                shots,
-                n_qubits=spec.n_qubits,
-                seed=get_config().seed,
-                optimize=bool(self.backend_options.get("optimize", True)),
-                batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
-                chunk_threshold=None if chunk_threshold is None else int(chunk_threshold),  # type: ignore[arg-type]
-            )
+            with tracer.span("shard-dispatch", attrs={"shots": shots}):
+                result = self._sharded.execute_for_key(
+                    spec.key,
+                    spec.circuit,
+                    shots,
+                    n_qubits=spec.n_qubits,
+                    seed=get_config().seed,
+                    optimize=bool(self.backend_options.get("optimize", True)),
+                    batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
+                    chunk_threshold=None if chunk_threshold is None else int(chunk_threshold),  # type: ignore[arg-type]
+                )
             self._metrics.increment("sharded_executions")
             if result.plan_cached:
                 self._metrics.increment("sharded_plan_hits")
             return dict(result.counts), result.seconds
         buffer = AcceleratorBuffer(spec.n_qubits)
         started = time.perf_counter()
-        qpu.execute(buffer, spec.circuit, shots=shots)
+        with tracer.span("backend-execute", attrs={"shots": shots}):
+            qpu.execute(buffer, spec.circuit, shots=shots)
         elapsed = time.perf_counter() - started
         return buffer.get_measurement_counts(), elapsed
 
@@ -452,8 +511,13 @@ class QuantumJobService:
     # -- introspection ----------------------------------------------------------------
     def metrics(self) -> MetricsSnapshot:
         """Consistent snapshot of throughput, queue, cache and latency stats."""
+        from ..exec.shm import shm_health
         from ..simulator.plan_cache import get_plan_cache
 
+        # Aggregated over this process's open shm pools (the in-process
+        # LocalBackend lane).  Shard-hosted pools live inside shard worker
+        # processes and report through their own process, not here.
+        shm = shm_health()
         return self._metrics.snapshot(
             queue_depth=self._queue.depth(),
             active_workers=self._pool.alive_count(),
@@ -474,6 +538,10 @@ class QuantumJobService:
                 if self._sharded is not None
                 else ()
             ),
+            shm_workers=shm["workers"],
+            shm_respawns=shm["respawns"],
+            shm_barrier_aborts=shm["barrier_aborts"],
+            shm_resident_bytes=shm["resident_bytes"],
         )
 
     @property

@@ -18,6 +18,7 @@ from typing import Mapping
 
 from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
+from ..obs.trace import NOOP_SPAN
 
 __all__ = ["JobPriority", "JobSpec", "JobResult", "JobHandle"]
 
@@ -79,6 +80,18 @@ class JobHandle:
     def __init__(self, spec: JobSpec):
         self.spec = spec
         self._future: "concurrent.futures.Future[JobResult]" = concurrent.futures.Future()
+        #: Root span of this job's trace (broker-set; a shared no-op span
+        #: when tracing is off, so resolution paths never branch on it).
+        self._trace_span = NOOP_SPAN
+        #: Wall-clock submit time, anchoring the retroactive queue-wait span.
+        self._enqueued_wall = 0.0
+
+    # -- tracing ---------------------------------------------------------------
+    @property
+    def trace_id(self) -> str | None:
+        """Trace id of this job's span tree (``None`` when tracing is off)."""
+        ctx = self._trace_span.context()
+        return ctx.trace_id if ctx is not None else None
 
     # -- metadata ---------------------------------------------------------------
     @property

@@ -1,21 +1,56 @@
-"""Broker metrics: counters, per-backend latency, and point-in-time snapshots.
+"""Broker metrics: counters, per-backend latency histograms, and snapshots.
 
 All mutation goes through one lock; :meth:`ServiceMetrics.snapshot` returns
 an immutable :class:`MetricsSnapshot` so monitoring code can read a
 consistent view without holding up the dispatch path.
+
+Latencies are recorded into fixed-bucket histograms
+(:class:`~repro.obs.metrics.LatencyHistogram`), so the snapshot reports
+p50/p95/p99 per backend — the mean alone hides exactly the tail a broker
+exists to manage.  :attr:`BackendLatency.mean_seconds` is retained for
+compatibility with pre-histogram consumers.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..obs.metrics import HistogramSnapshot, LatencyHistogram
 from ..simulator.plan_cache import PlanCacheStats
 from .cache import CacheStats
 
-__all__ = ["BackendLatency", "MetricsSnapshot", "ServiceMetrics"]
+__all__ = [
+    "BackendLatency",
+    "MetricsSnapshot",
+    "ServiceMetrics",
+    "normalize_backend_label",
+]
+
+#: Valid (normalised) backend labels: the registered accelerator names plus
+#: the execution-backend names ("local", "sharded", "density", "qpp", ...).
+_BACKEND_LABEL = re.compile(r"[a-z0-9][a-z0-9_.:-]*")
+
+
+def normalize_backend_label(backend: object) -> str:
+    """Normalise a backend label, rejecting junk instead of bucketing it.
+
+    ``increment`` has always raised ``KeyError`` on unknown counter names
+    while ``observe_latency`` silently created a bucket for any string —
+    so a typo'd caller minted phantom backends that lived in every
+    subsequent snapshot.  Latency labels now face the same contract:
+    trimmed, lower-cased, and validated against the accelerator-name
+    charset, with ``KeyError`` (matching ``increment``) on anything else.
+    """
+    if not isinstance(backend, str):
+        raise KeyError(f"backend label must be a string, got {type(backend).__name__}")
+    label = backend.strip().lower()
+    if not label or not _BACKEND_LABEL.fullmatch(label):
+        raise KeyError(f"invalid backend label {backend!r}")
+    return label
 
 
 @dataclass(frozen=True)
@@ -24,10 +59,29 @@ class BackendLatency:
 
     executions: int
     total_seconds: float
+    #: Full fixed-bucket distribution (``None`` only for legacy constructions).
+    histogram: HistogramSnapshot | None = None
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.executions if self.executions else 0.0
+
+    def _quantile(self, q: float) -> float:
+        if self.histogram is None:
+            return self.mean_seconds
+        return self.histogram.quantile(q)
+
+    @property
+    def p50_seconds(self) -> float:
+        return self._quantile(0.50)
+
+    @property
+    def p95_seconds(self) -> float:
+        return self._quantile(0.95)
+
+    @property
+    def p99_seconds(self) -> float:
+        return self._quantile(0.99)
 
 
 @dataclass(frozen=True)
@@ -68,13 +122,23 @@ class MetricsSnapshot:
     #: In-flight work per shard at snapshot time (empty without sharding;
     #: a persistently deep entry is a hot key-affinity shard).
     shard_queue_depths: tuple[int, ...] = ()
+    #: Live shared-memory replay workers across this process's open pools
+    #: (0 when the shm lane is unused; shard-hosted pools live in worker
+    #: processes and are reported by their own process, not here).
+    shm_workers: int = 0
+    #: shm worker sets rebuilt after a worker death (health).
+    shm_respawns: int = 0
+    #: shm step barriers aborted while recovering from a worker death.
+    shm_barrier_aborts: int = 0
+    #: Bytes resident in shared-memory amplitude segments (state + scratch).
+    shm_resident_bytes: int = 0
     #: Seconds since the service started.
     uptime_seconds: float = 0.0
     #: Cache counter snapshot.
     cache: CacheStats = field(default_factory=CacheStats)
     #: Execution-plan cache snapshot (compilation amortisation across jobs).
     plan_cache: PlanCacheStats = field(default_factory=PlanCacheStats)
-    #: Per-backend execution latency aggregates.
+    #: Per-backend execution latency aggregates (histogram-backed).
     backend_latency: Mapping[str, BackendLatency] = field(default_factory=dict)
 
     @property
@@ -112,7 +176,7 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counts = {name: 0 for name in self._COUNTERS}
-        self._latency: dict[str, list[float]] = {}  # backend -> [executions, seconds]
+        self._latency: dict[str, LatencyHistogram] = {}
         self._started = time.monotonic()
 
     def increment(self, counter: str, amount: int = 1) -> None:
@@ -122,10 +186,12 @@ class ServiceMetrics:
             self._counts[counter] += amount
 
     def observe_latency(self, backend: str, seconds: float) -> None:
+        label = normalize_backend_label(backend)
         with self._lock:
-            bucket = self._latency.setdefault(backend, [0, 0.0])
-            bucket[0] += 1
-            bucket[1] += seconds
+            histogram = self._latency.get(label)
+            if histogram is None:
+                histogram = self._latency[label] = LatencyHistogram()
+        histogram.observe(seconds)
 
     def snapshot(
         self,
@@ -136,20 +202,33 @@ class ServiceMetrics:
         process_shards: int = 0,
         shard_respawns: int = 0,
         shard_queue_depths: tuple[int, ...] = (),
+        shm_workers: int = 0,
+        shm_respawns: int = 0,
+        shm_barrier_aborts: int = 0,
+        shm_resident_bytes: int = 0,
     ) -> MetricsSnapshot:
         with self._lock:
             counts = dict(self._counts)
-            latency = {
-                backend: BackendLatency(executions=int(n), total_seconds=seconds)
-                for backend, (n, seconds) in self._latency.items()
-            }
+            histograms = dict(self._latency)
             uptime = time.monotonic() - self._started
+        latency = {}
+        for backend, histogram in histograms.items():
+            hist = histogram.snapshot()
+            latency[backend] = BackendLatency(
+                executions=hist.count,
+                total_seconds=hist.total_seconds,
+                histogram=hist,
+            )
         return MetricsSnapshot(
             queue_depth=queue_depth,
             active_workers=active_workers,
             process_shards=process_shards,
             shard_respawns=shard_respawns,
             shard_queue_depths=tuple(shard_queue_depths),
+            shm_workers=shm_workers,
+            shm_respawns=shm_respawns,
+            shm_barrier_aborts=shm_barrier_aborts,
+            shm_resident_bytes=shm_resident_bytes,
             uptime_seconds=uptime,
             cache=cache or CacheStats(),
             plan_cache=plan_cache or PlanCacheStats(),

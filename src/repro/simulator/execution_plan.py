@@ -46,12 +46,14 @@ from __future__ import annotations
 import cmath
 import math
 import threading
+import time
 from collections import Counter
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..exceptions import ExecutionError
+from ..obs.profiler import active_profiler
 from ..ir.composite import CompositeInstruction
 from ..ir.gates import PermutationGate, UnitaryGate
 from ..ir.instruction import Instruction
@@ -410,8 +412,16 @@ class ExecutionPlan:
         spare = self._scratch()
         shape = self._shape
         apply_step = self._apply_step
-        for step in self._steps:
-            cur, spare = apply_step(step, cur, spare, shape, rng)
+        profiler = active_profiler()
+        if profiler is None:
+            for step in self._steps:
+                cur, spare = apply_step(step, cur, spare, shape, rng)
+        else:
+            perf_counter = time.perf_counter
+            for step in self._steps:
+                t0 = perf_counter()
+                cur, spare = apply_step(step, cur, spare, shape, rng)
+                profiler.record_kernel(step.kernel, perf_counter() - t0)
         self._tls.spare = spare
         return cur
 
@@ -449,11 +459,22 @@ class ExecutionPlan:
 
         spare = self._scratch()
         shape = self._shape
-        for step, chunked in zip(self._steps, program):
-            if chunked is None:
-                cur, spare = self._apply_step(step, cur, spare, shape, rng)
-            else:
-                cur, spare = chunked.run(pool_map, cur, spare, shape)
+        profiler = active_profiler()
+        if profiler is None:
+            for step, chunked in zip(self._steps, program):
+                if chunked is None:
+                    cur, spare = self._apply_step(step, cur, spare, shape, rng)
+                else:
+                    cur, spare = chunked.run(pool_map, cur, spare, shape)
+        else:
+            perf_counter = time.perf_counter
+            for step, chunked in zip(self._steps, program):
+                t0 = perf_counter()
+                if chunked is None:
+                    cur, spare = self._apply_step(step, cur, spare, shape, rng)
+                else:
+                    cur, spare = chunked.run(pool_map, cur, spare, shape)
+                profiler.record_kernel(step.kernel, perf_counter() - t0)
         self._tls.spare = spare
         return cur
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
 from ..ir.serialization import circuit_content_hash
+from ..obs.trace import get_tracer
 from .execution_plan import (
     DEFAULT_CHUNK_THRESHOLD,
     DEFAULT_FUSION_MAX_QUBITS,
@@ -128,24 +129,27 @@ class PlanCache:
                 self._hits += 1
                 return plan, True
             self._misses += 1
-        if circuit.is_parameterized:
-            plan = compile_parametric_plan(
-                circuit,
-                width,
-                optimize=optimize,
-                fusion_max_qubits=fusion_max_qubits,
-                batch_diagonals=batch_diagonals,
-                chunk_threshold=threshold,
-            )
-        else:
-            plan = compile_plan(
-                circuit,
-                width,
-                optimize=optimize,
-                fusion_max_qubits=fusion_max_qubits,
-                batch_diagonals=batch_diagonals,
-                chunk_threshold=threshold,
-            )
+        with get_tracer().span(
+            "plan-compile", attrs={"circuit": circuit.name, "width": width}
+        ):
+            if circuit.is_parameterized:
+                plan = compile_parametric_plan(
+                    circuit,
+                    width,
+                    optimize=optimize,
+                    fusion_max_qubits=fusion_max_qubits,
+                    batch_diagonals=batch_diagonals,
+                    chunk_threshold=threshold,
+                )
+            else:
+                plan = compile_plan(
+                    circuit,
+                    width,
+                    optimize=optimize,
+                    fusion_max_qubits=fusion_max_qubits,
+                    batch_diagonals=batch_diagonals,
+                    chunk_threshold=threshold,
+                )
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:

@@ -40,6 +40,7 @@ Multi-threaded execution (the paper's Listing 4)::
 """
 
 from ._version import __version__, VERSION_INFO
+from .cancellation import CancelToken, active_cancel_token, cancel_scope
 from .config import Configuration, configure, get_config, reset_config, set_config
 from .exceptions import (
     ReproError,
@@ -52,6 +53,11 @@ from .exceptions import (
     NotInitializedError,
     ThreadSafetyViolation,
     OptimizationError,
+    JobCancelled,
+    DeadlineExceeded,
+    AdmissionRejected,
+    RetryExhausted,
+    WorkerCrashed,
 )
 from .compiler.kernel import qpu, QuantumKernel
 from .core.api import (
@@ -71,6 +77,7 @@ from .exec import (
     ExecutionBackend,
     ExecutionResult,
     LocalBackend,
+    RetryPolicy,
     ShardedExecutor,
     get_sharded_executor,
 )
@@ -104,6 +111,9 @@ from .service import (
     ResultCache,
     MetricsSnapshot,
     job_key,
+    AdmissionController,
+    CircuitBreaker,
+    estimate_job_bytes,
 )
 
 __all__ = [
@@ -126,6 +136,15 @@ __all__ = [
     "ServiceOverloadedError",
     "ThreadSafetyViolation",
     "OptimizationError",
+    "JobCancelled",
+    "DeadlineExceeded",
+    "AdmissionRejected",
+    "RetryExhausted",
+    "WorkerCrashed",
+    # cancellation / deadlines
+    "CancelToken",
+    "active_cancel_token",
+    "cancel_scope",
     # kernels and execution
     "qpu",
     "QuantumKernel",
@@ -148,6 +167,7 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionResult",
     "LocalBackend",
+    "RetryPolicy",
     "ShardedExecutor",
     "get_sharded_executor",
     # variational support
@@ -191,4 +211,7 @@ __all__ = [
     "ResultCache",
     "MetricsSnapshot",
     "job_key",
+    "AdmissionController",
+    "CircuitBreaker",
+    "estimate_job_bytes",
 ]

@@ -117,6 +117,81 @@ class NoiseModelError(ExecutionError):
     """Raised when a noise model is malformed (e.g. non-CPTP channel)."""
 
 
+# ---------------------------------------------------------------------------
+# Job lifecycle (fault-tolerant service tier)
+# ---------------------------------------------------------------------------
+#
+# Every job submitted to the broker resolves in exactly one of these shapes
+# (or with a plain success).  All four derive from :class:`ExecutionError`
+# so pre-existing ``except ExecutionError`` handlers keep working, while new
+# callers can distinguish *why* a job failed — the distinction drives retry
+# decisions, circuit-breaker accounting and client-side backoff.  They keep
+# single-string constructor signatures so instances survive pickling across
+# the process boundary (shard and shm workers raise them too).
+
+
+class JobCancelled(ExecutionError):
+    """Raised when a job was cancelled by the client before it completed.
+
+    Cooperative: execution already in flight checks for cancellation at
+    step boundaries and abandons the replay; a worker process is never
+    killed to cancel a job.
+    """
+
+
+class DeadlineExceeded(ExecutionError):
+    """Raised when a job's deadline passed before it produced a result.
+
+    Checked at queue-dequeue, pre-compile, and per-chunk replay boundaries,
+    so even a large mid-flight replay is abandoned promptly — and at result
+    reconciliation, so a late result is never served past its deadline.
+    """
+
+
+class AdmissionRejected(ExecutionError):
+    """Raised when memory-budget admission control refuses a job.
+
+    Carries the accounting that produced the decision so clients can right-
+    size their retry (shrink the job) or their deployment (raise the budget).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested_bytes: int = 0,
+        budget_bytes: int = 0,
+        used_bytes: int = 0,
+    ):
+        self.requested_bytes = int(requested_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.used_bytes = int(used_bytes)
+        super().__init__(message)
+
+
+class WorkerCrashed(ExecutionError):
+    """Raised when a worker process died (or broke its pipe) mid-execution.
+
+    The infrastructure-failure shape: the job itself is fine, the
+    environment broke.  Retry policies classify this as retryable and
+    circuit breakers count it against the lane's health.
+    """
+
+
+class RetryExhausted(ExecutionError):
+    """Raised when a retry policy ran out of attempts for a retryable fault.
+
+    The terminal form of the worker-death retry loop: every attempt hit a
+    retryable infrastructure failure (dead worker process, broken pool) and
+    the budget is spent.  ``attempts`` records how many executions were
+    tried; ``__cause__`` carries the last underlying failure.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0):
+        self.attempts = int(attempts)
+        super().__init__(message)
+
+
 class OptimizationError(ReproError):
     """Raised when a classical optimizer fails to run."""
 

@@ -22,6 +22,13 @@ The backends return :class:`ExecutionResult`.
 
 from .backend import DensityBackend, ExecutionBackend, LocalBackend
 from .result import ExecutionResult
+from .retry import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    RetryPolicy,
+    is_infrastructure_failure,
+    is_retryable,
+)
 from .sharded import ShardedExecutor, get_sharded_executor, shutdown_sharded_executors
 from .shm import SharedStatePool, get_shared_state_pool, shutdown_shared_state_pools
 
@@ -30,6 +37,11 @@ __all__ = [
     "ExecutionResult",
     "LocalBackend",
     "DensityBackend",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY",
+    "is_retryable",
+    "is_infrastructure_failure",
     "ShardedExecutor",
     "SharedStatePool",
     "get_sharded_executor",

@@ -31,9 +31,11 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..cancellation import active_cancel_token
 from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
 from ..obs.trace import get_tracer
+from ..testing import faults
 from ..simulator.parallel_engine import ParallelSimulationEngine
 from ..simulator.plan_cache import PlanCache, get_plan_cache
 from ..simulator.statevector import StateVector
@@ -191,6 +193,12 @@ class LocalBackend(ExecutionBackend):
     ) -> ExecutionResult:
         width = _resolve_width(circuit, n_qubits)
         tracer = get_tracer()
+        token = active_cancel_token()
+        if token is not None:
+            # Pre-compile boundary: a job already past its deadline (or
+            # cancelled while queued) must not pay for compilation.
+            token.check()
+        faults.fire("local.replay")
         # The timer covers the cache lookup so a plan-cache miss reports its
         # compilation cost in `seconds` (matching the historical accelerator
         # path); cached replays pay only the lookup.

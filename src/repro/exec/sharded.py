@@ -44,11 +44,19 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..exceptions import ExecutionError
+from ..cancellation import CancelToken, active_cancel_token, cancel_scope
+from ..exceptions import (
+    DeadlineExceeded,
+    ExecutionError,
+    JobCancelled,
+    RetryExhausted,
+)
 from ..ir.composite import CompositeInstruction
 from ..ir.serialization import circuit_from_json, circuit_to_json
 from ..obs.profiler import ReplayProfiler, active_profiler, profiler_installed
 from ..obs.trace import TraceContext, get_tracer
+from ..testing import faults
+from .retry import RetryPolicy
 from ..simulator.execution_plan import compile_parametric_plan, compile_plan
 from ..simulator.parallel_engine import (
     merge_counts,
@@ -65,6 +73,9 @@ __all__ = [
     "get_sharded_executor",
     "shutdown_sharded_executors",
 ]
+
+#: Seconds between cancellation checks while awaiting a shard's result.
+_WAIT_POLL = 0.05
 
 
 # ---------------------------------------------------------------------------
@@ -191,6 +202,7 @@ def _worker_plan(
     if plan is not None:
         _WORKER_PLANS.move_to_end(key)
         return plan, True
+    faults.fire("sharded.worker.compile")
     circuit = circuit_from_json(payload)
     if circuit.is_parameterized:
         plan = compile_parametric_plan(
@@ -242,6 +254,7 @@ def _replay_chunk_body(
     out shared no-op spans otherwise), mirroring ``LocalBackend.execute``'s
     compile/replay/sample stages.
     """
+    faults.fire("sharded.worker.replay")
     tracer = get_tracer()
     with tracer.span("compile") as compile_span:
         plan, cached = _worker_plan(
@@ -277,6 +290,7 @@ def _replay_chunk(
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
     obs: dict | None = None,
+    ctl: dict | None = None,
 ) -> tuple[dict[str, int], int, int, bool, dict | None]:
     """Execute one shard chunk; returns
     ``(counts, depth, n_gates, plan_cached, obs_payload)``.
@@ -288,29 +302,41 @@ def _replay_chunk(
     the process boundary for the parent to stitch — including spans the
     worker's own shm lane ingested from *its* workers, so two-hop traces
     (broker → shard → shm) assemble into one tree.
+
+    ``ctl`` is the parent's lifecycle request: a wall-clock ``deadline``
+    installed as this worker's ambient cancel token, so the replay loops
+    abandon an expired job at the next step boundary and the typed
+    :class:`~repro.exceptions.DeadlineExceeded` travels back through the
+    future instead of the chunk running to completion for nothing.
     """
     body_args = (
         payload, digest, width, optimize, shots, seed_seq, params,
         trajectories, batch_diagonals, chunk_threshold,
     )
-    if obs is None:
-        counts, depth, n_gates, cached = _replay_chunk_body(*body_args)
-        return counts, depth, n_gates, cached, None
-    tracer = get_tracer()
-    parent_ctx = TraceContext.from_wire(obs.get("trace"))
-    profiler = ReplayProfiler() if obs.get("profile") else None
-    with tracer.capture() as sink:
-        with tracer.span(
-            "shard-replay",
-            attrs={"pid": os.getpid(), "shots": shots},
-            parent=parent_ctx,
-        ):
-            with profiler_installed(profiler):
-                counts, depth, n_gates, cached = _replay_chunk_body(*body_args)
-    obs_payload = {
-        "spans": [span.to_dict() for span in sink],
-        "profile": profiler.to_wire() if profiler is not None else None,
-    }
+    token = (
+        CancelToken(deadline=ctl.get("deadline")) if ctl is not None else None
+    )
+    with cancel_scope(token):
+        if token is not None:
+            token.check()
+        if obs is None:
+            counts, depth, n_gates, cached = _replay_chunk_body(*body_args)
+            return counts, depth, n_gates, cached, None
+        tracer = get_tracer()
+        parent_ctx = TraceContext.from_wire(obs.get("trace"))
+        profiler = ReplayProfiler() if obs.get("profile") else None
+        with tracer.capture() as sink:
+            with tracer.span(
+                "shard-replay",
+                attrs={"pid": os.getpid(), "shots": shots},
+                parent=parent_ctx,
+            ):
+                with profiler_installed(profiler):
+                    counts, depth, n_gates, cached = _replay_chunk_body(*body_args)
+        obs_payload = {
+            "spans": [span.to_dict() for span in sink],
+            "profile": profiler.to_wire() if profiler is not None else None,
+        }
     return counts, depth, n_gates, cached, obs_payload
 
 
@@ -390,6 +416,7 @@ class ShardedExecutor(ExecutionBackend):
         warm_start: bool = True,
         mp_context: str | None = None,
         shm_processes: int = 0,
+        retry_policy: RetryPolicy | None = None,
     ):
         """``mp_context`` picks the worker start method (``"fork"``,
         ``"spawn"``, ``"forkserver"``; ``None`` = platform default) — the
@@ -408,6 +435,17 @@ class ShardedExecutor(ExecutionBackend):
         self.processes = int(processes)
         self.name = name
         self.max_retries = int(max_retries)
+        #: Worker-death recovery policy.  ``retry_policy`` supersedes the
+        #: legacy ``max_retries`` knob when given; otherwise ``max_retries``
+        #: extra attempts with a short backoff reproduce the historical
+        #: behaviour in policy form.
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=self.max_retries + 1, base_delay=0.01, max_delay=0.5
+            )
+        )
         self.shm_processes = int(shm_processes or 0)
         import multiprocessing
 
@@ -571,36 +609,66 @@ class ShardedExecutor(ExecutionBackend):
         with self._lock:
             return list(self._inflight)
 
+    def _await_result(self, future, token):
+        """Await a shard future; with a token, poll so a tripped token
+        raises its typed error promptly (the submitted chunk keeps running
+        to harmless completion in the worker — cancellation never kills a
+        healthy worker process)."""
+        if token is None:
+            return future.result()
+        while True:
+            try:
+                return future.result(timeout=_WAIT_POLL)
+            except concurrent.futures.TimeoutError:
+                token.check()
+
     def _run_on_shard(self, index: int, fn, /, *args):
         """Run ``fn(*args)`` on shard ``index``, respawning it on worker death.
 
-        Under an active trace every attempt gets its own span: a worker
-        death closes the attempt's span error-tagged (the killed worker's
-        own spans die with it — the parent-side record is what keeps the
-        trace complete), and the respawned retry appears as the next
-        attempt under the same trace id.
+        Worker deaths are retried under :attr:`retry_policy` (bounded
+        attempts, exponential backoff + jitter); exhaustion raises
+        :class:`~repro.exceptions.RetryExhausted`.  Under an active trace
+        every attempt gets its own span: a worker death closes the
+        attempt's span error-tagged (the killed worker's own spans die
+        with it — the parent-side record is what keeps the trace
+        complete), and the respawned retry appears as the next attempt
+        under the same trace id.
         """
         attempts = 0
         tracer = get_tracer()
+        token = active_cancel_token()
+        policy = self.retry_policy
         while True:
+            attempts += 1
             pool = self._pool(index)
             span = tracer.span(
-                "shard-attempt", attrs={"shard": index, "attempt": attempts}
+                "shard-attempt", attrs={"shard": index, "attempt": attempts - 1}
             )
             try:
-                result = self._submit_tracked(index, pool, fn, *args).result()
+                future = self._submit_tracked(index, pool, fn, *args)
+                result = self._await_result(future, token)
                 span.finish()
                 return result
+            except (JobCancelled, DeadlineExceeded) as exc:
+                span.mark_error(str(exc))
+                span.finish()
+                raise
             except (BrokenProcessPool, EOFError, OSError) as exc:
                 span.mark_error(f"shard worker died: {exc}")
                 span.set_attribute("respawned", True)
                 span.finish()
                 self._replace_pool(index, pool)
-                attempts += 1
-                if attempts > self.max_retries:
-                    raise ExecutionError(
-                        f"shard {index} of {self.name!r} failed {attempts} time(s): {exc}"
-                    ) from exc
+                if policy.should_retry(attempts, exc):
+                    policy.sleep(attempts, token)
+                    continue
+                raise RetryExhausted(
+                    f"shard {index} of {self.name!r} failed {attempts} time(s): {exc}",
+                    attempts=attempts,
+                ) from exc
+            except BaseException as exc:
+                span.mark_error(str(exc))
+                span.finish()
+                raise
 
     # -- protocol -----------------------------------------------------------------
     def compile(
@@ -673,6 +741,15 @@ class ShardedExecutor(ExecutionBackend):
             raise ExecutionError(
                 f"circuit {circuit.name!r} has unbound parameters; provide params"
             )
+        token = active_cancel_token()
+        ctl: dict | None = None
+        if token is not None:
+            token.check()  # refuse to ship a job that is already dead
+            if token.deadline is not None:
+                # The deadline crosses the process boundary (wall clock);
+                # client-side cancels cannot — the parent stops awaiting
+                # instead, and the chunk completes harmlessly.
+                ctl = {"deadline": token.deadline}
         payload, digest = _circuit_payload(circuit)
         width = _resolve_width(circuit, n_qubits)
         if shard is None:
@@ -709,7 +786,7 @@ class ShardedExecutor(ExecutionBackend):
                     indices[0],
                     _replay_chunk,
                     payload, digest, width, optimize, chunks[0], seeds[0], params,
-                    trajectories, batch_diagonals, chunk_threshold, obs,
+                    trajectories, batch_diagonals, chunk_threshold, obs, ctl,
                 )
             ]
         else:
@@ -719,11 +796,12 @@ class ShardedExecutor(ExecutionBackend):
                         index,
                         (
                             payload, digest, width, optimize, chunk, seq, params,
-                            trajectories, batch_diagonals, chunk_threshold, obs,
+                            trajectories, batch_diagonals, chunk_threshold, obs, ctl,
                         ),
                     )
                     for index, chunk, seq in zip(indices, chunks, seeds)
-                ]
+                ],
+                token,
             )
         elapsed = time.perf_counter() - started
 
@@ -758,7 +836,7 @@ class ShardedExecutor(ExecutionBackend):
             retries=self._retries - retries_before,
         )
 
-    def _gather(self, jobs: list[tuple[int, tuple]]) -> list[tuple]:
+    def _gather(self, jobs: list[tuple[int, tuple]], token=None) -> list[tuple]:
         """Run chunk jobs concurrently across shards, retrying dead workers.
 
         All chunks are submitted before any result is awaited so shards
@@ -766,6 +844,8 @@ class ShardedExecutor(ExecutionBackend):
         ``submit`` itself raising (another thread's chunk already broke the
         pool) and the awaited result raising (this chunk's worker died).
         Retried chunks re-run synchronously on their respawned shard.
+        A tripped ``token`` raises its typed error from the await loop —
+        in-flight chunks complete harmlessly on their live workers.
         """
         tracer = get_tracer()
         entries: list[tuple[int, tuple, object, object]] = []
@@ -792,7 +872,7 @@ class ShardedExecutor(ExecutionBackend):
                 outcomes.append(self._run_on_shard(index, _replay_chunk, *args))
                 continue
             try:
-                outcomes.append(future.result())
+                outcomes.append(self._await_result(future, token))
             except (BrokenProcessPool, EOFError, OSError) as exc:
                 tracer.record(
                     "shard-attempt",

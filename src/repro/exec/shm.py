@@ -50,9 +50,12 @@ from multiprocessing.shared_memory import SharedMemory
 
 import numpy as np
 
-from ..exceptions import ExecutionError
+from ..cancellation import active_cancel_token
+from ..exceptions import ExecutionError, WorkerCrashed
 from ..obs.profiler import ReplayProfiler, active_profiler
 from ..obs.trace import TraceContext, get_tracer
+from ..testing import faults
+from .retry import is_infrastructure_failure
 from ..simulator.execution_plan import (
     KERNEL_DENSE,
     KERNEL_GATHER,
@@ -127,6 +130,7 @@ def _worker_plan_for_job(job: dict):
     )
     plan = _POOL_WORKER_PLANS.get(key)
     if plan is None:
+        faults.fire("shm.worker.compile")
         circuit = circuit_from_json(job["payload"])
         compiler = (
             compile_parametric_plan if circuit.is_parameterized else compile_plan
@@ -229,20 +233,27 @@ def _run_step_shm(plan, step, spec, cur, spare, shape, index, workers, barrier,
 
 def _worker_replay(
     job: dict, segments: dict, index: int, workers: int, barrier
-) -> tuple[bool, dict | None]:
-    """One worker's full replay; returns ``(final_in_state, obs_payload)``.
+) -> tuple[bool, dict | None, bool]:
+    """One worker's full replay; returns
+    ``(final_in_state, obs_payload, aborted)``.
 
     ``final_in_state`` says whether the result landed in the state buffer
     (as opposed to the scratch buffer).  ``obs_payload`` carries this
     worker's observability data home when the parent asked for any —
     spans recorded against the shipped trace context and/or the local
-    per-kernel/barrier profile — and is ``None`` otherwise.
+    per-kernel/barrier profile — and is ``None`` otherwise.  ``aborted``
+    reports a cooperative cancellation/deadline abort: the step loop was
+    abandoned in lockstep, the half-evolved state is the parent's to
+    discard, and this worker is still healthy.
     """
+    faults.fire("shm.worker.replay")
     plan = _worker_plan_for_job(job)
     dim = 1 << plan.n_qubits
     # Attach (and memoise) the parent's segments; drop stale ones when the
     # parent grew its buffers under new names.
-    names = (job["state"], job["scratch"])
+    names = tuple(
+        n for n in (job["state"], job["scratch"], job.get("control")) if n
+    )
     for stale in [n for n in segments if n not in names]:
         try:
             segments.pop(stale).close()
@@ -256,6 +267,18 @@ def _worker_replay(
     state_buffer = cur
     shape = (2,) * plan.n_qubits
     program = plan.chunk_program(workers)
+    # Cancellation guard (only shipped for jobs carrying a cancel token).
+    # Byte 0 is the parent's stop request; byte 1 is the per-step verdict.
+    # Worker 0 freezes the verdict *before* a barrier and everyone reads it
+    # *after*, so all workers abort at the same step — independent clock or
+    # flag reads could diverge by one step and deadlock the step barrier.
+    guard = None
+    deadline = None
+    if job.get("control"):
+        guard = np.ndarray(
+            2, dtype=np.uint8, buffer=segments[job["control"]].buf
+        )
+        deadline = job.get("deadline")
 
     obs_req = job.get("obs") or {}
     parent_ctx = TraceContext.from_wire(obs_req.get("trace"))
@@ -265,6 +288,7 @@ def _worker_replay(
     # ships home when it was asked for.
     profiler = ReplayProfiler() if (want_profile or parent_ctx is not None) else None
     tracer = get_tracer()
+    aborted = False
     with tracer.capture() as sink:
         with tracer.span(
             "shm-worker-replay",
@@ -272,6 +296,18 @@ def _worker_replay(
             parent=parent_ctx,
         ) as span:
             for step, spec in zip(plan.steps, program):
+                if guard is not None:
+                    if index == 0 and not guard[1]:
+                        if guard[0] or (
+                            deadline is not None and time.time() >= deadline
+                        ):
+                            guard[1] = 1
+                    barrier.wait()
+                    if guard[1]:
+                        aborted = True
+                        span.mark_error("replay aborted (cancel/deadline)")
+                        break
+                faults.fire("shm.worker.step")
                 if _run_step_shm(
                     plan, step, spec, cur, spare, shape, index, workers, barrier,
                     profiler,
@@ -296,7 +332,7 @@ def _worker_replay(
             "spans": [s.to_dict() for s in sink],
             "profile": profiler.to_wire() if want_profile and profiler else None,
         }
-    return cur is state_buffer, obs_out
+    return cur is state_buffer, obs_out, aborted
 
 
 def _shm_worker_main(conn, barrier, index: int, workers: int) -> None:
@@ -316,10 +352,15 @@ def _shm_worker_main(conn, barrier, index: int, workers: int) -> None:
                 continue
             # command == "replay"
             try:
-                final_in_state, obs_payload = _worker_replay(
+                final_in_state, obs_payload, aborted = _worker_replay(
                     message[1], segments, index, workers, barrier
                 )
-                conn.send(("ok", final_in_state, obs_payload))
+                if aborted:
+                    # Cooperative abort: the worker is healthy and keeps
+                    # serving; only this replay was abandoned.
+                    conn.send(("aborted", obs_payload))
+                else:
+                    conn.send(("ok", final_in_state, obs_payload))
             except BaseException:
                 # Release siblings blocked at the step barrier, then report;
                 # the parent tears the whole worker set down either way.
@@ -342,6 +383,10 @@ def _shm_worker_main(conn, barrier, index: int, workers: int) -> None:
 # ---------------------------------------------------------------------------
 # Parent-side pool
 # ---------------------------------------------------------------------------
+
+
+class _SegmentAllocationError(MemoryError):
+    """Shared-segment allocation failed: degrade instead of crashing."""
 
 
 class SharedStatePool:
@@ -373,20 +418,34 @@ class SharedStatePool:
         name: str = "shm-pool",
         mp_context: str | None = None,
         fallback=None,
+        breaker=None,
+        retry_policy=None,
     ):
         if processes < 1:
             raise ExecutionError(f"processes must be at least 1, got {processes}")
         self.processes = int(processes)
         self.name = name
         self.fallback = fallback
+        #: Optional :class:`~repro.service.breaker.CircuitBreaker` guarding
+        #: this lane: consulted before each replay, fed infrastructure
+        #: failures, and — when open — traffic degrades to ``fallback``.
+        self.breaker = breaker
+        #: Optional :class:`~repro.exec.retry.RetryPolicy`.  ``None`` keeps
+        #: the historical contract: a worker death fails the replay
+        #: immediately (typed, workers respawned) with no silent re-run.
+        self.retry_policy = retry_policy
         self._ctx = get_context(mp_context)
         self.start_method = self._ctx.get_start_method()
         self._lock = threading.RLock()
         self._closed = False
+        #: Set (without the lock) at the *start* of close(): refuses new
+        #: replays and tells _recover not to respawn while shutting down.
+        self._closing = False
         self._workers: list[tuple] = []  # (process, parent_connection)
         self._barrier = None
         self._state: SharedMemory | None = None
         self._scratch: SharedMemory | None = None
+        self._control: SharedMemory | None = None
         self._capacity = 0  # complex128 amplitudes per buffer
         self._respawns = 0
         self._barrier_aborts = 0
@@ -455,7 +514,7 @@ class SharedStatePool:
         self._barrier = None
 
     def _release_segments(self) -> None:
-        for attr in ("_state", "_scratch"):
+        for attr in ("_state", "_scratch", "_control"):
             shm = getattr(self, attr)
             setattr(self, attr, None)
             if shm is None:
@@ -476,7 +535,23 @@ class SharedStatePool:
 
         Idempotent and exception-safe; after close the pool refuses new
         replays (``can_replay`` returns ``False``).
+
+        Safe to call while a replay is in flight on another thread: the
+        replay holds the pool lock for its whole duration, so close()
+        first flags ``_closing`` and aborts the step barrier *outside* the
+        lock.  Workers blocked at the barrier wake with
+        ``BrokenBarrierError``, the replay fails over its normal recovery
+        path (which sees ``_closing`` and skips the respawn), the lock is
+        released, and only then are segments unlinked — never under a
+        worker still mapping them into a live step.
         """
+        self._closing = True
+        barrier = self._barrier
+        if barrier is not None:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
         with self._lock:
             if self._closed:
                 return
@@ -543,7 +618,7 @@ class SharedStatePool:
         plan provenance (the source circuit to ship; see
         :meth:`ExecutionPlan.replay_descriptor`).
         """
-        if self.processes < 2 or self.closed:
+        if self.processes < 2 or self._closing or self.closed:
             return False
         if not isinstance(plan, ExecutionPlan):
             return False
@@ -561,14 +636,65 @@ class SharedStatePool:
         amplitude traffic between processes is through the shared mapping.
         Returns ``data`` (mutated to the final state), or delegates to
         ``fallback``/serial (``None``) when the plan is not replayable
-        here.  Raises :class:`ExecutionError` when a worker dies mid-step;
-        the worker set is respawned so the next replay starts clean.
+        here.  Raises :class:`WorkerCrashed` when a worker dies mid-step
+        (after exhausting ``retry_policy``, if one is set); the worker set
+        is respawned so the next replay starts clean.
+
+        With a :attr:`breaker` attached the lane degrades instead of
+        cascading: an open breaker (and any segment-allocation failure)
+        routes the replay to ``fallback``/serial, and infrastructure
+        failures feed the breaker while cancellations/deadlines do not.
         """
         if not self.can_replay(plan):
             fallback = self.fallback
             if fallback is not None:
                 return fallback.replay_plan(plan, data, rng=rng)
             return None
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            return self._degraded_replay(plan, data, rng)
+        token = active_cancel_token()
+        policy = self.retry_policy
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = self._replay_shared(plan, data, rng, token)
+            except _SegmentAllocationError as exc:
+                # Memory pressure: degrade to the thread/serial lane rather
+                # than crash the host.  Counts against the lane's health.
+                if breaker is not None:
+                    breaker.record_failure()
+                with get_tracer().span(
+                    "shm-alloc-degraded", attrs={"pool": self.name}
+                ) as degrade_span:
+                    degrade_span.mark_error(str(exc))
+                return self._degraded_replay(plan, data, rng)
+            except ExecutionError as exc:
+                if breaker is not None and is_infrastructure_failure(exc):
+                    breaker.record_failure()
+                if policy is not None and policy.should_retry(attempts, exc):
+                    policy.sleep(attempts, token)
+                    continue
+                if policy is not None and attempts > 1:
+                    raise policy.exhausted(
+                        f"shared-memory pool {self.name!r}", attempts, exc
+                    )
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            return result
+
+    def _degraded_replay(self, plan, data, rng) -> np.ndarray | None:
+        """Graceful degradation: fallback pool, else ``None`` (serial)."""
+        fallback = self.fallback
+        if fallback is not None:
+            return fallback.replay_plan(plan, data, rng=rng)
+        return None
+
+    def _replay_shared(
+        self, plan: ExecutionPlan, data: np.ndarray, rng, token
+    ) -> np.ndarray | None:
         circuit, options, params = plan.replay_descriptor()
         from .sharded import _circuit_payload
 
@@ -588,12 +714,22 @@ class SharedStatePool:
         replay_started = time.time()
         try:
             with self._lock:
-                if self._closed:
+                if self._closed or self._closing:
                     return None
+                if token is not None:
+                    token.check()  # don't ship a job that is already dead
                 if not self._workers:
                     self._spawn_workers()
                 dim = int(data.size)
-                self._ensure_capacity(dim)
+                try:
+                    faults.fire("shm.alloc")
+                    self._ensure_capacity(dim)
+                    control = self._ensure_control() if token is not None else None
+                except (MemoryError, OSError) as exc:
+                    raise _SegmentAllocationError(
+                        f"pool {self.name!r} could not allocate {dim * 32} "
+                        f"bytes of shared segments: {exc}"
+                    ) from exc
                 state = np.ndarray(dim, dtype=np.complex128, buffer=self._state.buf)
                 np.copyto(state, data)
                 job = {
@@ -606,6 +742,10 @@ class SharedStatePool:
                     "scratch": self._scratch.name,
                     "obs": obs_req,
                 }
+                if control is not None:
+                    np.ndarray(2, dtype=np.uint8, buffer=control.buf)[:] = 0
+                    job["control"] = control.name
+                    job["deadline"] = token.deadline
                 try:
                     for _, conn in self._workers:
                         conn.send(("replay", job))
@@ -614,7 +754,7 @@ class SharedStatePool:
                     # the job will block at the first barrier — same
                     # recovery as a mid-step death.
                     self._recover(f"worker pipe rejected the job: {exc}")
-                final_in_state, obs_payloads = self._collect_acks()
+                final_in_state, obs_payloads = self._collect_acks(token)
                 source = (
                     state
                     if final_in_state
@@ -671,7 +811,25 @@ class SharedStatePool:
         _remember_segment(scratch.name)
         self._state, self._scratch, self._capacity = state, scratch, dim
 
-    def _collect_acks(self) -> tuple[bool, list[dict | None]]:
+    def _ensure_control(self) -> SharedMemory:
+        """The (tiny, lazily created) cancellation-control segment.
+
+        Byte 0: parent's stop request.  Byte 1: the per-step verdict worker
+        0 freezes before each step barrier.  One segment per pool, reused
+        across replays (zeroed per guarded job), unlinked with the others.
+        """
+        if self._control is None:
+            token = secrets.token_hex(4)
+            control = SharedMemory(
+                create=True,
+                size=16,
+                name=f"{SEGMENT_PREFIX}-{os.getpid()}-{token}-control",
+            )
+            _remember_segment(control.name)
+            self._control = control
+        return self._control
+
+    def _collect_acks(self, token=None) -> tuple[bool, list[dict | None]]:
         """Wait for every worker's replay ack; recover from worker death.
         Returns ``(final_in_state, per-worker observability payloads)``.
 
@@ -683,14 +841,28 @@ class SharedStatePool:
         liveness of *every* pending worker — waiting on workers in order
         would hang forever on a live worker blocked at the barrier while a
         different worker is the one that died.  Called with the lock held.
+
+        With a ``token``, every poll interval also drives cancellation: a
+        tripped token writes the stop request into the control segment,
+        the workers abort in lockstep at their next step boundary and ack
+        ``aborted`` — still alive, no respawn — and the typed lifecycle
+        error is raised here.
         """
         from multiprocessing.connection import wait as connection_wait
 
         finals: list[bool] = []
         observations: list[dict | None] = []
         failure: str | None = None
+        aborted = False
+        signalled = False
         pending = list(self._workers)
         while pending and failure is None:
+            if token is not None and not signalled:
+                if token.cancelled or token.expired():
+                    control = self._control
+                    if control is not None:
+                        np.ndarray(2, dtype=np.uint8, buffer=control.buf)[0] = 1
+                        signalled = True
             ready = connection_wait(
                 [conn for _, conn in pending], timeout=_POLL_INTERVAL
             )
@@ -715,19 +887,33 @@ class SharedStatePool:
                 if message[0] == "error":
                     failure = message[1]
                     break
-                finals.append(message[1])
-                observations.append(message[2] if len(message) > 2 else None)
+                if message[0] == "aborted":
+                    aborted = True
+                    observations.append(message[1])
+                else:
+                    finals.append(message[1])
+                    observations.append(message[2] if len(message) > 2 else None)
                 pending.remove(entry)
-        if failure is None:
-            return finals[0], observations
-        self._recover(failure)
+        if failure is not None:
+            self._recover(failure)
+        if aborted:
+            # All workers abandoned the replay in lockstep and stay alive;
+            # surface the reason as the typed lifecycle error.
+            if token is not None:
+                token.check()
+            raise ExecutionError(
+                f"pool {self.name!r} aborted a replay without a tripped "
+                "token (control segment written unexpectedly)"
+            )
+        return finals[0], observations
 
     def _recover(self, failure: str) -> None:
         """Abort the step barrier, rebuild the worker set, raise.
 
         Unblocks survivors (they see ``BrokenBarrierError``), then rebuilds
         everything: a broken barrier and a half-applied step are not worth
-        salvaging worker by worker.  Called with the lock held.
+        salvaging worker by worker.  During :meth:`close` the respawn is
+        skipped — the pool is going away.  Called with the lock held.
         """
         try:
             self._barrier.abort()
@@ -735,9 +921,14 @@ class SharedStatePool:
             pass
         self._barrier_aborts += 1
         self._teardown_workers(graceful=False)
+        if self._closing:
+            raise ExecutionError(
+                f"shared-memory pool {self.name!r} was closed mid-replay "
+                f"(state discarded): {failure}"
+            )
         self._respawns += 1
         self._spawn_workers()
-        raise ExecutionError(
+        raise WorkerCrashed(
             f"shared-memory pool {self.name!r} lost a worker mid-replay "
             f"(workers respawned, state discarded): {failure}"
         )
@@ -915,10 +1106,12 @@ def _neuter_after_fork(_module) -> None:
     _sweep_registered_pid = None
     for pool in list(_open_pools):
         pool._closed = True
+        pool._closing = True
         pool._workers = []
         pool._barrier = None
         pool._state = None
         pool._scratch = None
+        pool._control = None
         pool._capacity = 0
     _open_pools.clear()
     _owned_segments.clear()

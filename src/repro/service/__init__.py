@@ -10,9 +10,17 @@ backend execution (:mod:`repro.service.batching`), and repeated ones are
 served from a bounded LRU result cache with shot-count reconciliation
 (:mod:`repro.service.cache`).  :mod:`repro.service.metrics` exposes
 throughput, queue-depth, cache and latency counters.
+
+The fault-tolerant lifecycle tier rides on the same broker: per-job
+deadlines and cooperative cancellation (:mod:`repro.cancellation`),
+memory-budget admission control (:mod:`repro.service.admission`), and a
+circuit breaker degrading the process-shard lane to in-process execution
+under repeated infrastructure failures (:mod:`repro.service.breaker`).
 """
 
+from .admission import AdmissionController, AdmissionTicket, estimate_job_bytes
 from .batching import BatchingJobQueue, PendingBatch
+from .breaker import CircuitBreaker
 from .broker import QuantumJobService
 from .cache import CachedResult, CacheStats, ResultCache, subsample_counts
 from .dispatcher import DispatcherPool
@@ -22,6 +30,10 @@ from .metrics import BackendLatency, MetricsSnapshot, ServiceMetrics
 
 __all__ = [
     "QuantumJobService",
+    "AdmissionController",
+    "AdmissionTicket",
+    "estimate_job_bytes",
+    "CircuitBreaker",
     "JobHandle",
     "JobPriority",
     "JobResult",

@@ -48,17 +48,23 @@ from typing import Mapping
 
 import numpy as np
 
+from ..cancellation import CancelToken, cancel_scope, combine_tokens
 from ..config import get_config
 from ..exceptions import (
+    DeadlineExceeded,
     ExecutionError,
+    JobCancelled,
     ServiceNotFoundError,
     ServiceOverloadedError,
 )
+from ..exec.retry import RetryPolicy, is_infrastructure_failure
 from ..ir.composite import CompositeInstruction
 from ..obs.trace import get_tracer
 from ..runtime.accelerator import Accelerator
 from ..runtime.buffer import AcceleratorBuffer
+from .admission import AdmissionController, estimate_job_bytes
 from .batching import BatchingJobQueue, PendingBatch
+from .breaker import CircuitBreaker
 from .cache import ResultCache, subsample_counts
 from .dispatcher import DispatcherPool
 from .job import JobHandle, JobPriority, JobResult, JobSpec
@@ -66,6 +72,20 @@ from .keys import job_key
 from .metrics import MetricsSnapshot, ServiceMetrics
 
 __all__ = ["QuantumJobService"]
+
+
+def _plan_cache_bytes() -> int:
+    """Bytes resident in the shared execution-plan cache (admission term)."""
+    from ..simulator.plan_cache import get_plan_cache
+
+    return get_plan_cache().memory_bytes()
+
+
+def _shm_resident_bytes() -> int:
+    """Bytes resident in this process's shm amplitude segments (admission term)."""
+    from ..exec.shm import shm_health
+
+    return shm_health()["resident_bytes"]
 
 
 class QuantumJobService:
@@ -82,6 +102,11 @@ class QuantumJobService:
         name: str = "job-broker",
         auto_start: bool = True,
         processes: int = 0,
+        memory_budget_bytes: int | None = None,
+        admission_wait_seconds: float = 5.0,
+        retry_policy: RetryPolicy | None = None,
+        breaker_failure_threshold: int = 3,
+        breaker_cooldown_seconds: float = 5.0,
     ):
         self.name = name
         #: When False, jobs queue up until an explicit :meth:`start` — useful
@@ -98,6 +123,29 @@ class QuantumJobService:
                 f"known: {get_registry().registered_names('accelerator')}"
             )
         self.backend_options = dict(backend_options or {})
+        # Lifecycle knobs may also arrive through backend_options (their
+        # kebab-case names are declared non-semantic in keys.py, so they
+        # never fragment the result cache); explicit arguments win.
+        if memory_budget_bytes is None:
+            raw_budget = self.backend_options.get("memory-budget-bytes")
+            memory_budget_bytes = None if raw_budget is None else int(raw_budget)  # type: ignore[arg-type]
+        raw_wait = self.backend_options.get("admission-wait-seconds")
+        if raw_wait is not None:
+            admission_wait_seconds = float(raw_wait)  # type: ignore[arg-type]
+        raw_threshold = self.backend_options.get("breaker-failure-threshold")
+        if raw_threshold is not None:
+            breaker_failure_threshold = int(raw_threshold)  # type: ignore[arg-type]
+        raw_cooldown = self.backend_options.get("breaker-cooldown-seconds")
+        if raw_cooldown is not None:
+            breaker_cooldown_seconds = float(raw_cooldown)  # type: ignore[arg-type]
+        if retry_policy is None:
+            raw_attempts = self.backend_options.get("retry-max-attempts")
+            if raw_attempts is not None:
+                retry_policy = RetryPolicy(
+                    max_attempts=int(raw_attempts),  # type: ignore[arg-type]
+                    base_delay=0.01,
+                    max_delay=0.5,
+                )
         #: Process shards (0/1 = classic in-process dispatch).
         self.processes = int(processes or 0)
         self._sharded = None
@@ -124,6 +172,7 @@ class QuantumJobService:
                 self.processes,
                 name=f"{name}-shard",
                 shm_processes=int(self.backend_options.get("shm-processes", 0) or 0),
+                retry_policy=retry_policy,
             )
         self._queue = BatchingJobQueue(max_pending=max_pending)
         self._cache: ResultCache | None = (
@@ -138,6 +187,29 @@ class QuantumJobService:
             backend_options=self.backend_options,
             name=name,
             on_init_failure=self._worker_init_failed,
+        )
+        #: Memory-budget admission control (None budget = accounting off).
+        #: Resident terms are measured by walking the live structures —
+        #: compiled plans, cached histograms, shm amplitude segments — so
+        #: the accounting cannot drift from reality.
+        self._admission = AdmissionController(
+            memory_budget_bytes,
+            max_wait=admission_wait_seconds,
+            resident_sources=(
+                _plan_cache_bytes,
+                _shm_resident_bytes,
+            ),
+        )
+        if self._cache is not None:
+            self._admission.add_resident_source(self._cache.memory_bytes)
+        #: Circuit breaker over the process-shard lane: repeated
+        #: infrastructure failures trip it and batches degrade to the
+        #: dispatcher thread's in-process accelerator clone until the lane
+        #: proves healthy again (half-open probe after the cooldown).
+        self._breaker = CircuitBreaker(
+            name=f"{name}-sharded",
+            failure_threshold=breaker_failure_threshold,
+            cooldown_seconds=breaker_cooldown_seconds,
         )
         self._state_lock = threading.Lock()
         self._started = False
@@ -197,23 +269,35 @@ class QuantumJobService:
         shots: int | None = None,
         priority: JobPriority = JobPriority.NORMAL,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> JobHandle:
         """Submit a job, blocking while the queue is full.
 
-        Raises :class:`ServiceOverloadedError` only if ``timeout`` elapses
-        while waiting for a queue slot.
+        ``timeout`` bounds the wait for a *queue slot* (backpressure);
+        ``deadline`` bounds the *job itself* — relative seconds from now,
+        after which the job resolves with
+        :class:`~repro.exceptions.DeadlineExceeded` instead of a result
+        (checked at dequeue, pre-compile and per-step replay boundaries, so
+        even a mid-flight replay is abandoned).  Raises
+        :class:`ServiceOverloadedError` only if ``timeout`` elapses while
+        waiting for a queue slot.
         """
-        return self._submit(circuit, shots, priority, block=True, timeout=timeout)
+        return self._submit(
+            circuit, shots, priority, block=True, timeout=timeout, deadline=deadline
+        )
 
     def try_submit(
         self,
         circuit: CompositeInstruction,
         shots: int | None = None,
         priority: JobPriority = JobPriority.NORMAL,
+        deadline: float | None = None,
     ) -> JobHandle | None:
         """Non-blocking submit: ``None`` when backpressure rejects the job."""
         try:
-            return self._submit(circuit, shots, priority, block=False, timeout=None)
+            return self._submit(
+                circuit, shots, priority, block=False, timeout=None, deadline=deadline
+            )
         except ServiceOverloadedError:
             return None
 
@@ -223,6 +307,7 @@ class QuantumJobService:
         shots: int | None = None,
         priority: JobPriority = JobPriority.NORMAL,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> JobHandle:
         """Async :meth:`submit`: awaitable without blocking the event loop.
 
@@ -238,7 +323,12 @@ class QuantumJobService:
         return await loop.run_in_executor(
             None,
             functools.partial(
-                self.submit, circuit, shots=shots, priority=priority, timeout=timeout
+                self.submit,
+                circuit,
+                shots=shots,
+                priority=priority,
+                timeout=timeout,
+                deadline=deadline,
             ),
         )
 
@@ -260,6 +350,7 @@ class QuantumJobService:
         priority: JobPriority,
         block: bool,
         timeout: float | None,
+        deadline: float | None = None,
     ) -> JobHandle:
         if self._shut_down:
             raise ExecutionError(f"service {self.name!r} has been shut down")
@@ -267,9 +358,20 @@ class QuantumJobService:
             raise ExecutionError(
                 f"circuit {circuit.name!r} has unbound parameters; bind before submitting"
             )
+        if deadline is not None and deadline <= 0:
+            raise ExecutionError(
+                f"deadline must be positive seconds from submission, got {deadline}"
+            )
         if self.auto_start:
             self.start()
         resolved_shots = shots if shots is not None else get_config().shots
+        # Every job carries a token: the deadline rides on it, and cancel()
+        # trips it even when no deadline was set.  The deadline-seconds
+        # backend option provides a service-wide default.
+        if deadline is None:
+            raw_deadline = self.backend_options.get("deadline-seconds")
+            deadline = None if raw_deadline is None else float(raw_deadline)  # type: ignore[arg-type]
+        token = CancelToken(timeout=deadline)
         spec = JobSpec(
             key=job_key(circuit, self.backend, self.backend_options),
             circuit=circuit,
@@ -278,8 +380,11 @@ class QuantumJobService:
             n_qubits=max(circuit.n_qubits, 1),
             priority=JobPriority(priority),
             options=self.backend_options,
+            deadline=token.deadline,
         )
         handle = JobHandle(spec)
+        handle.cancel_token = token
+        handle._service_alive = self._can_resolve
         self._metrics.increment("submitted")
         # Root span of this job's trace.  The span stays open across the
         # queue and the dispatcher thread (the handle carries it); every
@@ -339,13 +444,70 @@ class QuantumJobService:
         return handle
 
     # -- batch execution (runs on dispatcher threads) -------------------------------
+    def _triage(self, handle: JobHandle, where: str) -> bool:
+        """Resolve a handle whose lifecycle already decided its outcome.
+
+        Returns ``True`` when the job is still live.  Called at dequeue (so
+        cancelled/expired jobs never pay for compilation or admission) and
+        again per rider at reconcile (so a late result is never served past
+        its deadline, and a client-side ``cancel()`` that raced the
+        execution still reports as cancelled).
+        """
+        span = handle._trace_span
+        token = handle.cancel_token
+        if handle.done():
+            # cancel() already failed the future client-side; account for
+            # it and close out the trace.
+            self._metrics.increment("cancelled")
+            self._metrics.increment("failed")
+            span.mark_error(f"cancelled {where}")
+            span.finish()
+            return False
+        if token is None:
+            return True
+        if token.cancelled:
+            handle._fail(JobCancelled(f"job was cancelled {where}"))
+            self._metrics.increment("cancelled")
+            self._metrics.increment("failed")
+            span.mark_error(f"cancelled {where}")
+            span.finish()
+            return False
+        if token.expired():
+            handle._fail(
+                DeadlineExceeded(
+                    f"job deadline passed {where} "
+                    f"(deadline={token.deadline:.3f}, now={time.time():.3f})"
+                )
+            )
+            self._metrics.increment("deadline_exceeded")
+            self._metrics.increment("failed")
+            span.mark_error(f"deadline passed {where}")
+            span.finish()
+            return False
+        return True
+
+    def _classify_failure(self, error: BaseException) -> str | None:
+        """The lifecycle counter a batch-level failure increments (or None)."""
+        if isinstance(error, JobCancelled):
+            return "cancelled"
+        if isinstance(error, DeadlineExceeded):
+            return "deadline_exceeded"
+        from ..exceptions import AdmissionRejected
+
+        if isinstance(error, AdmissionRejected):
+            return "admission_rejected"
+        return None
+
     def _process_batch(self, batch: PendingBatch, qpu: Accelerator) -> None:
         spec = batch.spec
         tracer = get_tracer()
+        live = [h for h in batch.handles if self._triage(h, "while queued")]
+        if not live:
+            return
         # The batch leader's root span hosts the execution subtree; riders'
         # roots close with just the queue-wait/outcome attributes.  The
         # queue-wait phase can only be measured retroactively, at dequeue.
-        leader = batch.handles[0]
+        leader = live[0]
         ctx = leader._trace_span.context()
         if ctx is not None:
             tracer.record(
@@ -354,23 +516,43 @@ class QuantumJobService:
                 start_wall=leader._enqueued_wall,
                 duration=max(0.0, time.time() - leader._enqueued_wall),
             )
+        # One token for the whole batch: keep executing while *any* rider
+        # still wants the result (latest deadline wins, cancelled only when
+        # all riders cancel); each rider re-triages against its own token
+        # at reconcile.
+        token = combine_tokens(
+            [h.cancel_token if h.cancel_token is not None else CancelToken() for h in live]
+        )
         try:
-            with tracer.activate(ctx):
-                target_shots = batch.target_shots
-                full_counts, execution_seconds, from_cache = self._counts_for(
-                    spec, target_shots, qpu
+            target_shots = batch.target_shots
+            requested_bytes = estimate_job_bytes(spec.n_qubits, target_shots)
+            with tracer.span(
+                "admission",
+                parent=ctx,
+                attrs={"requested_bytes": requested_bytes},
+            ):
+                ticket = self._admission.admit(
+                    requested_bytes, deadline=token.deadline
                 )
+            with ticket:
+                with tracer.activate(ctx), cancel_scope(token):
+                    full_counts, execution_seconds, from_cache = self._counts_for(
+                        spec, target_shots, qpu
+                    )
             if from_cache:
                 # Warmed between submit and dispatch (a racing worker or an
                 # earlier batch): these jobs did no backend work either, so
                 # they count as cache hits alongside the submit-time ones.
-                self._metrics.increment("cache_hits", len(batch))
+                self._metrics.increment("cache_hits", len(live))
             total = sum(full_counts.values())
             coalesced = len(batch) > 1
+            resolved: list[JobHandle] = []
             with tracer.span(
-                "reconcile", parent=ctx, attrs={"riders": len(batch)}
+                "reconcile", parent=ctx, attrs={"riders": len(live)}
             ):
-                for handle in batch.handles:
+                for handle in live:
+                    if not self._triage(handle, "before its result was served"):
+                        continue
                     counts = (
                         subsample_counts(full_counts, handle.shots, self._rng())
                         if handle.shots < total
@@ -387,20 +569,33 @@ class QuantumJobService:
                             execution_seconds=execution_seconds,
                         )
                     )
+                    resolved.append(handle)
                     self._metrics.increment("completed")
                     self._metrics.increment("served_shots", handle.shots)
-            for handle in batch.handles:
+            for handle in resolved:
                 span = handle._trace_span
                 span.set_attribute("coalesced", coalesced)
                 span.set_attribute("from_cache", from_cache)
                 span.finish()
         except BaseException as exc:  # resolve every rider, never hang a client
-            for handle in batch.handles:
+            counter = self._classify_failure(exc)
+            for handle in live:
+                if handle.done():
+                    # A client-side cancel() raced the failure; its future
+                    # already holds JobCancelled — just close the trace.
+                    self._metrics.increment("cancelled")
+                    span = handle._trace_span
+                    span.mark_error("cancelled mid-execution")
+                    span.finish()
+                    self._metrics.increment("failed")
+                    continue
                 handle._fail(exc)
+                if counter is not None:
+                    self._metrics.increment(counter)
                 span = handle._trace_span
                 span.mark_error(f"{type(exc).__name__}: {exc}")
                 span.finish()
-            self._metrics.increment("failed", len(batch))
+                self._metrics.increment("failed")
 
     def _counts_for(
         self, spec: JobSpec, target_shots: int, qpu: Accelerator
@@ -452,25 +647,49 @@ class QuantumJobService:
         key, so sharded and in-process results must agree on it).  The
         ``use-plans: False`` A/B option has no sharded form and is rejected
         with ``processes`` at construction.
+
+        The shard lane sits behind a circuit breaker: infrastructure
+        failures (dead workers, exhausted retry budgets) count against it,
+        and once tripped, batches degrade to the dispatcher thread's
+        in-process clone — identical results, reduced throughput — until a
+        half-open probe proves the lane healthy again.  Job-shaped failures
+        (cancellation, deadlines, bad circuits) re-raise untouched: they
+        would fail identically on any lane.
         """
         tracer = get_tracer()
         if self._sharded is not None:
-            chunk_threshold = self.backend_options.get("chunk-threshold")
-            with tracer.span("shard-dispatch", attrs={"shots": shots}):
-                result = self._sharded.execute_for_key(
-                    spec.key,
-                    spec.circuit,
-                    shots,
-                    n_qubits=spec.n_qubits,
-                    seed=get_config().seed,
-                    optimize=bool(self.backend_options.get("optimize", True)),
-                    batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
-                    chunk_threshold=None if chunk_threshold is None else int(chunk_threshold),  # type: ignore[arg-type]
-                )
-            self._metrics.increment("sharded_executions")
-            if result.plan_cached:
-                self._metrics.increment("sharded_plan_hits")
-            return dict(result.counts), result.seconds
+            if self._breaker.allow():
+                chunk_threshold = self.backend_options.get("chunk-threshold")
+                try:
+                    with tracer.span("shard-dispatch", attrs={"shots": shots}):
+                        result = self._sharded.execute_for_key(
+                            spec.key,
+                            spec.circuit,
+                            shots,
+                            n_qubits=spec.n_qubits,
+                            seed=get_config().seed,
+                            optimize=bool(self.backend_options.get("optimize", True)),
+                            batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
+                            chunk_threshold=None if chunk_threshold is None else int(chunk_threshold),  # type: ignore[arg-type]
+                        )
+                except Exception as exc:
+                    if not is_infrastructure_failure(exc):
+                        raise
+                    # Lane ill-health, not a bad job: feed the breaker and
+                    # degrade this batch to the in-process clone below.
+                    self._breaker.record_failure()
+                    self._metrics.increment("breaker_fallbacks")
+                    with tracer.span("breaker-fallback") as fallback_span:
+                        fallback_span.mark_error(f"{type(exc).__name__}: {exc}")
+                else:
+                    self._breaker.record_success()
+                    self._metrics.increment("sharded_executions")
+                    if result.plan_cached:
+                        self._metrics.increment("sharded_plan_hits")
+                    return dict(result.counts), result.seconds
+            else:
+                # Breaker open: skip the shard lane without even trying.
+                self._metrics.increment("breaker_fallbacks")
         buffer = AcceleratorBuffer(spec.n_qubits)
         started = time.perf_counter()
         with tracer.span("backend-execute", attrs={"shots": shots}):
@@ -504,6 +723,18 @@ class QuantumJobService:
             for handle in batch.handles:
                 handle._fail(failure)
             self._metrics.increment("failed", len(batch))
+
+    def _can_resolve(self) -> bool:
+        """Whether some dispatcher can still resolve a pending handle.
+
+        Consulted by unbounded ``JobHandle.result()`` waits: while workers
+        are alive (including the shutdown drain) the wait continues; once
+        the pool is gone — or the service was shut down before ever
+        starting — the client gets ``TimeoutError`` instead of a hang.
+        """
+        if self._started:
+            return self._pool.alive_count() > 0
+        return not self._shut_down
 
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(get_config().seed)
@@ -542,11 +773,25 @@ class QuantumJobService:
             shm_respawns=shm["respawns"],
             shm_barrier_aborts=shm["barrier_aborts"],
             shm_resident_bytes=shm["resident_bytes"],
+            breaker_state=self._breaker.state,
+            breaker_trips=self._breaker.trips,
+            admission_budget_bytes=self._admission.budget_bytes,
+            admission_inflight_bytes=self._admission.snapshot()["inflight_bytes"],
         )
 
     @property
     def cache(self) -> ResultCache | None:
         return self._cache
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The circuit breaker guarding the process-shard lane."""
+        return self._breaker
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The memory-budget admission controller (no-op when unbudgeted)."""
+        return self._admission
 
     @property
     def sharded_executor(self):

@@ -181,6 +181,21 @@ class ResultCache:
                 self._evictions += 1
         return entry
 
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of all cached histograms.
+
+        Counts the bitstring keys (one byte per character) and one machine
+        word per count — the payload that grows with outcome diversity.
+        Container overhead is deliberately ignored: admission control needs
+        a stable, cheap estimate, not a profiler.
+        """
+        with self._lock:
+            total = 0
+            for entry in self._entries.values():
+                for bitstring in entry.counts:
+                    total += len(bitstring) + 8
+            return total
+
     def invalidate(self, key: str) -> bool:
         with self._lock:
             return self._entries.pop(key, None) is not None

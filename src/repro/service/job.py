@@ -14,9 +14,10 @@ import asyncio
 import concurrent.futures
 import enum
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
-from ..exceptions import ExecutionError
+from ..cancellation import CancelToken
+from ..exceptions import ExecutionError, JobCancelled
 from ..ir.composite import CompositeInstruction
 from ..obs.trace import NOOP_SPAN
 
@@ -42,6 +43,10 @@ class JobSpec:
     n_qubits: int
     priority: JobPriority = JobPriority.NORMAL
     options: Mapping[str, object] = field(default_factory=dict)
+    #: Absolute wall-clock deadline (``time.time()``-based) or ``None``.
+    #: Deliberately excluded from the job key: a deadline changes whether a
+    #: result arrives, never what the result is.
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.shots <= 0:
@@ -85,6 +90,15 @@ class JobHandle:
         self._trace_span = NOOP_SPAN
         #: Wall-clock submit time, anchoring the retroactive queue-wait span.
         self._enqueued_wall = 0.0
+        #: Cooperative cancellation token (broker-set; carries the job's
+        #: absolute deadline).  ``None`` only for handles constructed outside
+        #: the broker.
+        self.cancel_token: CancelToken | None = None
+        #: Broker-set liveness probe: ``False`` once nothing can resolve
+        #: this handle any more (dispatcher pool dead, or the service shut
+        #: down before it ever started).  Consulted by unbounded ``result()``
+        #: waits so a client never hangs on an orphaned handle.
+        self._service_alive: Callable[[], bool] | None = None
 
     # -- tracing ---------------------------------------------------------------
     @property
@@ -102,13 +116,60 @@ class JobHandle:
     def shots(self) -> int:
         return self.spec.shots
 
+    # -- lifecycle --------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Request cancellation; returns True when it took effect.
+
+        Immediate for the client: the handle resolves with
+        :class:`~repro.exceptions.JobCancelled` right away (``False`` when
+        the job already completed).  Cooperative for the backend: the token
+        trips, and any in-flight replay abandons the job at its next step
+        boundary — a worker process is never killed to cancel a job.
+        """
+        if self.cancel_token is not None:
+            self.cancel_token.cancel()
+        if self._future.done():
+            return isinstance(self._future.exception(), JobCancelled)
+        self._fail(JobCancelled("job was cancelled by the client"))
+        # _fail is conditional, so re-read what actually won the race.
+        return isinstance(self._future.exception(), JobCancelled)
+
+    @property
+    def cancelled(self) -> bool:
+        token = self.cancel_token
+        return token is not None and token.cancelled
+
     # -- future protocol -------------------------------------------------------
     def done(self) -> bool:
         return self._future.done()
 
     def result(self, timeout: float | None = None) -> JobResult:
-        """Block until the job resolves; raises the job's error if it failed."""
-        return self._future.result(timeout)
+        """Block until the job resolves; raises the job's error if it failed.
+
+        An unbounded wait (``timeout=None``) is not a blind block: the
+        handle polls, and raises :class:`TimeoutError` as soon as the
+        broker reports it can no longer resolve this job (dispatcher pool
+        dead, or the service shut down before starting) — a client never
+        hangs forever on an orphaned handle.
+        """
+        if timeout is not None:
+            return self._future.result(timeout)
+        while True:
+            try:
+                return self._future.result(timeout=0.1)
+            except concurrent.futures.TimeoutError:
+                alive = self._service_alive
+                if alive is None:
+                    continue
+                try:
+                    if alive():
+                        continue
+                except Exception:
+                    pass  # a dying probe means a dying service: fall through
+                raise TimeoutError(
+                    f"job {self.key[:12]} cannot resolve any more: the "
+                    "service's dispatcher pool is not running"
+                ) from None
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
         return self._future.exception(timeout)

@@ -41,6 +41,15 @@ __all__ = ["job_key", "circuit_content_hash", "config_fingerprint"]
 #: callers who need bit-exact gate-by-gate reproduction (not just
 #: distributional identity) should disable the result cache rather than
 #: rely on this option fragmenting it.
+#:
+#: The job-lifecycle knobs (``deadline-seconds``, ``memory-budget-bytes``,
+#: ``admission-wait-seconds``, ``breaker-failure-threshold``,
+#: ``breaker-cooldown-seconds``, ``retry-max-attempts``) are likewise
+#: non-semantic: they decide *whether and when* a result arrives — a job
+#: may fail with DeadlineExceeded or AdmissionRejected under one setting
+#: and succeed under another — but never change the histogram a successful
+#: job returns, so a result produced under a tight deadline is perfectly
+#: reusable by a submission with a loose one.
 _NON_SEMANTIC_OPTIONS = frozenset(
     {
         "threads",
@@ -49,6 +58,12 @@ _NON_SEMANTIC_OPTIONS = frozenset(
         "shm-processes",
         "batch-diagonals",
         "chunk-threshold",
+        "deadline-seconds",
+        "memory-budget-bytes",
+        "admission-wait-seconds",
+        "breaker-failure-threshold",
+        "breaker-cooldown-seconds",
+        "retry-max-attempts",
     }
 )
 

@@ -96,6 +96,15 @@ class MetricsSnapshot:
     failed: int = 0
     #: try_submit calls bounced by backpressure.
     rejected: int = 0
+    #: Jobs resolved with JobCancelled (client cancel, queued or in-flight).
+    cancelled: int = 0
+    #: Jobs resolved with DeadlineExceeded (queued, replaying, or reconciling).
+    deadline_exceeded: int = 0
+    #: Jobs resolved with AdmissionRejected (memory budget refused them).
+    admission_rejected: int = 0
+    #: Batches the shard-lane circuit breaker degraded to in-process
+    #: execution (tripped-open skips plus the failures that fed the trip).
+    breaker_fallbacks: int = 0
     #: Jobs that attached to an already-pending identical batch.
     coalesced: int = 0
     #: Jobs fully served from the result cache (no backend work at all).
@@ -132,6 +141,15 @@ class MetricsSnapshot:
     shm_barrier_aborts: int = 0
     #: Bytes resident in shared-memory amplitude segments (state + scratch).
     shm_resident_bytes: int = 0
+    #: Shard-lane circuit-breaker state at snapshot time
+    #: ("closed" / "open" / "half-open"; "closed" without sharding).
+    breaker_state: str = "closed"
+    #: Times the shard-lane breaker has tripped open since start (health).
+    breaker_trips: int = 0
+    #: Admission memory budget (``None`` = accounting disabled).
+    admission_budget_bytes: int | None = None
+    #: Bytes reserved by in-flight admission tickets at snapshot time.
+    admission_inflight_bytes: int = 0
     #: Seconds since the service started.
     uptime_seconds: float = 0.0
     #: Cache counter snapshot.
@@ -164,6 +182,10 @@ class ServiceMetrics:
         "completed",
         "failed",
         "rejected",
+        "cancelled",
+        "deadline_exceeded",
+        "admission_rejected",
+        "breaker_fallbacks",
         "coalesced",
         "cache_hits",
         "executions",
@@ -206,6 +228,10 @@ class ServiceMetrics:
         shm_respawns: int = 0,
         shm_barrier_aborts: int = 0,
         shm_resident_bytes: int = 0,
+        breaker_state: str = "closed",
+        breaker_trips: int = 0,
+        admission_budget_bytes: int | None = None,
+        admission_inflight_bytes: int = 0,
     ) -> MetricsSnapshot:
         with self._lock:
             counts = dict(self._counts)
@@ -229,6 +255,10 @@ class ServiceMetrics:
             shm_respawns=shm_respawns,
             shm_barrier_aborts=shm_barrier_aborts,
             shm_resident_bytes=shm_resident_bytes,
+            breaker_state=breaker_state,
+            breaker_trips=breaker_trips,
+            admission_budget_bytes=admission_budget_bytes,
+            admission_inflight_bytes=admission_inflight_bytes,
             uptime_seconds=uptime,
             cache=cache or CacheStats(),
             plan_cache=plan_cache or PlanCacheStats(),

@@ -52,6 +52,7 @@ from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..cancellation import active_cancel_token
 from ..exceptions import ExecutionError
 from ..obs.profiler import active_profiler
 from ..ir.composite import CompositeInstruction
@@ -327,6 +328,26 @@ class ExecutionPlan:
         """Histogram of kernel classes, e.g. ``{"single": 3, "diagonal": 2}``."""
         return Counter(step.kernel for step in self._steps)
 
+    def memory_bytes(self) -> int:
+        """Resident bytes of this plan's precomputed kernel data.
+
+        Walks every step's slots and sums the ndarray payloads (dense
+        matrices, product diagonals, gather/permutation index tables) —
+        the structures that actually scale with circuit width and depth.
+        Scalars and per-thread scratch are noise by comparison and are
+        ignored; admission control uses this as the plan-cache term of the
+        service's memory budget.
+        """
+        total = 0
+        seen: set[int] = set()
+        for step in self._steps:
+            for slot in PlanStep.__slots__:
+                value = getattr(step, slot, None)
+                if isinstance(value, np.ndarray) and id(value) not in seen:
+                    seen.add(id(value))
+                    total += value.nbytes
+        return total
+
     def replay_descriptor(
         self,
     ) -> tuple[CompositeInstruction, dict[str, object], dict[str, float] | None] | None:
@@ -413,7 +434,22 @@ class ExecutionPlan:
         shape = self._shape
         apply_step = self._apply_step
         profiler = active_profiler()
-        if profiler is None:
+        token = active_cancel_token()
+        if token is not None:
+            # Cancellable replay: one flag/clock check per step.  A tripped
+            # token raises the typed error between kernels — the state is
+            # abandoned, never left half-applied within a kernel.
+            check = token.check
+            perf_counter = time.perf_counter
+            for step in self._steps:
+                check()
+                if profiler is None:
+                    cur, spare = apply_step(step, cur, spare, shape, rng)
+                else:
+                    t0 = perf_counter()
+                    cur, spare = apply_step(step, cur, spare, shape, rng)
+                    profiler.record_kernel(step.kernel, perf_counter() - t0)
+        elif profiler is None:
             for step in self._steps:
                 cur, spare = apply_step(step, cur, spare, shape, rng)
         else:
@@ -460,7 +496,20 @@ class ExecutionPlan:
         spare = self._scratch()
         shape = self._shape
         profiler = active_profiler()
-        if profiler is None:
+        token = active_cancel_token()
+        if token is not None:
+            check = token.check
+            perf_counter = time.perf_counter
+            for step, chunked in zip(self._steps, program):
+                check()
+                t0 = perf_counter()
+                if chunked is None:
+                    cur, spare = self._apply_step(step, cur, spare, shape, rng)
+                else:
+                    cur, spare = chunked.run(pool_map, cur, spare, shape)
+                if profiler is not None:
+                    profiler.record_kernel(step.kernel, perf_counter() - t0)
+        elif profiler is None:
             for step, chunked in zip(self._steps, program):
                 if chunked is None:
                     cur, spare = self._apply_step(step, cur, spare, shape, rng)
@@ -630,6 +679,10 @@ class ParametricExecutionPlan:
 
     def kernel_counts(self) -> Counter:
         return self._template.kernel_counts()
+
+    def memory_bytes(self) -> int:
+        """Template payload bytes (per-thread bound copies share ndarrays)."""
+        return self._template.memory_bytes()
 
     # Binding ----------------------------------------------------------------
     def _thread_plan(self) -> ExecutionPlan:

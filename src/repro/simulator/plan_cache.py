@@ -23,6 +23,7 @@ from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
 from ..ir.serialization import circuit_content_hash
 from ..obs.trace import get_tracer
+from ..testing import faults
 from .execution_plan import (
     DEFAULT_CHUNK_THRESHOLD,
     DEFAULT_FUSION_MAX_QUBITS,
@@ -132,6 +133,7 @@ class PlanCache:
         with get_tracer().span(
             "plan-compile", attrs={"circuit": circuit.name, "width": width}
         ):
+            faults.fire("plan.compile")
             if circuit.is_parameterized:
                 plan = compile_parametric_plan(
                     circuit,
@@ -185,6 +187,12 @@ class PlanCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def memory_bytes(self) -> int:
+        """Total resident bytes of all cached plans (admission accounting)."""
+        with self._lock:
+            plans = list(self._entries.values())
+        return sum(plan.memory_bytes() for plan in plans)
 
     def clear(self) -> None:
         with self._lock:

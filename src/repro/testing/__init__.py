@@ -1,0 +1,19 @@
+"""Deterministic fault injection for chaos-testing the execution stack."""
+
+from .faults import (
+    FaultSpec,
+    InjectedFault,
+    clear_faults,
+    fire,
+    install_faults,
+    installed_faults,
+)
+
+__all__ = [
+    "FaultSpec",
+    "InjectedFault",
+    "clear_faults",
+    "fire",
+    "install_faults",
+    "installed_faults",
+]

@@ -1,0 +1,33 @@
+"""Host calibration: measured cost-model constants instead of guesses.
+
+``python -m repro.calibrate`` micro-benchmarks every plan kernel class on
+the running host and persists a versioned, host-fingerprinted
+:class:`CalibrationProfile`; :func:`load_calibrated_model` turns it back
+into a :class:`~repro.simulator.cost_model.SimulationCostModel` (falling
+back to the hand-set defaults, with a warning, when the profile is
+missing, stale, or from another host).  The adaptive lane selection in
+:class:`~repro.exec.backend.LocalBackend` and the broker consumes that
+model to route each plan to its predicted-cheapest execution lane.
+"""
+
+from .harness import KERNEL_KINDS, kernel_microbench_circuit, run_calibration
+from .profile import (
+    PROFILE_VERSION,
+    CalibrationError,
+    CalibrationProfile,
+    default_profile_path,
+    host_fingerprint,
+    load_calibrated_model,
+)
+
+__all__ = [
+    "KERNEL_KINDS",
+    "PROFILE_VERSION",
+    "CalibrationError",
+    "CalibrationProfile",
+    "default_profile_path",
+    "host_fingerprint",
+    "kernel_microbench_circuit",
+    "load_calibrated_model",
+    "run_calibration",
+]

@@ -1,0 +1,62 @@
+"""CLI: ``python -m repro.calibrate [--quick] [--output PATH] [--show]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import run_calibration
+from .profile import CalibrationProfile, default_profile_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.calibrate",
+        description="Micro-benchmark this host and persist a calibration profile.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller states / fewer repeats (CI)"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"profile path (default: {default_profile_path()})",
+    )
+    parser.add_argument(
+        "--no-threads", action="store_true", help="skip thread-pool measurements"
+    )
+    parser.add_argument(
+        "--no-shm", action="store_true", help="skip shared-memory lane measurements"
+    )
+    parser.add_argument(
+        "--show",
+        action="store_true",
+        help="print the existing profile at --output and exit (no measurement)",
+    )
+    args = parser.parse_args(argv)
+    path = args.output if args.output is not None else default_profile_path()
+
+    if args.show:
+        print(CalibrationProfile.load(path).to_json())
+        return 0
+
+    profile = run_calibration(
+        quick=args.quick,
+        include_threads=not args.no_threads,
+        include_shm=not args.no_shm,
+    )
+    saved = profile.save(path)
+    print(profile.to_json())
+    print(f"calibration profile written to {saved}", file=sys.stderr)
+
+    if not args.no_shm:
+        # The shm stage may have spun worker processes up through the shared
+        # registry; leave nothing running behind a one-shot CLI.
+        from ..exec.shm import shutdown_shared_state_pools
+
+        shutdown_shared_state_pools()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ from ..exceptions import ExecutionError
 from ..ir.composite import CompositeInstruction
 from ..obs.trace import get_tracer
 from ..testing import faults
+from ..simulator.execution_plan import DEFAULT_PRECISION
 from ..simulator.parallel_engine import ParallelSimulationEngine
 from ..simulator.plan_cache import PlanCache, get_plan_cache
 from ..simulator.statevector import StateVector
@@ -60,6 +61,7 @@ class ExecutionBackend(abc.ABC):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ):
         """Lower ``circuit`` into a reusable plan; ``None`` when the backend
         executes directly (density-matrix evolution has no plan form).
@@ -68,6 +70,9 @@ class ExecutionBackend(abc.ABC):
         time; ``chunk_threshold`` sets the minimum state size for
         chunk-parallel replay (``None`` = the compiled default).  Both are
         performance knobs — they never change measurement distributions.
+        ``precision`` is NOT a performance knob: ``"single"`` compiles and
+        replays in complex64 (half the memory traffic, ~1e-4 amplitude
+        deviation), so it participates in plan and job identity.
         """
         return None
 
@@ -83,6 +88,7 @@ class ExecutionBackend(abc.ABC):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> ExecutionResult:
         """Run ``circuit`` for ``shots`` and return the reduced result."""
 
@@ -96,6 +102,7 @@ class ExecutionBackend(abc.ABC):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> float:
         """Exact ``<circuit|observable|circuit>`` (no sampling noise)."""
         raise ExecutionError(
@@ -135,6 +142,8 @@ class LocalBackend(ExecutionBackend):
         engine: ParallelSimulationEngine | None = None,
         plan_cache: PlanCache | None = None,
         shm_pool=None,
+        adaptive: bool = False,
+        cost_model=None,
     ):
         self._engine = engine if engine is not None else ParallelSimulationEngine()
         self._owns_engine = engine is None
@@ -144,6 +153,12 @@ class LocalBackend(ExecutionBackend):
         #: lane) instead of the engine's threads.  Not owned — shared pools
         #: outlive any one backend, so ``close()`` leaves it running.
         self.shm_pool = shm_pool
+        #: When True, each plan replays on the lane the cost model predicts
+        #: cheapest (serial / threads / shm) instead of the fixed
+        #: shm-then-threads preference.  Never changes results: every lane
+        #: is bit-identical at a given precision.
+        self.adaptive = bool(adaptive)
+        self._cost_model = cost_model
 
     @property
     def engine(self) -> ParallelSimulationEngine:
@@ -152,13 +167,40 @@ class LocalBackend(ExecutionBackend):
     def _cache(self) -> PlanCache:
         return self._plan_cache if self._plan_cache is not None else get_plan_cache()
 
-    def _replay_pool(self, plan):
-        """The chunk pool this plan replays on: shm lane when it applies,
-        the thread engine otherwise (resets, unshippable plans)."""
+    def cost_model(self):
+        """The lane-selection cost model (calibrated for this host if a
+        profile is persisted, the hand-set defaults otherwise)."""
+        if self._cost_model is None:
+            from ..calibrate import load_calibrated_model
+
+            self._cost_model = load_calibrated_model()
+        return self._cost_model
+
+    def _replay_pool(self, plan, shots: int = 0):
+        """The chunk pool this plan replays on (``None`` = serial replay).
+
+        Fixed routing prefers the shm lane when it applies, the thread
+        engine otherwise; ``adaptive=True`` instead asks the (calibrated)
+        cost model to rank {serial, threads, shm} for *this* plan and shot
+        count and routes to the predicted-cheapest lane.
+        """
         shm = self.shm_pool
-        if shm is not None and shm.can_replay(plan):
+        shm_ok = shm is not None and shm.can_replay(plan)
+        if not self.adaptive:
+            return shm if shm_ok else self._engine
+        try:
+            threads = self._engine.effective_threads()
+        except ExecutionError:
+            threads = 1
+        shm_workers = shm.effective_threads() if shm_ok else 0
+        lane = self.cost_model().choose_lane(
+            plan, shots, threads=threads, shm_workers=shm_workers
+        )
+        if lane == "shm" and shm_ok:
             return shm
-        return self._engine
+        if lane == "threads" and threads > 1:
+            return self._engine
+        return None
 
     # -- protocol -----------------------------------------------------------------
     def compile(
@@ -169,6 +211,7 @@ class LocalBackend(ExecutionBackend):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ):
         plan, _ = self._cache().lookup_or_compile(
             circuit,
@@ -176,6 +219,7 @@ class LocalBackend(ExecutionBackend):
             optimize=optimize,
             batch_diagonals=batch_diagonals,
             chunk_threshold=chunk_threshold,
+            precision=precision,
         )
         return plan
 
@@ -190,6 +234,7 @@ class LocalBackend(ExecutionBackend):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> ExecutionResult:
         width = _resolve_width(circuit, n_qubits)
         tracer = get_tracer()
@@ -210,6 +255,7 @@ class LocalBackend(ExecutionBackend):
                 optimize=optimize,
                 batch_diagonals=batch_diagonals,
                 chunk_threshold=chunk_threshold,
+                precision=precision,
             )
             compile_span.set_attribute("plan_cached", cached)
         if plan.is_parametric:
@@ -224,15 +270,20 @@ class LocalBackend(ExecutionBackend):
                     width, circuit, shots, seed=seed, plan=plan
                 )
         else:
-            state = StateVector(width)
+            state = StateVector(width, dtype=plan.dtype)
             # The chunk pool — shm processes for large states when
-            # configured, the engine's threads otherwise — parallelises the
-            # single large-state replay (bitwise identical to serial);
-            # sampling then draws shots on the engine's threads either way.
-            pool = self._replay_pool(plan)
+            # configured, the engine's threads otherwise, or None for a
+            # serial replay when adaptive selection predicts chunking
+            # cannot pay — parallelises the single large-state replay
+            # (bitwise identical to serial); sampling then draws shots on
+            # the engine's threads either way.
+            pool = self._replay_pool(plan, shots)
             with tracer.span(
                 "replay",
-                attrs={"n_qubits": width, "lane": type(pool).__name__},
+                attrs={
+                    "n_qubits": width,
+                    "lane": type(pool).__name__ if pool is not None else "serial",
+                },
             ):
                 state.apply_plan(plan, pool=pool)
             measured = plan.measured_qubits or tuple(range(width))
@@ -263,6 +314,7 @@ class LocalBackend(ExecutionBackend):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> float:
         width = _resolve_width(circuit, n_qubits)
         plan, _ = self._cache().lookup_or_compile(
@@ -271,6 +323,7 @@ class LocalBackend(ExecutionBackend):
             optimize=optimize,
             batch_diagonals=batch_diagonals,
             chunk_threshold=chunk_threshold,
+            precision=precision,
         )
         if plan.is_parametric:
             if params is None:
@@ -282,7 +335,7 @@ class LocalBackend(ExecutionBackend):
             raise ExecutionError(
                 "exact expectations are undefined for circuits with mid-circuit resets"
             )
-        state = StateVector(width)
+        state = StateVector(width, dtype=plan.dtype)
         state.apply_plan(plan, pool=self._replay_pool(plan))
         return float(state.expectation(observable))
 
@@ -318,12 +371,24 @@ class DensityBackend(ExecutionBackend):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> ExecutionResult:
         # batch_diagonals / chunk_threshold are plan-replay knobs; density
         # evolution has no plan form, so they are accepted (protocol
-        # uniformity) and ignored.
+        # uniformity) and ignored.  precision is semantic, so an unsupported
+        # tier must fail loudly rather than silently run in complex128.
         from ..simulator.density import DensityMatrix
+        from ..simulator.execution_plan import resolve_precision
 
+        if resolve_precision(precision) != "double":
+            raise ExecutionError(
+                "the density backend evolves in complex128 only; "
+                f"precision {precision!r} is not supported"
+            )
+        token = active_cancel_token()
+        if token is not None:
+            token.check()
+        faults.fire("density.execute")
         if params is not None:
             circuit = circuit.bind(params)
         elif circuit.is_parameterized:
@@ -335,6 +400,10 @@ class DensityBackend(ExecutionBackend):
         started = time.perf_counter()
         rho = DensityMatrix(width)
         rho.apply_circuit(circuit, noise_model=self.noise_model)
+        if token is not None:
+            # Post-evolution boundary: sampling can be a large share of a
+            # noisy job, so honour cancellation between the two phases.
+            token.check()
         measured = circuit.measured_qubits() or tuple(range(width))
         counts = rho.sample(shots, measured, rng)
         elapsed = time.perf_counter() - started

@@ -57,7 +57,11 @@ from ..obs.profiler import ReplayProfiler, active_profiler, profiler_installed
 from ..obs.trace import TraceContext, get_tracer
 from ..testing import faults
 from .retry import RetryPolicy
-from ..simulator.execution_plan import compile_parametric_plan, compile_plan
+from ..simulator.execution_plan import (
+    DEFAULT_PRECISION,
+    compile_parametric_plan,
+    compile_plan,
+)
 from ..simulator.parallel_engine import (
     merge_counts,
     replay_trajectory_chunk,
@@ -189,15 +193,18 @@ def _worker_plan(
     optimize: bool,
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
+    precision: str = DEFAULT_PRECISION,
 ):
     """Compile-once lookup inside a worker process.
 
     ``batch_diagonals`` participates in the key because batched plans are
     ulp-level different artefacts — the parent compiled with the same flag,
     and fixed-seed bit-identity across processes depends on both sides
-    replaying the same kernels.
+    replaying the same kernels.  ``precision`` participates because a
+    complex64 plan is a semantically different artefact (different
+    payload dtypes, different results).
     """
-    key = (digest, width, optimize, batch_diagonals, chunk_threshold)
+    key = (digest, width, optimize, batch_diagonals, chunk_threshold, precision)
     plan = _WORKER_PLANS.get(key)
     if plan is not None:
         _WORKER_PLANS.move_to_end(key)
@@ -211,6 +218,7 @@ def _worker_plan(
             optimize=optimize,
             batch_diagonals=batch_diagonals,
             chunk_threshold=chunk_threshold,
+            precision=precision,
         )
     else:
         plan = compile_plan(
@@ -219,6 +227,7 @@ def _worker_plan(
             optimize=optimize,
             batch_diagonals=batch_diagonals,
             chunk_threshold=chunk_threshold,
+            precision=precision,
         )
     _WORKER_PLANS[key] = plan
     while len(_WORKER_PLANS) > _WORKER_PLAN_CAPACITY:
@@ -237,6 +246,7 @@ def _replay_chunk_body(
     trajectories: bool,
     batch_diagonals: bool,
     chunk_threshold: int | None,
+    precision: str = DEFAULT_PRECISION,
 ) -> tuple[dict[str, int], int, int, bool]:
     """The chunk execution itself: (counts, depth, n_gates, plan_cached).
 
@@ -258,7 +268,8 @@ def _replay_chunk_body(
     tracer = get_tracer()
     with tracer.span("compile") as compile_span:
         plan, cached = _worker_plan(
-            payload, digest, width, optimize, batch_diagonals, chunk_threshold
+            payload, digest, width, optimize, batch_diagonals, chunk_threshold,
+            precision,
         )
         compile_span.set_attribute("plan_cached", cached)
     if plan.is_parametric:
@@ -289,6 +300,7 @@ def _replay_chunk(
     trajectories: bool = False,
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
+    precision: str = DEFAULT_PRECISION,
     obs: dict | None = None,
     ctl: dict | None = None,
 ) -> tuple[dict[str, int], int, int, bool, dict | None]:
@@ -311,7 +323,7 @@ def _replay_chunk(
     """
     body_args = (
         payload, digest, width, optimize, shots, seed_seq, params,
-        trajectories, batch_diagonals, chunk_threshold,
+        trajectories, batch_diagonals, chunk_threshold, precision,
     )
     token = (
         CancelToken(deadline=ctl.get("deadline")) if ctl is not None else None
@@ -349,12 +361,13 @@ def _chunk_expectation(
     observable,
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
+    precision: str = DEFAULT_PRECISION,
 ) -> float:
     """Exact expectation evaluated inside a worker (plan replay + <O>)."""
     from ..simulator.statevector import StateVector
 
     plan, _ = _worker_plan(
-        payload, digest, width, optimize, batch_diagonals, chunk_threshold
+        payload, digest, width, optimize, batch_diagonals, chunk_threshold, precision
     )
     if plan.is_parametric:
         plan = plan.bind(params if params is not None else ())
@@ -363,7 +376,9 @@ def _chunk_expectation(
             "exact expectations are undefined for circuits with mid-circuit resets"
         )
     state = StateVector(
-        width, data=plan.execute(plan.new_state(), pool=_worker_replay_pool(plan))
+        width,
+        data=plan.execute(plan.new_state(), pool=_worker_replay_pool(plan)),
+        dtype=plan.dtype,
     )
     return float(state.expectation(observable))
 
@@ -375,6 +390,7 @@ def _warm_worker_plan(
     optimize: bool,
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
+    precision: str = DEFAULT_PRECISION,
 ) -> bool:
     """Compile into the worker's plan cache; returns whether it was warm.
 
@@ -382,7 +398,7 @@ def _warm_worker_plan(
     boundary — only this flag does.)
     """
     _, cached = _worker_plan(
-        payload, digest, width, optimize, batch_diagonals, chunk_threshold
+        payload, digest, width, optimize, batch_diagonals, chunk_threshold, precision
     )
     return cached
 
@@ -679,6 +695,7 @@ class ShardedExecutor(ExecutionBackend):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ):
         """Warm the affine shard's plan cache; returns the parent-side plan.
 
@@ -692,7 +709,7 @@ class ShardedExecutor(ExecutionBackend):
         shard = self.shard_for(digest)
         self._run_on_shard(
             shard, _warm_worker_plan, payload, digest, width, optimize,
-            batch_diagonals, chunk_threshold,
+            batch_diagonals, chunk_threshold, precision,
         )
         from ..simulator.plan_cache import get_plan_cache
 
@@ -702,6 +719,7 @@ class ShardedExecutor(ExecutionBackend):
             optimize=optimize,
             batch_diagonals=batch_diagonals,
             chunk_threshold=chunk_threshold,
+            precision=precision,
         )
         return plan
 
@@ -716,6 +734,7 @@ class ShardedExecutor(ExecutionBackend):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
         shard: int | None = None,
         trajectories: bool = False,
     ) -> ExecutionResult:
@@ -786,7 +805,8 @@ class ShardedExecutor(ExecutionBackend):
                     indices[0],
                     _replay_chunk,
                     payload, digest, width, optimize, chunks[0], seeds[0], params,
-                    trajectories, batch_diagonals, chunk_threshold, obs, ctl,
+                    trajectories, batch_diagonals, chunk_threshold, precision,
+                    obs, ctl,
                 )
             ]
         else:
@@ -796,7 +816,8 @@ class ShardedExecutor(ExecutionBackend):
                         index,
                         (
                             payload, digest, width, optimize, chunk, seq, params,
-                            trajectories, batch_diagonals, chunk_threshold, obs, ctl,
+                            trajectories, batch_diagonals, chunk_threshold,
+                            precision, obs, ctl,
                         ),
                     )
                     for index, chunk, seq in zip(indices, chunks, seeds)
@@ -898,6 +919,7 @@ class ShardedExecutor(ExecutionBackend):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> ExecutionResult:
         """Affinity mode: the shard owning ``key`` runs the whole job, so
         its warm plan cache keeps getting the circuits it already compiled.
@@ -912,6 +934,7 @@ class ShardedExecutor(ExecutionBackend):
             optimize=optimize,
             batch_diagonals=batch_diagonals,
             chunk_threshold=chunk_threshold,
+            precision=precision,
             shard=self._owner_for_key(key),
         )
 
@@ -925,13 +948,14 @@ class ShardedExecutor(ExecutionBackend):
         optimize: bool = True,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> float:
         payload, digest = _circuit_payload(circuit)
         width = _resolve_width(circuit, n_qubits)
         shard = self.shard_for(digest)
         return self._run_on_shard(
             shard, _chunk_expectation, payload, digest, width, optimize, params,
-            observable, batch_diagonals, chunk_threshold,
+            observable, batch_diagonals, chunk_threshold, precision,
         )
 
     # -- introspection ------------------------------------------------------------

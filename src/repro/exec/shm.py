@@ -120,6 +120,7 @@ def _worker_plan_for_job(job: dict):
     from ..ir.serialization import circuit_from_json
 
     options = job["options"]
+    precision = options.get("precision", "double")
     key = (
         job["digest"],
         job["width"],
@@ -127,6 +128,7 @@ def _worker_plan_for_job(job: dict):
         options["fusion_max_qubits"],
         options["batch_diagonals"],
         options["chunk_threshold"],
+        precision,
     )
     plan = _POOL_WORKER_PLANS.get(key)
     if plan is None:
@@ -142,6 +144,7 @@ def _worker_plan_for_job(job: dict):
             fusion_max_qubits=options["fusion_max_qubits"],
             batch_diagonals=options["batch_diagonals"],
             chunk_threshold=options["chunk_threshold"],
+            precision=precision,
         )
         _POOL_WORKER_PLANS[key] = plan
         while len(_POOL_WORKER_PLANS) > _POOL_WORKER_PLAN_CAPACITY:
@@ -262,8 +265,8 @@ def _worker_replay(
     for name in names:
         if name not in segments:
             segments[name] = _attach_segment(name)
-    cur = np.ndarray(dim, dtype=np.complex128, buffer=segments[job["state"]].buf)
-    spare = np.ndarray(dim, dtype=np.complex128, buffer=segments[job["scratch"]].buf)
+    cur = np.ndarray(dim, dtype=plan.dtype, buffer=segments[job["state"]].buf)
+    spare = np.ndarray(dim, dtype=plan.dtype, buffer=segments[job["scratch"]].buf)
     state_buffer = cur
     shape = (2,) * plan.n_qubits
     program = plan.chunk_program(workers)
@@ -446,7 +449,7 @@ class SharedStatePool:
         self._state: SharedMemory | None = None
         self._scratch: SharedMemory | None = None
         self._control: SharedMemory | None = None
-        self._capacity = 0  # complex128 amplitudes per buffer
+        self._capacity = 0  # bytes per shared buffer (state / scratch)
         self._respawns = 0
         self._barrier_aborts = 0
         # Registered for the atexit/finalizer sweep: the segment-name set
@@ -591,7 +594,7 @@ class SharedStatePool:
     @property
     def resident_bytes(self) -> int:
         """Bytes held in the shared amplitude segments (state + scratch)."""
-        return self._capacity * 16 * 2
+        return self._capacity * 2
 
     def worker_pids(self) -> list[int]:
         """PID of each live worker process."""
@@ -721,16 +724,17 @@ class SharedStatePool:
                 if not self._workers:
                     self._spawn_workers()
                 dim = int(data.size)
+                nbytes = dim * data.dtype.itemsize
                 try:
                     faults.fire("shm.alloc")
-                    self._ensure_capacity(dim)
+                    self._ensure_capacity(nbytes)
                     control = self._ensure_control() if token is not None else None
                 except (MemoryError, OSError) as exc:
                     raise _SegmentAllocationError(
-                        f"pool {self.name!r} could not allocate {dim * 32} "
+                        f"pool {self.name!r} could not allocate {nbytes * 2} "
                         f"bytes of shared segments: {exc}"
                     ) from exc
-                state = np.ndarray(dim, dtype=np.complex128, buffer=self._state.buf)
+                state = np.ndarray(dim, dtype=data.dtype, buffer=self._state.buf)
                 np.copyto(state, data)
                 job = {
                     "payload": payload,
@@ -758,7 +762,7 @@ class SharedStatePool:
                 source = (
                     state
                     if final_in_state
-                    else np.ndarray(dim, dtype=np.complex128, buffer=self._scratch.buf)
+                    else np.ndarray(dim, dtype=data.dtype, buffer=self._scratch.buf)
                 )
                 np.copyto(data, source)
         except ExecutionError as exc:
@@ -788,28 +792,30 @@ class SharedStatePool:
         return data
 
     # -- internals ------------------------------------------------------------
-    def _ensure_capacity(self, dim: int) -> None:
-        """(Re)allocate the state + scratch segments to hold ``dim`` amps.
+    def _ensure_capacity(self, nbytes: int) -> None:
+        """(Re)allocate the state + scratch segments to ``nbytes`` each.
 
         Grow-only: replaying a smaller state reuses the larger segments
-        (workers view only the first ``dim`` amplitudes).
+        (workers view only the leading bytes they need).  Byte-based so a
+        complex64 state occupies half the shared footprint of a complex128
+        one at the same width.
         """
-        if self._state is not None and self._capacity >= dim:
+        if self._state is not None and self._capacity >= nbytes:
             return
         self._release_segments()
         token = secrets.token_hex(4)
         prefix = f"{SEGMENT_PREFIX}-{os.getpid()}-{token}"
-        state = SharedMemory(create=True, size=dim * 16, name=f"{prefix}-state")
+        state = SharedMemory(create=True, size=nbytes, name=f"{prefix}-state")
         _remember_segment(state.name)
         try:
-            scratch = SharedMemory(create=True, size=dim * 16, name=f"{prefix}-scratch")
+            scratch = SharedMemory(create=True, size=nbytes, name=f"{prefix}-scratch")
         except BaseException:
             _forget_segment(state.name)
             state.close()
             state.unlink()
             raise
         _remember_segment(scratch.name)
-        self._state, self._scratch, self._capacity = state, scratch, dim
+        self._state, self._scratch, self._capacity = state, scratch, nbytes
 
     def _ensure_control(self) -> SharedMemory:
         """The (tiny, lazily created) cancellation-control segment.
@@ -1013,7 +1019,7 @@ def shm_health() -> dict[str, int]:
             )
             respawns += pool._respawns
             barrier_aborts += pool._barrier_aborts
-            resident_bytes += pool._capacity * 16 * 2
+            resident_bytes += pool._capacity * 2
         except Exception:  # a pool mid-teardown; skip it rather than block
             continue
     return {

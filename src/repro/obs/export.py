@@ -59,6 +59,31 @@ _COUNTER_FIELDS = (
         "shm_barrier_aborts_total",
         "shm step barriers aborted during recovery",
     ),
+    (
+        "breaker_fallbacks",
+        "breaker_fallbacks_total",
+        "batches degraded off a tripped execution lane",
+    ),
+    (
+        "admission_rejected",
+        "admission_rejected_jobs_total",
+        "jobs resolved with AdmissionRejected",
+    ),
+    (
+        "admission_admitted",
+        "admission_admitted_total",
+        "admission tickets granted",
+    ),
+    (
+        "admission_rejected_tickets",
+        "admission_rejected_tickets_total",
+        "admission tickets refused (over budget or wait expired)",
+    ),
+    (
+        "admission_waited",
+        "admission_waited_total",
+        "granted admission tickets that queued for the budget",
+    ),
 )
 
 _GAUGE_FIELDS = (
@@ -72,7 +97,31 @@ _GAUGE_FIELDS = (
         "bytes resident in shared-memory amplitude segments",
     ),
     ("uptime_seconds", "uptime_seconds", "seconds since the service started"),
+    (
+        "admission_inflight_bytes",
+        "admission_inflight_bytes",
+        "bytes reserved by in-flight admission tickets",
+    ),
+    (
+        "admission_inflight_tickets",
+        "admission_inflight_tickets",
+        "admission tickets granted and not yet released",
+    ),
+    (
+        "admission_resident_bytes",
+        "admission_resident_bytes",
+        "bytes measured resident outside admission tickets",
+    ),
 )
+
+#: (snapshot state attribute, snapshot trips attribute, lane label)
+_BREAKER_FIELDS = (
+    ("breaker_state", "breaker_trips", "sharded"),
+    ("shm_breaker_state", "shm_breaker_trips", "shm"),
+)
+
+#: Breaker states as an enum gauge (healthy → degraded order).
+_BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
 
 _CACHE_FIELDS = ("hits", "partial_hits", "misses", "insertions", "top_ups", "evictions")
 _PLAN_CACHE_FIELDS = ("hits", "misses", "evictions")
@@ -98,6 +147,40 @@ def to_prometheus(
         emit(suffix, "counter", help_text, [("", float(getattr(snapshot, attr, 0)))])
     for attr, suffix, help_text in _GAUGE_FIELDS:
         emit(suffix, "gauge", help_text, [("", float(getattr(snapshot, attr, 0)))])
+
+    budget = getattr(snapshot, "admission_budget_bytes", None)
+    if budget is not None:
+        emit(
+            "admission_budget_bytes",
+            "gauge",
+            "admission memory budget (absent when accounting is disabled)",
+            [("", float(budget))],
+        )
+    emit(
+        "breaker_state",
+        "gauge",
+        "lane circuit-breaker state (0=closed, 1=half-open, 2=open)",
+        [
+            (
+                f'{{lane="{lane}"}}',
+                float(
+                    _BREAKER_STATE_VALUES.get(
+                        str(getattr(snapshot, state_attr, "closed")), 0
+                    )
+                ),
+            )
+            for state_attr, _, lane in _BREAKER_FIELDS
+        ],
+    )
+    emit(
+        "breaker_trips_total",
+        "counter",
+        "times each lane circuit breaker tripped open",
+        [
+            (f'{{lane="{lane}"}}', float(getattr(snapshot, trips_attr, 0)))
+            for _, trips_attr, lane in _BREAKER_FIELDS
+        ],
+    )
 
     depths = tuple(getattr(snapshot, "shard_queue_depths", ()) or ())
     if depths:
@@ -209,6 +292,22 @@ def to_json(
     for attr, suffix, _ in _COUNTER_FIELDS + _GAUGE_FIELDS:
         doc[attr] = getattr(snapshot, attr, 0)
     doc["shard_queue_depths"] = list(getattr(snapshot, "shard_queue_depths", ()) or ())
+    doc["admission"] = {
+        "budget_bytes": getattr(snapshot, "admission_budget_bytes", None),
+        "inflight_bytes": getattr(snapshot, "admission_inflight_bytes", 0),
+        "inflight_tickets": getattr(snapshot, "admission_inflight_tickets", 0),
+        "resident_bytes": getattr(snapshot, "admission_resident_bytes", 0),
+        "admitted": getattr(snapshot, "admission_admitted", 0),
+        "rejected": getattr(snapshot, "admission_rejected_tickets", 0),
+        "waited": getattr(snapshot, "admission_waited", 0),
+    }
+    doc["breakers"] = {
+        lane: {
+            "state": str(getattr(snapshot, state_attr, "closed")),
+            "trips": int(getattr(snapshot, trips_attr, 0)),
+        }
+        for state_attr, trips_attr, lane in _BREAKER_FIELDS
+    }
     for section in ("cache", "plan_cache"):
         stats = getattr(snapshot, section, None)
         if stats is not None:

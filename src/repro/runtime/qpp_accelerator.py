@@ -112,6 +112,9 @@ class QppAccelerator(Accelerator, Cloneable):
             self._local_backend.shm_pool = get_shared_state_pool(shm)
         else:
             self._local_backend.shm_pool = None
+        # Opt-in measured lane routing: consult the calibrated cost model
+        # per plan instead of the fixed shm-if-available policy.
+        self._local_backend.adaptive = bool(self.options.get("adaptive-lane", False))
         return self._local_backend
 
     # -- execution ------------------------------------------------------------------
@@ -135,6 +138,10 @@ class QppAccelerator(Accelerator, Cloneable):
         # measurement distribution; both are non-semantic job-key options).
         batch_diagonals = bool(self.options.get("batch-diagonals", True))
         chunk_threshold = self._option_int("chunk-threshold", default=None)
+        # Precision is *semantic*: complex64 replay changes the sampled
+        # distribution within the documented fidelity bound, so it
+        # participates in job keys and cache identity.
+        precision = str(self.options.get("precision", "double"))
 
         if use_plans:
             result = self.execution_backend().execute(
@@ -145,6 +152,7 @@ class QppAccelerator(Accelerator, Cloneable):
                 optimize=optimize,
                 batch_diagonals=batch_diagonals,
                 chunk_threshold=chunk_threshold,
+                precision=precision,
             )
             counts = result.counts
             information = {
@@ -155,6 +163,11 @@ class QppAccelerator(Accelerator, Cloneable):
                 "processes": result.shards if result.shards > 1 else 0,
             }
         else:
+            if precision not in ("double", "complex128", "fp64"):
+                raise AcceleratorError(
+                    "the gate-by-gate path (use-plans=False) evolves in "
+                    f"complex128 only; got precision={precision!r}"
+                )
             counts, information = self._execute_gate_by_gate(
                 buffer, circuit, shots, seed, optimize
             )

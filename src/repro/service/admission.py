@@ -30,20 +30,24 @@ from ..exceptions import AdmissionRejected
 
 __all__ = ["AdmissionController", "AdmissionTicket", "estimate_job_bytes"]
 
-#: Per-amplitude cost of a replay: complex128 state + equal-size scratch.
-_BYTES_PER_AMPLITUDE = 16 * 2
+#: Per-amplitude byte cost of a replay (state + equal-size scratch).
+_AMPLITUDE_ITEMSIZE = {"double": 16, "single": 8}
 
 
-def estimate_job_bytes(n_qubits: int, shots: int = 0) -> int:
+def estimate_job_bytes(
+    n_qubits: int, shots: int = 0, precision: str = "double"
+) -> int:
     """Working-set estimate for one job of ``n_qubits``.
 
-    Dominated by the amplitude buffers: ``2**n`` complex128 amplitudes,
+    Dominated by the amplitude buffers: ``2**n`` amplitudes in the job's
+    precision tier (complex128 by default, complex64 for ``"single"``),
     doubled for the ping-pong scratch.  Histogram output is bounded by
     ``shots`` distinct bitstrings and is usually noise, but it is counted
     so a million-shot job on a wide register is not free.
     """
+    itemsize = _AMPLITUDE_ITEMSIZE.get(str(precision), 16)
     amplitudes = 1 << max(0, int(n_qubits))
-    return amplitudes * _BYTES_PER_AMPLITUDE + int(shots) * 8
+    return amplitudes * itemsize * 2 + int(shots) * 8
 
 
 class AdmissionTicket:

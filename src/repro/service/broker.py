@@ -211,6 +211,34 @@ class QuantumJobService:
             failure_threshold=breaker_failure_threshold,
             cooldown_seconds=breaker_cooldown_seconds,
         )
+        #: Circuit breaker over the in-process shared-memory replay lane.
+        #: Wired into the (process-wide) pool when this broker runs the shm
+        #: lane in-process: worker deaths and segment-allocation failures
+        #: trip it, and large-state replays degrade to the fallback
+        #: engine's thread-pool sweep — identical amplitudes, no worker
+        #: processes — until a half-open probe proves the pool healthy.
+        self._shm_breaker = CircuitBreaker(
+            name=f"{name}-shm",
+            failure_threshold=breaker_failure_threshold,
+            cooldown_seconds=breaker_cooldown_seconds,
+        )
+        self._shm_fallback_engine = None
+        self._shm_pool = None
+        shm_workers = int(self.backend_options.get("shm-processes", 0) or 0)
+        if self._sharded is None and shm_workers > 1:
+            from ..exec.shm import get_shared_state_pool
+            from ..simulator.parallel_engine import ParallelSimulationEngine
+
+            pool = get_shared_state_pool(shm_workers)
+            self._shm_fallback_engine = ParallelSimulationEngine()
+            pool.breaker = self._shm_breaker
+            pool.fallback = self._shm_fallback_engine
+            self._shm_pool = pool
+        #: Precision tier every execution this broker dispatches runs at
+        #: ("double" = complex128, "single" = complex64).  Semantic: it is
+        #: part of the job key, so cached and freshly executed histograms
+        #: always agree on it.
+        self.precision = str(self.backend_options.get("precision", "double"))
         self._state_lock = threading.Lock()
         self._started = False
         self._shut_down = False
@@ -255,6 +283,18 @@ class QuantumJobService:
         finally:
             if self._sharded is not None:
                 self._sharded.close(wait=wait)
+            if self._shm_pool is not None:
+                # Detach this broker's breaker/fallback wiring from the
+                # process-wide pool so a later owner starts from a clean
+                # policy, then release the fallback engine's threads.
+                if self._shm_pool.breaker is self._shm_breaker:
+                    self._shm_pool.breaker = None
+                if self._shm_pool.fallback is self._shm_fallback_engine:
+                    self._shm_pool.fallback = None
+                self._shm_pool = None
+            if self._shm_fallback_engine is not None:
+                self._shm_fallback_engine.close()
+                self._shm_fallback_engine = None
 
     def __enter__(self) -> "QuantumJobService":
         return self.start()
@@ -525,7 +565,9 @@ class QuantumJobService:
         )
         try:
             target_shots = batch.target_shots
-            requested_bytes = estimate_job_bytes(spec.n_qubits, target_shots)
+            requested_bytes = estimate_job_bytes(
+                spec.n_qubits, target_shots, precision=self.precision
+            )
             with tracer.span(
                 "admission",
                 parent=ctx,
@@ -671,6 +713,7 @@ class QuantumJobService:
                             optimize=bool(self.backend_options.get("optimize", True)),
                             batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
                             chunk_threshold=None if chunk_threshold is None else int(chunk_threshold),  # type: ignore[arg-type]
+                            precision=self.precision,
                         )
                 except Exception as exc:
                     if not is_infrastructure_failure(exc):
@@ -749,6 +792,7 @@ class QuantumJobService:
         # LocalBackend lane).  Shard-hosted pools live inside shard worker
         # processes and report through their own process, not here.
         shm = shm_health()
+        admission = self._admission.snapshot()
         return self._metrics.snapshot(
             queue_depth=self._queue.depth(),
             active_workers=self._pool.alive_count(),
@@ -775,8 +819,15 @@ class QuantumJobService:
             shm_resident_bytes=shm["resident_bytes"],
             breaker_state=self._breaker.state,
             breaker_trips=self._breaker.trips,
-            admission_budget_bytes=self._admission.budget_bytes,
-            admission_inflight_bytes=self._admission.snapshot()["inflight_bytes"],
+            shm_breaker_state=self._shm_breaker.state,
+            shm_breaker_trips=self._shm_breaker.trips,
+            admission_budget_bytes=admission["budget_bytes"],
+            admission_inflight_bytes=admission["inflight_bytes"],
+            admission_inflight_tickets=admission["inflight_tickets"],
+            admission_resident_bytes=admission["resident_bytes"],
+            admission_admitted=admission["admitted"],
+            admission_rejected_tickets=admission["rejected"],
+            admission_waited=admission["waited"],
         )
 
     @property
@@ -787,6 +838,11 @@ class QuantumJobService:
     def breaker(self) -> CircuitBreaker:
         """The circuit breaker guarding the process-shard lane."""
         return self._breaker
+
+    @property
+    def shm_breaker(self) -> CircuitBreaker:
+        """The circuit breaker guarding the in-process shm replay lane."""
+        return self._shm_breaker
 
     @property
     def admission(self) -> AdmissionController:

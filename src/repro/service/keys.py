@@ -49,7 +49,15 @@ __all__ = ["job_key", "circuit_content_hash", "config_fingerprint"]
 #: may fail with DeadlineExceeded or AdmissionRejected under one setting
 #: and succeed under another — but never change the histogram a successful
 #: job returns, so a result produced under a tight deadline is perfectly
-#: reusable by a submission with a loose one.
+#: reusable by a submission with a loose one.  ``adaptive-lane`` only picks
+#: which execution lane replays the plan — every lane is bit-identical at a
+#: given precision — so it too stays out of the identity.
+#:
+#: ``"precision"`` is deliberately **not** listed: the complex64 tier
+#: changes the evolved amplitudes (within the documented fidelity bound)
+#: and therefore the sampled distribution, so it is semantic — a
+#: ``precision: "single"`` submission must never be served a complex128
+#: histogram or vice versa.
 _NON_SEMANTIC_OPTIONS = frozenset(
     {
         "threads",
@@ -58,6 +66,7 @@ _NON_SEMANTIC_OPTIONS = frozenset(
         "shm-processes",
         "batch-diagonals",
         "chunk-threshold",
+        "adaptive-lane",
         "deadline-seconds",
         "memory-budget-bytes",
         "admission-wait-seconds",

@@ -146,10 +146,26 @@ class MetricsSnapshot:
     breaker_state: str = "closed"
     #: Times the shard-lane breaker has tripped open since start (health).
     breaker_trips: int = 0
+    #: In-process shm-lane circuit-breaker state at snapshot time
+    #: ("closed" / "open" / "half-open"; "closed" when the lane is unused).
+    shm_breaker_state: str = "closed"
+    #: Times the shm-lane breaker has tripped open since start (health).
+    shm_breaker_trips: int = 0
     #: Admission memory budget (``None`` = accounting disabled).
     admission_budget_bytes: int | None = None
     #: Bytes reserved by in-flight admission tickets at snapshot time.
     admission_inflight_bytes: int = 0
+    #: Tickets currently granted and not yet released.
+    admission_inflight_tickets: int = 0
+    #: Bytes the admission controller measured resident outside tickets
+    #: (compiled plans, cached histograms, shm segments) at snapshot time.
+    admission_resident_bytes: int = 0
+    #: Tickets granted since start.
+    admission_admitted: int = 0
+    #: Tickets refused since start (budget exceeded or wait expired).
+    admission_rejected_tickets: int = 0
+    #: Granted tickets that had to queue before fitting the budget.
+    admission_waited: int = 0
     #: Seconds since the service started.
     uptime_seconds: float = 0.0
     #: Cache counter snapshot.
@@ -230,8 +246,15 @@ class ServiceMetrics:
         shm_resident_bytes: int = 0,
         breaker_state: str = "closed",
         breaker_trips: int = 0,
+        shm_breaker_state: str = "closed",
+        shm_breaker_trips: int = 0,
         admission_budget_bytes: int | None = None,
         admission_inflight_bytes: int = 0,
+        admission_inflight_tickets: int = 0,
+        admission_resident_bytes: int = 0,
+        admission_admitted: int = 0,
+        admission_rejected_tickets: int = 0,
+        admission_waited: int = 0,
     ) -> MetricsSnapshot:
         with self._lock:
             counts = dict(self._counts)
@@ -257,8 +280,15 @@ class ServiceMetrics:
             shm_resident_bytes=shm_resident_bytes,
             breaker_state=breaker_state,
             breaker_trips=breaker_trips,
+            shm_breaker_state=shm_breaker_state,
+            shm_breaker_trips=shm_breaker_trips,
             admission_budget_bytes=admission_budget_bytes,
             admission_inflight_bytes=admission_inflight_bytes,
+            admission_inflight_tickets=admission_inflight_tickets,
+            admission_resident_bytes=admission_resident_bytes,
+            admission_admitted=admission_admitted,
+            admission_rejected_tickets=admission_rejected_tickets,
+            admission_waited=admission_waited,
             uptime_seconds=uptime,
             cache=cache or CacheStats(),
             plan_cache=plan_cache or PlanCacheStats(),

@@ -31,7 +31,15 @@ __all__ = [
     "DEFAULT_KERNEL_COST_FACTORS",
     "DEFAULT_KERNEL_PARALLEL_EFFICIENCY",
     "DEFAULT_KERNEL_PROCESS_EFFICIENCY",
+    "EXECUTION_LANES",
 ]
+
+#: The execution lanes adaptive selection ranks.  ``serial`` is in-process
+#: single-threaded replay; ``threads`` is chunk-parallel replay on the
+#: engine's thread pool; ``shm`` is the shared-memory process lane;
+#: ``sharded`` is the process-sharded executor (wins only for trajectory
+#: fan-out, where shots split across workers).
+EXECUTION_LANES = ("serial", "threads", "shm", "sharded")
 
 #: Relative per-amplitude work of each compiled-plan kernel class, with a
 #: dense single-qubit update as 1.0.  Diagonal kernels touch each amplitude
@@ -176,6 +184,44 @@ class SimulationCostModel:
     #: states *lose* from process parallelism in the model, exactly as
     #: they do on hardware.
     shm_step_barrier_cost: float = 60.0
+    #: Fixed serial cost of handing a job to a sharded worker process
+    #: (pickle + queue round-trip).  Only the sharded lane pays it, which
+    #: is what keeps single-state jobs off that lane in adaptive selection
+    #: unless trajectory fan-out amortises it.
+    sharded_dispatch_cost: float = 500.0
+
+    @classmethod
+    def from_profile(cls, profile) -> "SimulationCostModel":
+        """Build a model from a measured :class:`~repro.calibrate.CalibrationProfile`.
+
+        Any constant the profile does not carry (``None`` or missing) keeps
+        its hand-set default, and the per-kernel tables are merged over the
+        defaults so a partial calibration (e.g. the shm lane unavailable on
+        a 1-core host) still yields a complete model.  Accepts anything with
+        the profile's attribute shape, so tests can pass a stub.
+        """
+        kwargs: dict = {}
+        for name in (
+            "amplitude_update_cost",
+            "plan_step_dispatch_cost",
+            "shm_step_barrier_cost",
+            "sharded_dispatch_cost",
+            "chunk_threshold",
+        ):
+            value = getattr(profile, name, None)
+            if value is not None:
+                kwargs[name] = type(cls.__dataclass_fields__[name].default)(value)
+        for name, defaults in (
+            ("kernel_cost_factors", DEFAULT_KERNEL_COST_FACTORS),
+            ("kernel_parallel_efficiency", DEFAULT_KERNEL_PARALLEL_EFFICIENCY),
+            ("kernel_process_efficiency", DEFAULT_KERNEL_PROCESS_EFFICIENCY),
+        ):
+            table = getattr(profile, name, None)
+            if table:
+                merged = dict(defaults)
+                merged.update({str(k): float(v) for k, v in dict(table).items()})
+                kwargs[name] = merged
+        return cls(**kwargs)
 
     def gate_cost(self, n_qubits: int, gate_qubits: int) -> float:
         """Parallelisable work of one gate application on an ``n_qubits`` state."""
@@ -289,3 +335,60 @@ class SimulationCostModel:
         serial += shots * self.shot_cost
         locked += shots * self.shot_locked_cost
         return CircuitCost(parallel_work=parallel, serial_work=serial, locked_work=locked)
+
+    # -- adaptive lane selection -----------------------------------------------------
+    def predicted_units(self, cost: CircuitCost, workers: int) -> float:
+        """Wall-clock estimate (abstract units) of ``cost`` on ``workers``:
+        serial and locked work never overlap, parallel work divides."""
+        workers = max(1, int(workers))
+        return cost.serial_work + cost.locked_work + cost.parallel_work / workers
+
+    def lane_costs(
+        self,
+        plan,
+        shots: int,
+        *,
+        threads: int = 1,
+        shm_workers: int = 0,
+        shards: int = 0,
+    ) -> dict[str, float]:
+        """Predicted wall-clock units of replaying ``plan`` on each available lane.
+
+        ``serial`` is always present; ``threads``/``shm``/``sharded`` appear
+        only when the corresponding worker count makes the lane viable
+        (> 1).  The sharded lane only divides work for trajectory plans
+        (shots fan out across processes); a single-state replay runs whole
+        on one shard and just pays the dispatch overhead on top of serial.
+        """
+        costs: dict[str, float] = {}
+        chunked = self.plan_cost(plan, shots, chunked=True)
+        costs["serial"] = chunked.total_work
+        if threads > 1:
+            costs["threads"] = self.predicted_units(chunked, threads)
+        if shm_workers > 1:
+            shm = self.plan_cost(plan, shots, processes=shm_workers)
+            costs["shm"] = self.predicted_units(shm, shm_workers)
+        if shards > 1:
+            if getattr(plan, "has_reset", False):
+                costs["sharded"] = (
+                    self.predicted_units(chunked, shards) + self.sharded_dispatch_cost
+                )
+            else:
+                costs["sharded"] = chunked.total_work + self.sharded_dispatch_cost
+        return costs
+
+    def choose_lane(
+        self,
+        plan,
+        shots: int,
+        *,
+        threads: int = 1,
+        shm_workers: int = 0,
+        shards: int = 0,
+    ) -> str:
+        """The predicted-cheapest lane name for ``plan`` (ties prefer the
+        earlier entry in :data:`EXECUTION_LANES`, i.e. the simpler lane)."""
+        costs = self.lane_costs(
+            plan, shots, threads=threads, shm_workers=shm_workers, shards=shards
+        )
+        return min(costs, key=lambda lane: (costs[lane], EXECUTION_LANES.index(lane)))

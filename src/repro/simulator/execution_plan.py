@@ -68,9 +68,13 @@ __all__ = [
     "PlanStep",
     "compile_plan",
     "compile_parametric_plan",
+    "resolve_precision",
+    "precision_dtype",
     "DEFAULT_FUSION_MAX_QUBITS",
     "DEFAULT_CHUNK_THRESHOLD",
     "DEFAULT_DIAGONAL_BATCH_MAX_QUBITS",
+    "DEFAULT_PRECISION",
+    "PRECISION_DTYPES",
 ]
 
 
@@ -130,6 +134,47 @@ DEFAULT_CHUNK_THRESHOLD = 1 << 16
 #: product diagonal holds ``2**k`` entries and the strided kernel issues up
 #: to that many slice multiplies, so the cap bounds both).
 DEFAULT_DIAGONAL_BATCH_MAX_QUBITS = 6
+
+#: Amplitude precision tiers.  ``"double"`` (complex128) is the bit-exact
+#: reference every identity guarantee is stated against; ``"single"``
+#: (complex64) halves amplitude bytes — and therefore the memory bandwidth
+#: that bounds big-state replay — at the cost of ~1e-7 per-operation
+#: rounding (≤1e-4 accumulated deviation on the benchmark suite).
+#: Precision is a *compile* option: it is baked into the plan's buffers and
+#: kernel payloads, participates in every plan-cache key, and — unlike the
+#: lane/threading knobs — is **semantic** for job identity (it changes the
+#: amplitudes a job produces).
+PRECISION_DTYPES = {"double": np.complex128, "single": np.complex64}
+DEFAULT_PRECISION = "double"
+
+#: Accepted spellings per tier (the backend option surface is stringly).
+_PRECISION_ALIASES = {
+    "double": "double",
+    "complex128": "double",
+    "fp64": "double",
+    "single": "single",
+    "complex64": "single",
+    "fp32": "single",
+}
+
+
+def resolve_precision(precision: object) -> str:
+    """Normalise a precision spelling to ``"double"`` / ``"single"``."""
+    if precision is None:
+        return DEFAULT_PRECISION
+    key = str(precision).strip().lower()
+    tier = _PRECISION_ALIASES.get(key)
+    if tier is None:
+        raise ExecutionError(
+            f"unknown precision {precision!r}; expected one of "
+            f"{sorted(set(_PRECISION_ALIASES))}"
+        )
+    return tier
+
+
+def precision_dtype(precision: object) -> np.dtype:
+    """The numpy complex dtype for a precision tier spelling."""
+    return np.dtype(PRECISION_DTYPES[resolve_precision(precision)])
 
 #: Gates realised as pure amplitude moves (never fused: moving is cheaper
 #: than any arithmetic a fused block would do).
@@ -244,7 +289,11 @@ class PlanStep:
             self.m10 = complex(payload[1, 0])
             self.m11 = complex(payload[1, 1])
         else:  # dense fallback
-            self.matrix = np.ascontiguousarray(matrix, dtype=complex)
+            # Keep the step's compiled dtype: a single-precision plan's
+            # dense payloads stay complex64 across rebinds.
+            previous = getattr(self, "matrix", None)
+            dtype = previous.dtype if isinstance(previous, np.ndarray) else complex
+            self.matrix = np.ascontiguousarray(matrix, dtype=dtype)
 
     def __repr__(self) -> str:
         return f"PlanStep({self.kernel}, {self.name}, targets={self.targets})"
@@ -276,6 +325,7 @@ class ExecutionPlan:
         batched_diagonals: int = 0,
         chunk_threshold: int | None = None,
         requires_binding: bool = False,
+        precision: str = DEFAULT_PRECISION,
     ):
         self.n_qubits = int(n_qubits)
         self.name = name
@@ -293,6 +343,10 @@ class ExecutionPlan:
         self.chunk_threshold = (
             DEFAULT_CHUNK_THRESHOLD if chunk_threshold is None else int(chunk_threshold)
         )
+        #: Amplitude precision tier ("double" = complex128, "single" =
+        #: complex64); :attr:`dtype` is the matching numpy dtype.
+        self.precision = resolve_precision(precision)
+        self.dtype = np.dtype(PRECISION_DTYPES[self.precision])
         self._steps = tuple(steps)
         self._parametric_steps = tuple(s for s in self._steps if s.parametric is not None)
         self._shape = (2,) * self.n_qubits
@@ -371,15 +425,15 @@ class ExecutionPlan:
 
     # -- execution -----------------------------------------------------------
     def new_state(self) -> np.ndarray:
-        """A fresh |0...0> amplitude array of the plan's width."""
-        data = np.zeros(self._dim, dtype=complex)
+        """A fresh |0...0> amplitude array in the plan's width and dtype."""
+        data = np.zeros(self._dim, dtype=self.dtype)
         data[0] = 1.0
         return data
 
     def _scratch(self) -> np.ndarray:
         spare = getattr(self._tls, "spare", None)
-        if spare is None or spare.size != self._dim:
-            spare = np.empty(self._dim, dtype=complex)
+        if spare is None or spare.size != self._dim or spare.dtype != self.dtype:
+            spare = np.empty(self._dim, dtype=self.dtype)
         return spare
 
     def execute(
@@ -417,8 +471,8 @@ class ExecutionPlan:
                 f"state of shape {data.shape} does not match the plan's "
                 f"{self.n_qubits} qubit(s)"
             )
-        if data.dtype != np.complex128 or not data.flags.c_contiguous:
-            data = np.ascontiguousarray(data, dtype=complex)
+        if data.dtype != self.dtype or not data.flags.c_contiguous:
+            data = np.ascontiguousarray(data, dtype=self.dtype)
         if pool is not None and self._dim >= self.chunk_threshold:
             replay = getattr(pool, "replay_plan", None)
             if replay is not None:
@@ -673,6 +727,14 @@ class ParametricExecutionPlan:
         return self._template.chunk_threshold
 
     @property
+    def precision(self) -> str:
+        return self._template.precision
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._template.dtype
+
+    @property
     def template_steps(self) -> tuple[PlanStep, ...]:
         """The unbound step sequence (for introspection/cost modelling)."""
         return self._template.steps
@@ -705,6 +767,7 @@ class ParametricExecutionPlan:
                 batched_diagonals=template.batched_diagonals,
                 chunk_threshold=template.chunk_threshold,
                 requires_binding=True,
+                precision=template.precision,
             )
             # Provenance carries over so a bound plan can still be shipped
             # (recompiled + rebound) by the shared-memory process pool.
@@ -1080,6 +1143,7 @@ def compile_plan(
     fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
+    precision: str = DEFAULT_PRECISION,
 ) -> ExecutionPlan:
     """Lower a bound circuit into an :class:`ExecutionPlan`.
 
@@ -1093,7 +1157,10 @@ def compile_plan(
     gate-by-gate path is required).  ``chunk_threshold`` sets the minimum
     state size for chunk-parallel replay (``None`` uses
     :data:`DEFAULT_CHUNK_THRESHOLD`; it never changes results, only how
-    ``execute(pool=...)`` schedules them).
+    ``execute(pool=...)`` schedules them).  ``precision`` selects the
+    amplitude dtype (``"double"``/``"single"``); unlike the other knobs it
+    *changes results* (within the documented fidelity bound) and is part
+    of the plan's identity.
     """
     if circuit.is_parameterized:
         raise ExecutionError(
@@ -1107,6 +1174,7 @@ def compile_plan(
         fusion_max_qubits=fusion_max_qubits,
         batch_diagonals=batch_diagonals,
         chunk_threshold=chunk_threshold,
+        precision=precision,
     )
 
 
@@ -1118,6 +1186,7 @@ def compile_parametric_plan(
     fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
+    precision: str = DEFAULT_PRECISION,
 ) -> ParametricExecutionPlan:
     """Compile a symbolic circuit once; re-bind rotation matrices per call.
 
@@ -1136,6 +1205,7 @@ def compile_parametric_plan(
         fusion_max_qubits=fusion_max_qubits,
         batch_diagonals=batch_diagonals,
         chunk_threshold=chunk_threshold,
+        precision=precision,
         requires_binding=True,
     )
     return ParametricExecutionPlan(template, names)
@@ -1149,8 +1219,10 @@ def _compile(
     fusion_max_qubits: int,
     batch_diagonals: bool = True,
     chunk_threshold: int | None = None,
+    precision: str = DEFAULT_PRECISION,
     requires_binding: bool = False,
 ) -> ExecutionPlan:
+    precision = resolve_precision(precision)
     width = max(circuit.n_qubits, 1 if n_qubits is None else int(n_qubits), 1)
     if circuit.n_qubits > width:
         raise ExecutionError(
@@ -1181,6 +1253,19 @@ def _compile(
     if batch_diagonals:
         steps, batched_diagonals = _batch_diagonal_steps(steps, width)
 
+    if precision == "single":
+        # Downcast the ndarray kernel payloads so the hot sweeps move half
+        # the bytes; scalar payloads stay Python complex (NumPy's weak
+        # scalar promotion keeps complex64 arrays complex64 under them).
+        dtype = PRECISION_DTYPES["single"]
+        for step in steps:
+            matrix = getattr(step, "matrix", None)
+            if isinstance(matrix, np.ndarray):
+                step.matrix = np.ascontiguousarray(matrix, dtype=dtype)
+            diag_nd = getattr(step, "diag_nd", None)
+            if isinstance(diag_nd, np.ndarray):
+                step.diag_nd = np.ascontiguousarray(diag_nd, dtype=dtype)
+
     plan = ExecutionPlan(
         width,
         steps,
@@ -1193,6 +1278,7 @@ def _compile(
         batched_diagonals=batched_diagonals,
         chunk_threshold=chunk_threshold,
         requires_binding=requires_binding,
+        precision=precision,
     )
     # Recorded so the shared-memory pool can ship the *source* circuit by
     # content hash and have every worker compile a bitwise-identical plan
@@ -1203,6 +1289,7 @@ def _compile(
         "fusion_max_qubits": int(fusion_max_qubits),
         "batch_diagonals": bool(batch_diagonals),
         "chunk_threshold": chunk_threshold,
+        "precision": precision,
     }
     return plan
 

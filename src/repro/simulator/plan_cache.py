@@ -27,10 +27,12 @@ from ..testing import faults
 from .execution_plan import (
     DEFAULT_CHUNK_THRESHOLD,
     DEFAULT_FUSION_MAX_QUBITS,
+    DEFAULT_PRECISION,
     ExecutionPlan,
     ParametricExecutionPlan,
     compile_parametric_plan,
     compile_plan,
+    resolve_precision,
 )
 
 __all__ = [
@@ -102,6 +104,7 @@ class PlanCache:
         fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> tuple[ExecutionPlan | ParametricExecutionPlan, bool]:
         """Return ``(plan, was_cache_hit)`` for ``circuit``.
 
@@ -109,12 +112,14 @@ class PlanCache:
         same key the first insertion wins so every caller shares one plan.
         All compile options participate in the key — ``chunk_threshold``
         never changes results, but it is baked into the compiled plan, so
-        distinct thresholds must not share an entry.
+        distinct thresholds must not share an entry; ``precision`` *does*
+        change results (complex64 plans hold complex64 payloads).
         """
         width = max(circuit.n_qubits, 1 if n_qubits is None else int(n_qubits), 1)
         threshold = (
             DEFAULT_CHUNK_THRESHOLD if chunk_threshold is None else int(chunk_threshold)
         )
+        precision = resolve_precision(precision)
         key = (
             cached_content_hash(circuit),
             width,
@@ -122,6 +127,7 @@ class PlanCache:
             int(fusion_max_qubits),
             bool(batch_diagonals),
             threshold,
+            precision,
         )
         with self._lock:
             plan = self._entries.get(key)
@@ -142,6 +148,7 @@ class PlanCache:
                     fusion_max_qubits=fusion_max_qubits,
                     batch_diagonals=batch_diagonals,
                     chunk_threshold=threshold,
+                    precision=precision,
                 )
             else:
                 plan = compile_plan(
@@ -151,6 +158,7 @@ class PlanCache:
                     fusion_max_qubits=fusion_max_qubits,
                     batch_diagonals=batch_diagonals,
                     chunk_threshold=threshold,
+                    precision=precision,
                 )
         with self._lock:
             existing = self._entries.get(key)
@@ -172,6 +180,7 @@ class PlanCache:
         fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
     ) -> ExecutionPlan | ParametricExecutionPlan:
         """Like :meth:`lookup_or_compile` but returns only the plan."""
         plan, _ = self.lookup_or_compile(
@@ -181,6 +190,7 @@ class PlanCache:
             fusion_max_qubits=fusion_max_qubits,
             batch_diagonals=batch_diagonals,
             chunk_threshold=chunk_threshold,
+            precision=precision,
         )
         return plan
 

@@ -25,7 +25,12 @@ __all__ = ["StateVector"]
 class StateVector:
     """Dense simulation of an ``n_qubits``-qubit pure state."""
 
-    def __init__(self, n_qubits: int, data: np.ndarray | None = None):
+    def __init__(
+        self,
+        n_qubits: int,
+        data: np.ndarray | None = None,
+        dtype: np.dtype | type | str | None = None,
+    ):
         if n_qubits < 1:
             raise ExecutionError(f"n_qubits must be at least 1, got {n_qubits}")
         if n_qubits > 26:
@@ -34,22 +39,30 @@ class StateVector:
                 "(exceeds the 26-qubit memory guard)"
             )
         self.n_qubits = int(n_qubits)
+        dtype = np.dtype(complex if dtype is None else dtype)
+        if dtype.kind != "c":
+            raise ExecutionError(
+                f"state dtype must be complex (complex64/complex128), got {dtype}"
+            )
         #: Recycled scratch for dense gate application (ping-pong buffer:
         #: the previous amplitude array once a dense gate produced a new
         #: one), so long gate-by-gate runs allocate at most one extra state.
         self._spare: np.ndarray | None = None
         dim = 1 << self.n_qubits
         if data is None:
-            self._data = np.zeros(dim, dtype=complex)
+            self._data = np.zeros(dim, dtype=dtype)
             self._data[0] = 1.0
         else:
-            data = np.asarray(data, dtype=complex).reshape(-1)
+            data = np.asarray(data, dtype=dtype).reshape(-1)
             if data.size != dim:
                 raise ExecutionError(
                     f"state of length {data.size} does not match {n_qubits} qubit(s)"
                 )
             norm = np.linalg.norm(data)
-            if not np.isclose(norm, 1.0, atol=1e-8):
+            # complex64 inputs accumulate ~1e-7 per-amplitude rounding, so
+            # the normalisation tolerance scales with the dtype.
+            atol = 1e-8 if dtype.itemsize == 16 else 1e-5
+            if not np.isclose(norm, 1.0, atol=atol):
                 raise ExecutionError(f"state vector is not normalised (norm={norm:.6g})")
             self._data = data.copy()
 
@@ -62,6 +75,11 @@ class StateVector:
     @property
     def dim(self) -> int:
         return self._data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Amplitude dtype (tracks the array, so plan replay can retier it)."""
+        return self._data.dtype
 
     def copy(self) -> "StateVector":
         clone = StateVector.__new__(StateVector)
@@ -193,7 +211,8 @@ class StateVector:
         from .plan_cache import get_plan_cache
 
         cache = plan_cache if plan_cache is not None else get_plan_cache()
-        plan = cache.get_or_compile(circuit, n_qubits=self.n_qubits)
+        precision = "single" if self._data.dtype == np.dtype(np.complex64) else "double"
+        plan = cache.get_or_compile(circuit, n_qubits=self.n_qubits, precision=precision)
         if plan.is_parametric:
             if parameter_values is None:
                 raise ExecutionError(

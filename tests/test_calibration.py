@@ -1,0 +1,214 @@
+"""Calibration profiles: persistence, fingerprint gating, model construction.
+
+The contract: a persisted profile round-trips losslessly; a profile from a
+different host or an older schema must *never* steer the cost model (warn,
+fall back to the hand-set defaults); a partial profile (1-core host: no
+thread/shm measurements) merges over the defaults into a complete model;
+and the harness itself produces a usable profile on any host.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.calibrate import (
+    KERNEL_KINDS,
+    PROFILE_VERSION,
+    CalibrationError,
+    CalibrationProfile,
+    host_fingerprint,
+    kernel_microbench_circuit,
+    load_calibrated_model,
+    run_calibration,
+)
+from repro.simulator.cost_model import (
+    DEFAULT_KERNEL_COST_FACTORS,
+    EXECUTION_LANES,
+    SimulationCostModel,
+)
+from repro.simulator.execution_plan import compile_plan
+
+
+def make_profile(**overrides) -> CalibrationProfile:
+    base = dict(
+        created="2026-08-08T00:00:00Z",
+        seconds_per_unit=2.5e-9,
+        kernel_cost_factors={"single": 1.0, "diagonal": 0.3, "dense": 1.4},
+        kernel_parallel_efficiency={"single": 0.9},
+        plan_step_dispatch_cost=40.0,
+        shm_step_barrier_cost=75.0,
+        chunk_threshold=1 << 14,
+        recommended_threads=4,
+        measurements={"quick": True},
+    )
+    base.update(overrides)
+    return CalibrationProfile(**base)
+
+
+class TestPersistence:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        profile = make_profile()
+        target = profile.save(tmp_path / "cal.json")
+        loaded = CalibrationProfile.load(target)
+        assert loaded == profile
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        target = make_profile().save(tmp_path / "deep" / "nested" / "cal.json")
+        assert target.exists()
+
+    def test_stale_schema_version_is_rejected(self, tmp_path):
+        target = make_profile(version=PROFILE_VERSION + 1).save(tmp_path / "cal.json")
+        with pytest.raises(CalibrationError, match="schema version"):
+            CalibrationProfile.load(target)
+
+    def test_malformed_json_is_rejected_typed(self, tmp_path):
+        target = tmp_path / "cal.json"
+        target.write_text("{not json")
+        with pytest.raises(CalibrationError, match="malformed"):
+            CalibrationProfile.load(target)
+
+    def test_unknown_keys_are_ignored_for_forward_compat(self, tmp_path):
+        target = make_profile().save(tmp_path / "cal.json")
+        payload = json.loads(target.read_text())
+        payload["some_future_field"] = {"x": 1}
+        target.write_text(json.dumps(payload))
+        loaded = CalibrationProfile.load(target)
+        assert loaded.seconds_per_unit == pytest.approx(2.5e-9)
+
+
+class TestLoadCalibratedModel:
+    def test_matching_profile_steers_the_model(self, tmp_path):
+        target = make_profile().save(tmp_path / "cal.json")
+        model = load_calibrated_model(target)
+        assert model.plan_step_dispatch_cost == 40.0
+        assert model.chunk_threshold == 1 << 14
+        assert model.kernel_cost_factors["diagonal"] == 0.3
+
+    def test_missing_file_falls_back_silently(self, tmp_path):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            model = load_calibrated_model(tmp_path / "absent.json")
+        assert model == SimulationCostModel()
+
+    def test_fingerprint_mismatch_warns_and_keeps_defaults(self, tmp_path):
+        foreign = dict(host_fingerprint())
+        foreign["cpu_count"] = (foreign["cpu_count"] or 1) + 64
+        target = make_profile(fingerprint=foreign).save(tmp_path / "cal.json")
+        with pytest.warns(RuntimeWarning, match="different host"):
+            model = load_calibrated_model(target)
+        assert model == SimulationCostModel()
+
+    def test_stale_version_warns_and_keeps_defaults(self, tmp_path):
+        target = make_profile(version=PROFILE_VERSION + 3).save(tmp_path / "cal.json")
+        with pytest.warns(RuntimeWarning, match="schema version"):
+            model = load_calibrated_model(target)
+        assert model == SimulationCostModel()
+
+    def test_malformed_file_warns_and_keeps_defaults(self, tmp_path):
+        target = tmp_path / "cal.json"
+        target.write_text("not json at all")
+        with pytest.warns(RuntimeWarning, match="ignoring calibration profile"):
+            model = load_calibrated_model(target)
+        assert model == SimulationCostModel()
+
+
+class TestFromProfile:
+    def test_partial_profile_merges_over_defaults(self):
+        profile = make_profile(
+            kernel_cost_factors={"dense": 9.9},
+            kernel_parallel_efficiency={},
+            plan_step_dispatch_cost=None,
+        )
+        model = SimulationCostModel.from_profile(profile)
+        # Measured constants land...
+        assert model.kernel_cost_factors["dense"] == 9.9
+        assert model.shm_step_barrier_cost == 75.0
+        # ...unmeasured ones keep their hand-set defaults.
+        assert model.kernel_cost_factors["reset"] == DEFAULT_KERNEL_COST_FACTORS["reset"]
+        defaults = SimulationCostModel()
+        assert model.plan_step_dispatch_cost == defaults.plan_step_dispatch_cost
+        assert model.kernel_parallel_efficiency == defaults.kernel_parallel_efficiency
+
+    def test_empty_profile_is_the_default_model(self):
+        model = SimulationCostModel.from_profile(CalibrationProfile())
+        assert model == SimulationCostModel()
+
+
+class TestHarness:
+    def test_quick_calibration_measures_serial_factors(self, tmp_path):
+        profile = run_calibration(
+            quick=True, include_threads=False, include_shm=False,
+            profile_path=tmp_path / "cal.json",
+        )
+        assert profile.matches_host()
+        assert profile.seconds_per_unit is not None and profile.seconds_per_unit > 0
+        assert profile.kernel_cost_factors["single"] == 1.0
+        assert set(profile.kernel_cost_factors) == set(KERNEL_KINDS)
+        assert all(f > 0 for f in profile.kernel_cost_factors.values())
+        # The persisted profile reconstructs an equivalent model.
+        model = load_calibrated_model(tmp_path / "cal.json")
+        assert model.kernel_cost_factors["dense"] == profile.kernel_cost_factors["dense"]
+
+    @pytest.mark.parametrize("kind", KERNEL_KINDS)
+    def test_microbench_circuits_lower_to_their_own_kernel(self, kind):
+        plan = compile_plan(
+            kernel_microbench_circuit(kind, 6), 6,
+            optimize=False, batch_diagonals=False,
+        )
+        kernels = {step.kernel for step in plan.steps}
+        assert kernels == {kind}
+
+
+class TestLaneSelection:
+    def _plan(self, n=8, steps=6):
+        from repro.ir.builder import CircuitBuilder
+
+        builder = CircuitBuilder(n, name=f"lane-{n}-{steps}")
+        for i in range(steps):
+            builder.rx(i % n, 0.1 + 0.01 * i)  # non-cancelling: plan keeps every step
+        return compile_plan(builder.build(), n, optimize=False)
+
+    def test_serial_host_chooses_serial(self):
+        model = SimulationCostModel()
+        plan = self._plan()
+        assert model.choose_lane(plan, 100, threads=1, shm_workers=0) == "serial"
+
+    def test_lane_costs_only_lists_viable_lanes(self):
+        model = SimulationCostModel()
+        plan = self._plan()
+        costs = model.lane_costs(plan, 100, threads=4, shm_workers=2, shards=2)
+        assert set(costs) == {"serial", "threads", "shm", "sharded"}
+        assert set(model.lane_costs(plan, 100)) == {"serial"}
+        assert all(lane in EXECUTION_LANES for lane in costs)
+
+    def test_threads_win_on_large_states(self):
+        model = SimulationCostModel(chunk_threshold=1 << 4)
+        plan = self._plan(n=12, steps=24)
+        choice = model.choose_lane(plan, 0, threads=8, shm_workers=0)
+        assert choice == "threads"
+
+    def test_barrier_cost_keeps_shm_off_small_states(self):
+        model = SimulationCostModel(chunk_threshold=1 << 4)
+        plan = self._plan(n=6, steps=24)
+        costs = model.lane_costs(plan, 0, threads=1, shm_workers=4)
+        assert costs["serial"] <= costs["shm"]
+
+    def test_choice_is_deterministic(self):
+        model = SimulationCostModel()
+        plan = self._plan(n=10, steps=12)
+        choices = {
+            model.choose_lane(plan, 256, threads=4, shm_workers=2, shards=2)
+            for _ in range(20)
+        }
+        assert len(choices) == 1
+
+
+class TestFingerprint:
+    def test_fingerprint_identifies_this_host(self):
+        fp = host_fingerprint()
+        assert fp["cpu_count"] >= 1
+        assert fp["numpy"] == np.__version__
+        assert CalibrationProfile().matches_host()

@@ -441,6 +441,72 @@ class TestShmLane:
 
 
 # ---------------------------------------------------------------------------
+# Density / noisy lane.  In-process like the local lane, so "kill" is
+# excluded by construction; the fault site sits between the pre-evolution
+# cancellation check and the matrix evolution itself.
+# ---------------------------------------------------------------------------
+
+DENSITY_CASES = [
+    pytest.param(
+        "slow",
+        [FaultSpec(site="density.execute", action="slow", seconds=0.4)],
+        0.15,
+        DeadlineExceeded,
+        id="density-slow-deadline",
+    ),
+    pytest.param(
+        "alloc",
+        [
+            FaultSpec(
+                site="density.execute", action="fail", kind="memory", times=None
+            )
+        ],
+        None,
+        MemoryError,
+        id="density-alloc-fail",
+    ),
+]
+
+
+def _noisy_density_backend():
+    from repro.exec.backend import DensityBackend
+    from repro.simulator.noise import NoiseModel, depolarizing_channel
+
+    return DensityBackend(
+        NoiseModel(default_single_qubit=depolarizing_channel(0.02))
+    )
+
+
+class TestDensityLane:
+    @pytest.mark.parametrize("tag, specs, deadline, expect", DENSITY_CASES)
+    def test_density_fault(self, tag, specs, deadline, expect):
+        circuit = chaos_circuit(f"den_{tag}")
+        backend = _noisy_density_backend()
+        expected = backend.execute(circuit, 64, seed=7).counts
+        install_faults(specs)
+        token = CancelToken(timeout=deadline) if deadline else CancelToken()
+        with pytest.raises(expect):
+            with cancel_scope(token):
+                backend.execute(circuit, 64, seed=7)
+        clear_faults()
+        # Clean failure: the lane serves the next job untouched.
+        assert backend.execute(circuit, 64, seed=7).counts == expected
+
+    def test_density_cancelled_before_evolution(self):
+        from repro.exceptions import JobCancelled
+
+        circuit = chaos_circuit("den_cancel")
+        backend = _noisy_density_backend()
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(JobCancelled):
+            with cancel_scope(token):
+                backend.execute(circuit, 64, seed=7)
+        # A dead token never reaches the simulator; a fresh one does.
+        assert backend.execute(circuit, 64, seed=7).counts
+
+
+# ---------------------------------------------------------------------------
 # Trace trees under chaos
 # ---------------------------------------------------------------------------
 

@@ -37,7 +37,14 @@ def main(argv=None) -> int:
     path = args.output if args.output is not None else default_profile_path()
 
     if args.show:
-        print(CalibrationProfile.load(path).to_json())
+        profile = CalibrationProfile.load(path)
+        print(profile.to_json())
+        age = profile.age_days()
+        print(
+            "profile age: "
+            + (f"{age:.1f} days" if age is not None else "unknown (undated)"),
+            file=sys.stderr,
+        )
         return 0
 
     profile = run_calibration(

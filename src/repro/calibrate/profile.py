@@ -16,6 +16,7 @@ profile.
 
 from __future__ import annotations
 
+import calendar
 import json
 import os
 import platform
@@ -105,6 +106,22 @@ class CalibrationProfile:
         """Whether this profile was measured on (a host identical to) this one."""
         return dict(self.fingerprint) == host_fingerprint()
 
+    def age_days(self) -> float | None:
+        """Days since this profile was measured (``None`` when undated).
+
+        Pre-TTL profiles (empty ``created``) and unparsable timestamps
+        return ``None`` — age-gating skips them rather than guessing.
+        """
+        if not self.created:
+            return None
+        try:
+            measured = calendar.timegm(
+                time.strptime(self.created, "%Y-%m-%dT%H:%M:%SZ")
+            )
+        except (ValueError, OverflowError):
+            return None
+        return max(0.0, (time.time() - measured) / 86400.0)
+
     # -- persistence ---------------------------------------------------------
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2, sort_keys=True)
@@ -142,14 +159,19 @@ class CalibrationProfile:
         return cls(**kwargs)
 
 
-def load_calibrated_model(path: str | Path | None = None):
+def load_calibrated_model(
+    path: str | Path | None = None, max_age_days: float = 30.0
+):
     """A :class:`~repro.simulator.cost_model.SimulationCostModel` for this host.
 
     Loads the persisted profile and builds the model from it.  Falls back
     to the hand-set defaults — with a warning naming the reason — when the
-    profile is missing, stale, malformed, or was measured on a different
-    host (fingerprint mismatch).  Never raises: callers on the job-serving
-    path must not fail because calibration state is absent.
+    profile is missing, stale, malformed, was measured on a different host
+    (fingerprint mismatch), or is older than ``max_age_days`` (hosts drift:
+    kernel/numpy upgrades and thermal re-pasting both move the measured
+    ratios, so a months-old profile steers worse than the defaults).
+    Undated profiles skip the age check.  Never raises: callers on the
+    job-serving path must not fail because calibration state is absent.
     """
     from ..simulator.cost_model import SimulationCostModel
 
@@ -168,6 +190,16 @@ def load_calibrated_model(path: str | Path | None = None):
             f"calibration profile {source} was measured on a different host "
             f"(profile {profile.fingerprint} vs host {host_fingerprint()}); "
             "using default cost-model constants — re-run `python -m repro.calibrate`",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return SimulationCostModel()
+    age = profile.age_days()
+    if max_age_days is not None and age is not None and age > max_age_days:
+        warnings.warn(
+            f"calibration profile {source} is {age:.1f} days old "
+            f"(max {max_age_days:g}); using default cost-model constants — "
+            "re-run `python -m repro.calibrate`",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -68,6 +68,12 @@ class ObjectiveFunction:
         #: ``exact=True`` evaluates expectations from the state vector
         #: (noise-free); sampling mode uses the thread's QPU.
         self.exact = bool(options.pop("exact", True))
+        #: Optional :class:`~repro.service.broker.QuantumJobService`: when
+        #: set (and the ansatz is a symbolic parametric circuit),
+        #: parameter-shift gradients ship as ONE ``2·P``-binding expectation
+        #: sweep through the service — compile-once, fanned across its
+        #: execution lanes — instead of ``2·P`` serial evaluations here.
+        self.service = options.pop("service", None)
         self.options = options
 
         self._ansatz_callable: Callable[..., CompositeInstruction] | None
@@ -161,6 +167,20 @@ class ObjectiveFunction:
                 f"expected {self.n_parameters} parameter(s), got {parameters.size}"
             )
         if self.gradient_strategy == "parameter-shift":
+            if (
+                self.service is not None
+                and self.exact
+                and self._ansatz_circuit is not None
+                and self._ansatz_circuit.is_parameterized
+            ):
+                # One 2·P-binding expectation sweep through the service:
+                # every shifted circuit shares a single compiled plan and
+                # evaluates across the service's lanes concurrently.
+                with self._lock:
+                    self._evaluations += 2 * parameters.size
+                return self.service.gradient(
+                    self._ansatz_circuit, self.observable, parameters
+                )
             shift = math.pi / 2
             grad = np.zeros_like(parameters)
             for i in range(parameters.size):

@@ -109,6 +109,73 @@ class ExecutionBackend(abc.ABC):
             f"backend {self.backend_name!r} does not support exact expectations"
         )
 
+    def execute_sweep(
+        self,
+        circuit: CompositeInstruction,
+        bindings: Sequence[Mapping[str, float] | Sequence[float]],
+        shots: int,
+        *,
+        n_qubits: int | None = None,
+        seed: int | None = None,
+        optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
+    ) -> list[ExecutionResult]:
+        """Run one parametric ``circuit`` once per binding (sweep).
+
+        The default implementation loops :meth:`execute` — correct for any
+        backend (each binding is executed exactly as an equivalent
+        independent submission would be, same seed derivation included) but
+        unamortised.  Plan-based backends override this to compile once and
+        fan the bindings out over the rebind path.
+        """
+        return [
+            self.execute(
+                circuit,
+                shots,
+                n_qubits=n_qubits,
+                seed=seed,
+                params=binding,
+                optimize=optimize,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=chunk_threshold,
+                precision=precision,
+            )
+            for binding in bindings
+        ]
+
+    def expectation_sweep(
+        self,
+        circuit: CompositeInstruction,
+        observable,
+        bindings: Sequence[Mapping[str, float] | Sequence[float]],
+        *,
+        n_qubits: int | None = None,
+        optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
+    ) -> list[float]:
+        """Exact expectation of ``observable`` per binding.
+
+        Default implementation loops :meth:`expectation`; plan-based
+        backends override to compile once and rebind in place.
+        """
+        return [
+            self.expectation(
+                circuit,
+                observable,
+                n_qubits=n_qubits,
+                params=binding,
+                optimize=optimize,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=chunk_threshold,
+                precision=precision,
+            )
+            for binding in bindings
+        ]
+
     def close(self, wait: bool = True) -> None:
         """Release worker pools/processes; safe to call more than once."""
 
@@ -184,23 +251,47 @@ class LocalBackend(ExecutionBackend):
         cost model to rank {serial, threads, shm} for *this* plan and shot
         count and routes to the predicted-cheapest lane.
         """
+        pool, _, _ = self._route_replay(plan, shots)
+        return pool
+
+    def _route_replay(self, plan, shots: int = 0):
+        """Route a replay: ``(pool, lane_name, predicted_units)``.
+
+        ``predicted_units`` is the cost model's wall-clock estimate for the
+        chosen lane when adaptive selection ran (so the caller can feed the
+        measured replay time back via ``observe_lane``), ``None`` under
+        fixed routing.
+        """
         shm = self.shm_pool
         shm_ok = shm is not None and shm.can_replay(plan)
         if not self.adaptive:
-            return shm if shm_ok else self._engine
+            if shm_ok:
+                return shm, "shm", None
+            return self._engine, "threads", None
         try:
             threads = self._engine.effective_threads()
         except ExecutionError:
             threads = 1
         shm_workers = shm.effective_threads() if shm_ok else 0
-        lane = self.cost_model().choose_lane(
+        model = self.cost_model()
+        lane, costs = model.choose_lane_with_costs(
             plan, shots, threads=threads, shm_workers=shm_workers
         )
+
+        def raw_units(name: str) -> float | None:
+            # lane_costs returns EWMA-scaled values once observations exist;
+            # observe_lane needs the *unscaled* units or the correction
+            # would compound against itself, so divide the scale back out.
+            value = costs.get(name)
+            if value is None or not model.lane_seconds_per_unit:
+                return value
+            return value / model._lane_scale(name)
+
         if lane == "shm" and shm_ok:
-            return shm
+            return shm, lane, raw_units(lane)
         if lane == "threads" and threads > 1:
-            return self._engine
-        return None
+            return self._engine, lane, raw_units(lane)
+        return None, "serial", raw_units("serial")
 
     # -- protocol -----------------------------------------------------------------
     def compile(
@@ -277,7 +368,8 @@ class LocalBackend(ExecutionBackend):
             # cannot pay — parallelises the single large-state replay
             # (bitwise identical to serial); sampling then draws shots on
             # the engine's threads either way.
-            pool = self._replay_pool(plan, shots)
+            pool, lane, predicted_units = self._route_replay(plan, shots)
+            replay_started = time.perf_counter()
             with tracer.span(
                 "replay",
                 attrs={
@@ -286,6 +378,13 @@ class LocalBackend(ExecutionBackend):
                 },
             ):
                 state.apply_plan(plan, pool=pool)
+            if predicted_units is not None:
+                # Online calibration refinement: fold the measured replay
+                # time for the lane the model chose back into its EWMA so
+                # subsequent selections reflect this host's served jobs.
+                self.cost_model().observe_lane(
+                    lane, predicted_units, time.perf_counter() - replay_started
+                )
             measured = plan.measured_qubits or tuple(range(width))
             with tracer.span("sample", attrs={"shots": shots}):
                 counts = self._engine.sample_parallel(
@@ -338,6 +437,148 @@ class LocalBackend(ExecutionBackend):
         state = StateVector(width, dtype=plan.dtype)
         state.apply_plan(plan, pool=self._replay_pool(plan))
         return float(state.expectation(observable))
+
+    def execute_sweep(
+        self,
+        circuit: CompositeInstruction,
+        bindings: Sequence[Mapping[str, float] | Sequence[float]],
+        shots: int,
+        *,
+        n_qubits: int | None = None,
+        seed: int | None = None,
+        optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
+    ) -> list[ExecutionResult]:
+        """Compile-once sweep: one plan lookup, N in-place rebinds.
+
+        Each binding replays and samples exactly as an independent
+        :meth:`execute` of the pre-bound circuit would (same ``seed`` to the
+        sampler per binding), so per-binding counts are bit-identical to
+        the equivalent independent jobs — only the compile and dispatch
+        costs are amortised.
+        """
+        width = _resolve_width(circuit, n_qubits)
+        tracer = get_tracer()
+        token = active_cancel_token()
+        if token is not None:
+            token.check()
+        faults.fire("local.replay")
+        with tracer.span("compile", attrs={"circuit": circuit.name}) as compile_span:
+            plan, cached = self._cache().lookup_or_compile(
+                circuit,
+                width,
+                optimize=optimize,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=chunk_threshold,
+                precision=precision,
+            )
+            compile_span.set_attribute("plan_cached", cached)
+        if not plan.is_parametric or plan.has_reset:
+            # Nothing to rebind (or the trajectory path applies): the
+            # protocol's per-binding loop is already the right execution.
+            return super().execute_sweep(
+                circuit,
+                bindings,
+                shots,
+                n_qubits=n_qubits,
+                seed=seed,
+                optimize=optimize,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=chunk_threshold,
+                precision=precision,
+            )
+        results: list[ExecutionResult] = []
+        for index, binding in enumerate(bindings):
+            if token is not None:
+                # Per-binding boundary: a cancelled/expired sweep stops
+                # between evaluations, not after the whole fan-out.
+                token.check()
+            started = time.perf_counter()
+            bound = plan.bind(binding)
+            state = StateVector(width, dtype=bound.dtype)
+            pool, lane, predicted_units = self._route_replay(bound, shots)
+            replay_started = time.perf_counter()
+            with tracer.span(
+                "replay",
+                attrs={
+                    "n_qubits": width,
+                    "binding": index,
+                    "lane": type(pool).__name__ if pool is not None else "serial",
+                },
+            ):
+                state.apply_plan(bound, pool=pool)
+            if predicted_units is not None:
+                self.cost_model().observe_lane(
+                    lane, predicted_units, time.perf_counter() - replay_started
+                )
+            measured = bound.measured_qubits or tuple(range(width))
+            with tracer.span("sample", attrs={"shots": shots}):
+                counts = self._engine.sample_parallel(state, shots, measured, seed=seed)
+            results.append(
+                ExecutionResult(
+                    counts=counts,
+                    shots=shots,
+                    n_qubits=width,
+                    backend=self.backend_name,
+                    seconds=time.perf_counter() - started,
+                    shards=1,
+                    plan_cached=cached or index > 0,
+                    depth=bound.depth,
+                    n_gates=bound.n_gates,
+                )
+            )
+        return results
+
+    def expectation_sweep(
+        self,
+        circuit: CompositeInstruction,
+        observable,
+        bindings: Sequence[Mapping[str, float] | Sequence[float]],
+        *,
+        n_qubits: int | None = None,
+        optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
+    ) -> list[float]:
+        width = _resolve_width(circuit, n_qubits)
+        token = active_cancel_token()
+        if token is not None:
+            token.check()
+        plan, _ = self._cache().lookup_or_compile(
+            circuit,
+            width,
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
+            precision=precision,
+        )
+        if plan.has_reset:
+            raise ExecutionError(
+                "exact expectations are undefined for circuits with mid-circuit resets"
+            )
+        if not plan.is_parametric:
+            return super().expectation_sweep(
+                circuit,
+                observable,
+                bindings,
+                n_qubits=n_qubits,
+                optimize=optimize,
+                batch_diagonals=batch_diagonals,
+                chunk_threshold=chunk_threshold,
+                precision=precision,
+            )
+        values: list[float] = []
+        for binding in bindings:
+            if token is not None:
+                token.check()
+            bound = plan.bind(binding)
+            state = StateVector(width, dtype=bound.dtype)
+            state.apply_plan(bound, pool=self._replay_pool(bound))
+            values.append(float(state.expectation(observable)))
+        return values
 
     def close(self, wait: bool = True) -> None:
         if self._owns_engine:

@@ -352,6 +352,134 @@ def _replay_chunk(
     return counts, depth, n_gates, cached, obs_payload
 
 
+def _sweep_chunk_body(
+    payload: str,
+    digest: str,
+    width: int,
+    optimize: bool,
+    bindings: Sequence,
+    shots: int,
+    seed: int | None,
+    batch_diagonals: bool,
+    chunk_threshold: int | None,
+    precision: str,
+    observable,
+) -> tuple[list, int, int, bool]:
+    """Compile once, evaluate a contiguous binding range in place.
+
+    Returns ``(results, depth, n_gates, plan_cached)`` where ``results``
+    holds one ``(counts_or_expectation, seconds)`` pair per binding, in
+    binding order.  Bit-identity: each binding derives its RNG as
+    ``SeedSequence(seed).spawn(1)[0]`` — exactly the derivation a pinned
+    single-chunk independent job of the pre-bound circuit uses — so sweep
+    counts match the equivalent independent submissions bit for bit.
+    """
+    faults.fire("sharded.worker.replay")
+    tracer = get_tracer()
+    with tracer.span("compile") as compile_span:
+        plan, cached = _worker_plan(
+            payload, digest, width, optimize, batch_diagonals, chunk_threshold,
+            precision,
+        )
+        compile_span.set_attribute("plan_cached", cached)
+    token = active_cancel_token()
+    measured = plan.measured_qubits or tuple(range(width))
+    results: list = []
+    for values in bindings:
+        if token is not None:
+            # Per-binding boundary: an expired sweep stops between
+            # evaluations instead of draining the whole range.
+            token.check()
+        started = time.perf_counter()
+        # Rebind mutates this worker's thread-local plan clone in place
+        # (PR 2's trig-rebind path); the previous binding has fully
+        # executed by the time the next bind runs, so reuse is safe.
+        bound = plan.bind(values) if plan.is_parametric else plan
+        pool = _worker_replay_pool(bound)
+        if observable is not None:
+            if bound.has_reset:
+                raise ExecutionError(
+                    "exact expectations are undefined for circuits with "
+                    "mid-circuit resets"
+                )
+            from ..simulator.statevector import StateVector
+
+            state = StateVector(
+                width,
+                data=bound.execute(bound.new_state(), pool=pool),
+                dtype=bound.dtype,
+            )
+            results.append(
+                (float(state.expectation(observable)), time.perf_counter() - started)
+            )
+            continue
+        rng = np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0])
+        if bound.has_reset:
+            with tracer.span("replay", attrs={"mode": "trajectories", "shots": shots}):
+                counts = replay_trajectory_chunk(
+                    bound, shots, rng, measured, width, pool=pool
+                )
+        else:
+            with tracer.span("replay", attrs={"n_qubits": width}):
+                data = bound.execute(bound.new_state(), pool=pool)
+            with tracer.span("sample", attrs={"shots": shots}):
+                counts = sample_counts(np.abs(data) ** 2, shots, measured, width, rng)
+        results.append((counts, time.perf_counter() - started))
+    return results, plan.depth, plan.n_gates, cached
+
+
+def _sweep_chunk(
+    payload: str,
+    digest: str,
+    width: int,
+    optimize: bool,
+    bindings: Sequence,
+    shots: int,
+    seed: int | None = None,
+    batch_diagonals: bool = True,
+    chunk_threshold: int | None = None,
+    precision: str = DEFAULT_PRECISION,
+    observable=None,
+    obs: dict | None = None,
+    ctl: dict | None = None,
+) -> tuple[list, int, int, bool, dict | None]:
+    """Execute one sweep binding-range on this shard; returns
+    ``(results, depth, n_gates, plan_cached, obs_payload)``.
+
+    The circuit ships once per worker by content hash (``_worker_plan``'s
+    compile-once cache); every binding in the range replays the same plan
+    clone via in-place rebind.  ``obs``/``ctl`` behave exactly as in
+    :func:`_replay_chunk`.
+    """
+    body_args = (
+        payload, digest, width, optimize, bindings, shots, seed,
+        batch_diagonals, chunk_threshold, precision, observable,
+    )
+    token = CancelToken(deadline=ctl.get("deadline")) if ctl is not None else None
+    with cancel_scope(token):
+        if token is not None:
+            token.check()
+        if obs is None:
+            results, depth, n_gates, cached = _sweep_chunk_body(*body_args)
+            return results, depth, n_gates, cached, None
+        tracer = get_tracer()
+        parent_ctx = TraceContext.from_wire(obs.get("trace"))
+        profiler = ReplayProfiler() if obs.get("profile") else None
+        with tracer.capture() as sink:
+            with tracer.span(
+                "sweep-chunk",
+                attrs={"pid": os.getpid(), "bindings": len(bindings)},
+                parent=parent_ctx,
+            ):
+                with profiler_installed(profiler):
+                    results, depth, n_gates, cached = _sweep_chunk_body(*body_args)
+        obs_payload = {
+            "spans": [span.to_dict() for span in sink],
+            "profile": profiler.to_wire() if profiler is not None else None,
+        }
+    return results, depth, n_gates, cached, obs_payload
+
+
 def _chunk_expectation(
     payload: str,
     digest: str,
@@ -638,12 +766,14 @@ class ShardedExecutor(ExecutionBackend):
             except concurrent.futures.TimeoutError:
                 token.check()
 
-    def _run_on_shard(self, index: int, fn, /, *args):
+    def _run_on_shard(self, index: int, fn, /, *args, policy: RetryPolicy | None = None):
         """Run ``fn(*args)`` on shard ``index``, respawning it on worker death.
 
         Worker deaths are retried under :attr:`retry_policy` (bounded
         attempts, exponential backoff + jitter); exhaustion raises
-        :class:`~repro.exceptions.RetryExhausted`.  Under an active trace
+        :class:`~repro.exceptions.RetryExhausted`.  ``policy`` overrides
+        the executor-wide policy for this call (the broker's per-tenant
+        retry defaults arrive through it).  Under an active trace
         every attempt gets its own span: a worker death closes the
         attempt's span error-tagged (the killed worker's own spans die
         with it — the parent-side record is what keeps the trace
@@ -653,7 +783,7 @@ class ShardedExecutor(ExecutionBackend):
         attempts = 0
         tracer = get_tracer()
         token = active_cancel_token()
-        policy = self.retry_policy
+        policy = policy if policy is not None else self.retry_policy
         while True:
             attempts += 1
             pool = self._pool(index)
@@ -737,6 +867,7 @@ class ShardedExecutor(ExecutionBackend):
         precision: str = DEFAULT_PRECISION,
         shard: int | None = None,
         trajectories: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ) -> ExecutionResult:
         """Run ``circuit`` across the shards (or pinned to one).
 
@@ -807,6 +938,7 @@ class ShardedExecutor(ExecutionBackend):
                     payload, digest, width, optimize, chunks[0], seeds[0], params,
                     trajectories, batch_diagonals, chunk_threshold, precision,
                     obs, ctl,
+                    policy=retry_policy,
                 )
             ]
         else:
@@ -823,6 +955,7 @@ class ShardedExecutor(ExecutionBackend):
                     for index, chunk, seq in zip(indices, chunks, seeds)
                 ],
                 token,
+                policy=retry_policy,
             )
         elapsed = time.perf_counter() - started
 
@@ -857,7 +990,13 @@ class ShardedExecutor(ExecutionBackend):
             retries=self._retries - retries_before,
         )
 
-    def _gather(self, jobs: list[tuple[int, tuple]], token=None) -> list[tuple]:
+    def _gather(
+        self,
+        jobs: list[tuple[int, tuple]],
+        token=None,
+        fn=_replay_chunk,
+        policy: RetryPolicy | None = None,
+    ) -> list[tuple]:
         """Run chunk jobs concurrently across shards, retrying dead workers.
 
         All chunks are submitted before any result is awaited so shards
@@ -867,6 +1006,8 @@ class ShardedExecutor(ExecutionBackend):
         Retried chunks re-run synchronously on their respawned shard.
         A tripped ``token`` raises its typed error from the await loop —
         in-flight chunks complete harmlessly on their live workers.
+        ``fn`` is the worker function each job runs (shot chunks by
+        default, sweep binding-ranges for ``execute_sweep``).
         """
         tracer = get_tracer()
         entries: list[tuple[int, tuple, object, object]] = []
@@ -874,7 +1015,7 @@ class ShardedExecutor(ExecutionBackend):
             pool = self._pool(index)
             try:
                 entries.append(
-                    (index, args, pool, self._submit_tracked(index, pool, _replay_chunk, *args))
+                    (index, args, pool, self._submit_tracked(index, pool, fn, *args))
                 )
             except (BrokenProcessPool, EOFError, OSError) as exc:
                 tracer.record(
@@ -890,7 +1031,7 @@ class ShardedExecutor(ExecutionBackend):
         outcomes = []
         for index, args, pool, future in entries:
             if future is None:
-                outcomes.append(self._run_on_shard(index, _replay_chunk, *args))
+                outcomes.append(self._run_on_shard(index, fn, *args, policy=policy))
                 continue
             try:
                 outcomes.append(self._await_result(future, token))
@@ -904,7 +1045,7 @@ class ShardedExecutor(ExecutionBackend):
                     error=f"shard worker died: {exc}",
                 )
                 self._replace_pool(index, pool)
-                outcomes.append(self._run_on_shard(index, _replay_chunk, *args))
+                outcomes.append(self._run_on_shard(index, fn, *args, policy=policy))
         return outcomes
 
     def execute_for_key(
@@ -920,6 +1061,7 @@ class ShardedExecutor(ExecutionBackend):
         batch_diagonals: bool = True,
         chunk_threshold: int | None = None,
         precision: str = DEFAULT_PRECISION,
+        retry_policy: RetryPolicy | None = None,
     ) -> ExecutionResult:
         """Affinity mode: the shard owning ``key`` runs the whole job, so
         its warm plan cache keeps getting the circuits it already compiled.
@@ -936,7 +1078,199 @@ class ShardedExecutor(ExecutionBackend):
             chunk_threshold=chunk_threshold,
             precision=precision,
             shard=self._owner_for_key(key),
+            retry_policy=retry_policy,
         )
+
+    def _sweep_dispatch(
+        self,
+        circuit: CompositeInstruction,
+        bindings: Sequence,
+        shots: int,
+        *,
+        n_qubits: int | None,
+        seed: int | None,
+        optimize: bool,
+        batch_diagonals: bool,
+        chunk_threshold: int | None,
+        precision: str,
+        observable,
+        retry_policy: RetryPolicy | None,
+    ) -> tuple[list, int, int, bool]:
+        """Fan a binding list out across the shards in contiguous ranges.
+
+        The circuit ships once per shard (content hash + compile-once
+        worker cache); each shard evaluates its range with in-place
+        rebinds.  Returns the flattened per-binding ``(value, seconds)``
+        list in binding order plus ``(depth, n_gates, all_cached)``.
+        """
+        token = active_cancel_token()
+        ctl: dict | None = None
+        if token is not None:
+            token.check()
+            if token.deadline is not None:
+                ctl = {"deadline": token.deadline}
+        payload, digest = _circuit_payload(circuit)
+        width = _resolve_width(circuit, n_qubits)
+        bindings = list(bindings)
+        if not bindings:
+            return [], 0, 0, True
+        n_chunks = max(1, min(self.processes, len(bindings)))
+        base, extra = divmod(len(bindings), n_chunks)
+        ranges: list[list] = []
+        cursor = 0
+        for i in range(n_chunks):
+            size = base + (1 if i < extra else 0)
+            ranges.append(bindings[cursor : cursor + size])
+            cursor += size
+        # Start the round-robin at the content-affine shard so a
+        # single-range sweep lands exactly where key affinity would put it.
+        first = self.shard_for(digest)
+        indices = [(first + i) % self.processes for i in range(n_chunks)]
+
+        tracer = get_tracer()
+        ctx = tracer.current_context()
+        profiler = active_profiler()
+        obs: dict | None = None
+        if ctx is not None or profiler is not None:
+            obs = {
+                "trace": ctx.to_wire() if ctx is not None else None,
+                "profile": profiler is not None,
+            }
+
+        if n_chunks == 1:
+            outcomes = [
+                self._run_on_shard(
+                    indices[0],
+                    _sweep_chunk,
+                    payload, digest, width, optimize, ranges[0], shots, seed,
+                    batch_diagonals, chunk_threshold, precision, observable,
+                    obs, ctl,
+                    policy=retry_policy,
+                )
+            ]
+        else:
+            outcomes = self._gather(
+                [
+                    (
+                        index,
+                        (
+                            payload, digest, width, optimize, chunk, shots, seed,
+                            batch_diagonals, chunk_threshold, precision,
+                            observable, obs, ctl,
+                        ),
+                    )
+                    for index, chunk in zip(indices, ranges)
+                ],
+                token,
+                fn=_sweep_chunk,
+                policy=retry_policy,
+            )
+
+        if obs is not None:
+            for outcome in outcomes:
+                payload_obs = outcome[4]
+                if not payload_obs:
+                    continue
+                spans = payload_obs.get("spans")
+                if spans:
+                    tracer.ingest(spans)
+                profile = payload_obs.get("profile")
+                if profiler is not None and profile:
+                    profiler.merge_wire(profile)
+
+        flat = [pair for outcome in outcomes for pair in outcome[0]]
+        depth, n_gates = outcomes[0][1], outcomes[0][2]
+        cached = all(outcome[3] for outcome in outcomes)
+        return flat, depth, n_gates, cached
+
+    def execute_sweep(
+        self,
+        circuit: CompositeInstruction,
+        bindings: Sequence[Mapping[str, float] | Sequence[float]],
+        shots: int,
+        *,
+        n_qubits: int | None = None,
+        seed: int | None = None,
+        optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
+        retry_policy: RetryPolicy | None = None,
+    ) -> list[ExecutionResult]:
+        """Compile-once sweep fanned across the shards.
+
+        Per-binding counts are bit-identical to pinned independent
+        submissions of the pre-bound circuits at the same seed: every
+        binding derives its RNG as ``SeedSequence(seed).spawn(1)[0]``
+        regardless of which shard's range it lands in, so fan-out width
+        and chunk boundaries never change results.
+        """
+        width = _resolve_width(circuit, n_qubits)
+        retries_before = self._retries
+        started = time.perf_counter()
+        flat, depth, n_gates, cached = self._sweep_dispatch(
+            circuit,
+            bindings,
+            shots,
+            n_qubits=n_qubits,
+            seed=seed,
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
+            precision=precision,
+            observable=None,
+            retry_policy=retry_policy,
+        )
+        retries = self._retries - retries_before
+        return [
+            ExecutionResult(
+                counts=counts,
+                shots=shots,
+                n_qubits=width,
+                backend=self.backend_name,
+                seconds=seconds,
+                shards=1,
+                plan_cached=cached or index > 0,
+                depth=depth,
+                n_gates=n_gates,
+                retries=retries if index == 0 else 0,
+            )
+            for index, (counts, seconds) in enumerate(flat)
+        ]
+
+    def expectation_sweep(
+        self,
+        circuit: CompositeInstruction,
+        observable,
+        bindings: Sequence[Mapping[str, float] | Sequence[float]],
+        *,
+        n_qubits: int | None = None,
+        optimize: bool = True,
+        batch_diagonals: bool = True,
+        chunk_threshold: int | None = None,
+        precision: str = DEFAULT_PRECISION,
+        retry_policy: RetryPolicy | None = None,
+    ) -> list[float]:
+        """Exact per-binding expectations fanned across the shards.
+
+        This is the parameter-shift gradient's execution primitive: 2·P
+        shifted bindings ship as one sweep and evaluate concurrently on
+        every shard.
+        """
+        flat, _, _, _ = self._sweep_dispatch(
+            circuit,
+            bindings,
+            0,
+            n_qubits=n_qubits,
+            seed=None,
+            optimize=optimize,
+            batch_diagonals=batch_diagonals,
+            chunk_threshold=chunk_threshold,
+            precision=precision,
+            observable=observable,
+            retry_policy=retry_policy,
+        )
+        return [value for value, _seconds in flat]
 
     def expectation(
         self,

@@ -392,8 +392,49 @@ class _SegmentAllocationError(MemoryError):
     """Shared-segment allocation failed: degrade instead of crashing."""
 
 
+class _PoolClosedDuringAcquire(Exception):
+    """The pool closed while a replay was waiting for a gang."""
+
+
+class _Gang:
+    """One resident state slot: a worker set plus its shared segments.
+
+    Multi-state residency (``SharedStatePool(max_states=K)``) partitions
+    the pool's worker budget into K gangs.  Each gang independently
+    replays one state at a time through the same barrier-per-step
+    protocol, so K sweep evaluations evolve K states in shared memory
+    *concurrently* instead of serialising through one state+scratch pair.
+    """
+
+    __slots__ = (
+        "slot",
+        "workers",
+        "barrier",
+        "state",
+        "scratch",
+        "control",
+        "capacity",
+        "reserved",
+        "busy",
+    )
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.workers: list[tuple] = []  # (process, parent_connection)
+        self.barrier = None
+        self.state: SharedMemory | None = None
+        self.scratch: SharedMemory | None = None
+        self.control: SharedMemory | None = None
+        self.capacity = 0  # bytes per shared buffer (state / scratch)
+        #: Bytes per buffer the in-flight replay will grow this gang to
+        #: (set at acquisition, settles to ``capacity`` at release) — the
+        #: byte budget must see claimed-but-not-yet-allocated segments.
+        self.reserved = 0
+        self.busy = False
+
+
 class SharedStatePool:
-    """Persistent worker processes cooperating on one shared-memory state.
+    """Persistent worker processes cooperating on shared-memory states.
 
     The pool implements the :class:`~repro.simulator.execution_plan.ChunkPool`
     protocol: pass it as ``pool=`` to ``ExecutionPlan.execute`` /
@@ -401,6 +442,15 @@ class SharedStatePool:
     :class:`~repro.exec.backend.LocalBackend` — for states at or above the
     plan's ``chunk_threshold`` the replay runs across the worker processes
     instead of the calling process's threads, bitwise identical either way.
+
+    ``max_states`` (default 1) is the multi-state residency count: the
+    worker budget splits into up to that many *gangs*, each with its own
+    state+scratch segments, so that many replays proceed concurrently —
+    the lane parameter sweeps need to stop serialising through one pair.
+    Gang 0 spawns eagerly (warm start); the rest spawn lazily, only when
+    every live gang is busy and ``byte_budget`` (when set) still has room
+    for another resident state pair.  ``max_states=1`` is exactly the
+    historical single-state pool.
 
     ``mp_context`` selects the multiprocessing start method (``"fork"``,
     ``"spawn"``, ``"forkserver"``; default: the platform default).  Under
@@ -423,9 +473,13 @@ class SharedStatePool:
         fallback=None,
         breaker=None,
         retry_policy=None,
+        max_states: int = 1,
+        byte_budget: int | None = None,
     ):
         if processes < 1:
             raise ExecutionError(f"processes must be at least 1, got {processes}")
+        if max_states < 1:
+            raise ExecutionError(f"max_states must be at least 1, got {max_states}")
         self.processes = int(processes)
         self.name = name
         self.fallback = fallback
@@ -437,19 +491,34 @@ class SharedStatePool:
         #: the historical contract: a worker death fails the replay
         #: immediately (typed, workers respawned) with no silent re-run.
         self.retry_policy = retry_policy
+        self.max_states = int(max_states)
+        #: Optional cap (bytes) on total shared-segment residency across
+        #: gangs.  Only gates *lazy gang spawning*: when adding another
+        #: resident state+scratch pair would exceed it, the replay waits
+        #: for a live gang instead.  The broker wires the admission
+        #: controller's memory budget here, so K is bounded by the same
+        #: accounting that admits jobs (and the complex64 tier's halved
+        #: per-state footprint buys proportionally more resident states).
+        self.byte_budget = byte_budget
         self._ctx = get_context(mp_context)
         self.start_method = self._ctx.get_start_method()
         self._lock = threading.RLock()
+        #: Signals gang state transitions (release, spawn, close) to
+        #: replays waiting in :meth:`_acquire_gang`.
+        self._gang_cv = threading.Condition(self._lock)
         self._closed = False
         #: Set (without the lock) at the *start* of close(): refuses new
         #: replays and tells _recover not to respawn while shutting down.
         self._closing = False
-        self._workers: list[tuple] = []  # (process, parent_connection)
-        self._barrier = None
-        self._state: SharedMemory | None = None
-        self._scratch: SharedMemory | None = None
-        self._control: SharedMemory | None = None
-        self._capacity = 0  # bytes per shared buffer (state / scratch)
+        if self.processes < 2 or self.max_states <= 1:
+            #: Workers per gang.  A replay splits across one gang, so this
+            #: is also what ``effective_threads()`` reports.
+            self.gang_size = self.processes
+            slots = 1
+        else:
+            self.gang_size = max(2, self.processes // self.max_states)
+            slots = max(1, min(self.max_states, self.processes // self.gang_size))
+        self._gangs: list[_Gang | None] = [None] * slots
         self._respawns = 0
         self._barrier_aborts = 0
         # Registered for the atexit/finalizer sweep: the segment-name set
@@ -457,10 +526,17 @@ class SharedStatePool:
         # whatever close() did not get to (including after worker SIGKILLs).
         _ensure_exit_sweep()
         _register_pool(self)
-        self._spawn_workers()
+        # Gang 0 spawns eagerly (warm start; constructor errors surface
+        # here, matching the historical single-gang behaviour).
+        self._gangs[0] = self._spawn_gang(0)
 
     # -- lifecycle -----------------------------------------------------------
-    def _spawn_workers(self) -> None:
+    def _spawn_gang(self, slot: int) -> _Gang:
+        gang = _Gang(slot)
+        self._spawn_gang_workers(gang)
+        return gang
+
+    def _spawn_gang_workers(self, gang: _Gang) -> None:
         # Start the resource tracker *before* forking workers: a worker
         # forked while no tracker exists spawns its own, and a private
         # tracker believes every attached segment leaked when the worker
@@ -472,15 +548,15 @@ class SharedStatePool:
             resource_tracker.ensure_running()
         except Exception:
             pass
-        barrier = self._ctx.Barrier(self.processes)
+        barrier = self._ctx.Barrier(self.gang_size)
         workers = []
         try:
-            for index in range(self.processes):
+            for index in range(self.gang_size):
                 parent_conn, child_conn = self._ctx.Pipe()
                 process = self._ctx.Process(
                     target=_shm_worker_main,
-                    args=(child_conn, barrier, index, self.processes),
-                    name=f"{self.name}-worker-{index}",
+                    args=(child_conn, barrier, index, self.gang_size),
+                    name=f"{self.name}-g{gang.slot}-worker-{index}",
                     daemon=True,
                 )
                 process.start()
@@ -494,11 +570,11 @@ class SharedStatePool:
                 except Exception:
                     pass
             raise
-        self._barrier = barrier
-        self._workers = workers
+        gang.barrier = barrier
+        gang.workers = workers
 
-    def _teardown_workers(self, graceful: bool) -> None:
-        workers, self._workers = self._workers, []
+    def _teardown_gang_workers(self, gang: _Gang, graceful: bool) -> None:
+        workers, gang.workers = gang.workers, []
         for process, conn in workers:
             if graceful:
                 try:
@@ -514,12 +590,12 @@ class SharedStatePool:
                 conn.close()
             except Exception:
                 pass
-        self._barrier = None
+        gang.barrier = None
 
-    def _release_segments(self) -> None:
-        for attr in ("_state", "_scratch", "_control"):
-            shm = getattr(self, attr)
-            setattr(self, attr, None)
+    def _release_gang_segments(self, gang: _Gang) -> None:
+        for attr in ("state", "scratch", "control"):
+            shm = getattr(gang, attr)
+            setattr(gang, attr, None)
             if shm is None:
                 continue
             _forget_segment(shm.name)
@@ -531,7 +607,7 @@ class SharedStatePool:
                 shm.unlink()
             except Exception:
                 pass
-        self._capacity = 0
+        gang.capacity = 0
 
     def close(self, wait: bool = True) -> None:
         """Stop the workers and unlink the shared segments.
@@ -539,28 +615,38 @@ class SharedStatePool:
         Idempotent and exception-safe; after close the pool refuses new
         replays (``can_replay`` returns ``False``).
 
-        Safe to call while a replay is in flight on another thread: the
-        replay holds the pool lock for its whole duration, so close()
-        first flags ``_closing`` and aborts the step barrier *outside* the
-        lock.  Workers blocked at the barrier wake with
-        ``BrokenBarrierError``, the replay fails over its normal recovery
-        path (which sees ``_closing`` and skips the respawn), the lock is
-        released, and only then are segments unlinked — never under a
-        worker still mapping them into a live step.
+        Safe to call while replays are in flight on other threads: close()
+        first flags ``_closing`` and aborts every gang's step barrier.
+        Workers blocked at a barrier wake with ``BrokenBarrierError``, each
+        in-flight replay fails over its normal recovery path (which sees
+        ``_closing`` and skips the respawn) and releases its gang; close()
+        waits for the busy gangs to drain before unlinking segments — never
+        under a worker still mapping them into a live step.
         """
         self._closing = True
-        barrier = self._barrier
-        if barrier is not None:
-            try:
-                barrier.abort()
-            except Exception:
-                pass
-        with self._lock:
+        for gang in [g for g in list(self._gangs) if g is not None]:
+            barrier = gang.barrier
+            if barrier is not None:
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+        with self._gang_cv:
             if self._closed:
                 return
+            deadline = time.time() + 5.0
+            while any(g is not None and g.busy for g in self._gangs):
+                if time.time() >= deadline:
+                    break
+                self._gang_cv.wait(timeout=_POLL_INTERVAL)
             self._closed = True
-            self._teardown_workers(graceful=wait)
-            self._release_segments()
+            for index, gang in enumerate(self._gangs):
+                if gang is None:
+                    continue
+                self._teardown_gang_workers(gang, graceful=wait)
+                self._release_gang_segments(gang)
+                self._gangs[index] = None
+            self._gang_cv.notify_all()
         _unregister_pool(self)
 
     def __enter__(self) -> "SharedStatePool":
@@ -582,7 +668,7 @@ class SharedStatePool:
 
     @property
     def respawns(self) -> int:
-        """Times the worker set was rebuilt after a worker death."""
+        """Times a gang's worker set was rebuilt after a worker death."""
         with self._lock:
             return self._respawns
 
@@ -593,35 +679,55 @@ class SharedStatePool:
 
     @property
     def resident_bytes(self) -> int:
-        """Bytes held in the shared amplitude segments (state + scratch)."""
-        return self._capacity * 2
+        """Bytes held in shared amplitude segments across all gangs."""
+        with self._lock:
+            return sum(g.capacity * 2 for g in self._gangs if g is not None)
+
+    @property
+    def resident_states(self) -> int:
+        """Gangs currently live (each holds one resident state slot)."""
+        with self._lock:
+            return sum(1 for g in self._gangs if g is not None)
 
     def worker_pids(self) -> list[int]:
-        """PID of each live worker process."""
+        """PID of each live worker process, across all gangs."""
         with self._lock:
-            return [process.pid for process, _ in self._workers]
+            return [
+                process.pid
+                for gang in self._gangs
+                if gang is not None
+                for process, _ in gang.workers
+            ]
 
     def segment_names(self) -> tuple[str, ...]:
         """Names of the currently allocated shared segments (tests/CI)."""
         with self._lock:
             return tuple(
-                shm.name for shm in (self._state, self._scratch) if shm is not None
+                shm.name
+                for gang in self._gangs
+                if gang is not None
+                for shm in (gang.state, gang.scratch)
+                if shm is not None
             )
 
     # -- ChunkPool protocol ---------------------------------------------------
     def effective_threads(self) -> int:
-        """Worker processes a replay splits across (ChunkPool parity)."""
-        return self.processes
+        """Worker processes one replay splits across (ChunkPool parity).
+
+        One replay occupies one gang, so this is the gang size — not the
+        pool's total worker budget.
+        """
+        return self.gang_size
 
     def can_replay(self, plan) -> bool:
         """Whether :meth:`replay_plan` would handle ``plan`` itself.
 
-        Requires ≥2 workers, an open pool, no mid-circuit resets (the
-        global probability reduction + RNG draw cannot span processes) and
-        plan provenance (the source circuit to ship; see
+        Requires gangs of ≥2 workers, an open pool, no mid-circuit resets
+        (the global probability reduction + RNG draw cannot span
+        processes) and plan provenance (the source circuit to ship; see
         :meth:`ExecutionPlan.replay_descriptor`).
         """
-        if self.processes < 2 or self._closing or self.closed:
+        if self.gang_size < 2 or self._closing or self.closed:
             return False
         if not isinstance(plan, ExecutionPlan):
             return False
@@ -695,6 +801,63 @@ class SharedStatePool:
             return fallback.replay_plan(plan, data, rng=rng)
         return None
 
+    def _budget_allows(self, nbytes: int) -> bool:
+        """Whether a new gang's state+scratch pair fits ``byte_budget``.
+
+        Called with the lock held.  No budget set → always allowed.
+        """
+        if self.byte_budget is None:
+            return True
+        resident = sum(
+            max(g.capacity, g.reserved) * 2
+            for g in self._gangs
+            if g is not None
+        )
+        return resident + 2 * nbytes <= self.byte_budget
+
+    def _acquire_gang(self, nbytes: int, token) -> _Gang:
+        """Claim an idle gang for one replay (spawning lazily if needed).
+
+        Preference order per wakeup: an idle live gang whose segments are
+        already big enough (warm — no realloc), any idle live gang, then a
+        lazy spawn into an empty slot when the byte budget still has room
+        for another resident pair.  Otherwise wait on the condition
+        variable until a release/spawn/close changes the picture.  Raises
+        through ``token.check()`` while waiting so a cancelled caller does
+        not camp on the queue.
+        """
+        with self._gang_cv:
+            while True:
+                if self._closed or self._closing:
+                    raise _PoolClosedDuringAcquire()
+                if token is not None:
+                    token.check()
+                idle = [
+                    g for g in self._gangs if g is not None and not g.busy
+                ]
+                if idle:
+                    warm = [g for g in idle if g.capacity >= nbytes]
+                    gang = warm[0] if warm else idle[0]
+                    gang.busy = True
+                    gang.reserved = max(gang.capacity, nbytes)
+                    return gang
+                empty = next(
+                    (i for i, g in enumerate(self._gangs) if g is None), None
+                )
+                if empty is not None and self._budget_allows(nbytes):
+                    gang = self._spawn_gang(empty)
+                    self._gangs[empty] = gang
+                    gang.busy = True
+                    gang.reserved = nbytes
+                    return gang
+                self._gang_cv.wait(timeout=_POLL_INTERVAL)
+
+    def _release_gang(self, gang: _Gang) -> None:
+        with self._gang_cv:
+            gang.busy = False
+            gang.reserved = gang.capacity
+            self._gang_cv.notify_all()
+
     def _replay_shared(
         self, plan: ExecutionPlan, data: np.ndarray, rng, token
     ) -> np.ndarray | None:
@@ -704,7 +867,7 @@ class SharedStatePool:
         payload, digest = _circuit_payload(circuit)
         # Observability request: the ambient trace context (so worker spans
         # stitch under the caller's replay span) and the profile flag.  Both
-        # read here, before the lock, on the caller's thread.
+        # read here, before acquiring a gang, on the caller's thread.
         tracer = get_tracer()
         ctx = tracer.current_context()
         profiler = active_profiler()
@@ -715,26 +878,34 @@ class SharedStatePool:
                 "profile": profiler is not None,
             }
         replay_started = time.time()
+        dim = int(data.size)
+        nbytes = dim * data.dtype.itemsize
         try:
-            with self._lock:
-                if self._closed or self._closing:
-                    return None
-                if token is not None:
-                    token.check()  # don't ship a job that is already dead
-                if not self._workers:
-                    self._spawn_workers()
-                dim = int(data.size)
-                nbytes = dim * data.dtype.itemsize
+            if token is not None:
+                token.check()  # don't queue for a gang with a dead token
+            try:
+                gang = self._acquire_gang(nbytes, token)
+            except _PoolClosedDuringAcquire:
+                return None
+            # The gang is exclusively ours until released: replays on other
+            # gangs proceed concurrently (the point of multi-state
+            # residency), and pool-level state is only touched under the
+            # lock inside the helpers below.
+            try:
+                if not gang.workers:
+                    self._spawn_gang_workers(gang)
                 try:
                     faults.fire("shm.alloc")
-                    self._ensure_capacity(nbytes)
-                    control = self._ensure_control() if token is not None else None
+                    self._ensure_capacity(gang, nbytes)
+                    control = (
+                        self._ensure_control(gang) if token is not None else None
+                    )
                 except (MemoryError, OSError) as exc:
                     raise _SegmentAllocationError(
                         f"pool {self.name!r} could not allocate {nbytes * 2} "
                         f"bytes of shared segments: {exc}"
                     ) from exc
-                state = np.ndarray(dim, dtype=data.dtype, buffer=self._state.buf)
+                state = np.ndarray(dim, dtype=data.dtype, buffer=gang.state.buf)
                 np.copyto(state, data)
                 job = {
                     "payload": payload,
@@ -742,8 +913,8 @@ class SharedStatePool:
                     "width": plan.n_qubits,
                     "options": options,
                     "params": params,
-                    "state": self._state.name,
-                    "scratch": self._scratch.name,
+                    "state": gang.state.name,
+                    "scratch": gang.scratch.name,
                     "obs": obs_req,
                 }
                 if control is not None:
@@ -751,20 +922,22 @@ class SharedStatePool:
                     job["control"] = control.name
                     job["deadline"] = token.deadline
                 try:
-                    for _, conn in self._workers:
+                    for _, conn in gang.workers:
                         conn.send(("replay", job))
                 except (BrokenPipeError, OSError) as exc:
                     # A worker died between replays; siblings that did get
                     # the job will block at the first barrier — same
                     # recovery as a mid-step death.
-                    self._recover(f"worker pipe rejected the job: {exc}")
-                final_in_state, obs_payloads = self._collect_acks(token)
+                    self._recover(gang, f"worker pipe rejected the job: {exc}")
+                final_in_state, obs_payloads = self._collect_acks(gang, token)
                 source = (
                     state
                     if final_in_state
-                    else np.ndarray(dim, dtype=data.dtype, buffer=self._scratch.buf)
+                    else np.ndarray(dim, dtype=data.dtype, buffer=gang.scratch.buf)
                 )
                 np.copyto(data, source)
+            finally:
+                self._release_gang(gang)
         except ExecutionError as exc:
             # The dead worker's spans died with it; this parent-side record
             # is what keeps the trace complete through the failure.
@@ -777,7 +950,7 @@ class SharedStatePool:
                 error=str(exc),
             )
             raise
-        # Stitch the workers' observability data outside the lock: spans go
+        # Stitch the workers' observability data after release: spans go
         # into this process's tracer (and any active capture sink, so a
         # shard worker re-ships them another hop), profiles into the
         # installed profiler.
@@ -792,17 +965,17 @@ class SharedStatePool:
         return data
 
     # -- internals ------------------------------------------------------------
-    def _ensure_capacity(self, nbytes: int) -> None:
-        """(Re)allocate the state + scratch segments to ``nbytes`` each.
+    def _ensure_capacity(self, gang: _Gang, nbytes: int) -> None:
+        """(Re)allocate the gang's state + scratch segments to ``nbytes`` each.
 
         Grow-only: replaying a smaller state reuses the larger segments
         (workers view only the leading bytes they need).  Byte-based so a
         complex64 state occupies half the shared footprint of a complex128
         one at the same width.
         """
-        if self._state is not None and self._capacity >= nbytes:
+        if gang.state is not None and gang.capacity >= nbytes:
             return
-        self._release_segments()
+        self._release_gang_segments(gang)
         token = secrets.token_hex(4)
         prefix = f"{SEGMENT_PREFIX}-{os.getpid()}-{token}"
         state = SharedMemory(create=True, size=nbytes, name=f"{prefix}-state")
@@ -815,16 +988,16 @@ class SharedStatePool:
             state.unlink()
             raise
         _remember_segment(scratch.name)
-        self._state, self._scratch, self._capacity = state, scratch, nbytes
+        gang.state, gang.scratch, gang.capacity = state, scratch, nbytes
 
-    def _ensure_control(self) -> SharedMemory:
+    def _ensure_control(self, gang: _Gang) -> SharedMemory:
         """The (tiny, lazily created) cancellation-control segment.
 
         Byte 0: parent's stop request.  Byte 1: the per-step verdict worker
-        0 freezes before each step barrier.  One segment per pool, reused
+        0 freezes before each step barrier.  One segment per gang, reused
         across replays (zeroed per guarded job), unlinked with the others.
         """
-        if self._control is None:
+        if gang.control is None:
             token = secrets.token_hex(4)
             control = SharedMemory(
                 create=True,
@@ -832,10 +1005,12 @@ class SharedStatePool:
                 name=f"{SEGMENT_PREFIX}-{os.getpid()}-{token}-control",
             )
             _remember_segment(control.name)
-            self._control = control
-        return self._control
+            gang.control = control
+        return gang.control
 
-    def _collect_acks(self, token=None) -> tuple[bool, list[dict | None]]:
+    def _collect_acks(
+        self, gang: _Gang, token=None
+    ) -> tuple[bool, list[dict | None]]:
         """Wait for every worker's replay ack; recover from worker death.
         Returns ``(final_in_state, per-worker observability payloads)``.
 
@@ -846,7 +1021,7 @@ class SharedStatePool:
         over *all* pending pipes, and every quiet interval re-checks the
         liveness of *every* pending worker — waiting on workers in order
         would hang forever on a live worker blocked at the barrier while a
-        different worker is the one that died.  Called with the lock held.
+        different worker is the one that died.  Called holding the gang.
 
         With a ``token``, every poll interval also drives cancellation: a
         tripped token writes the stop request into the control segment,
@@ -861,11 +1036,11 @@ class SharedStatePool:
         failure: str | None = None
         aborted = False
         signalled = False
-        pending = list(self._workers)
+        pending = list(gang.workers)
         while pending and failure is None:
             if token is not None and not signalled:
                 if token.cancelled or token.expired():
-                    control = self._control
+                    control = gang.control
                     if control is not None:
                         np.ndarray(2, dtype=np.uint8, buffer=control.buf)[0] = 1
                         signalled = True
@@ -901,7 +1076,7 @@ class SharedStatePool:
                     observations.append(message[2] if len(message) > 2 else None)
                 pending.remove(entry)
         if failure is not None:
-            self._recover(failure)
+            self._recover(gang, failure)
         if aborted:
             # All workers abandoned the replay in lockstep and stay alive;
             # surface the reason as the typed lifecycle error.
@@ -913,27 +1088,31 @@ class SharedStatePool:
             )
         return finals[0], observations
 
-    def _recover(self, failure: str) -> None:
-        """Abort the step barrier, rebuild the worker set, raise.
+    def _recover(self, gang: _Gang, failure: str) -> None:
+        """Abort the gang's step barrier, rebuild its worker set, raise.
 
         Unblocks survivors (they see ``BrokenBarrierError``), then rebuilds
-        everything: a broken barrier and a half-applied step are not worth
-        salvaging worker by worker.  During :meth:`close` the respawn is
-        skipped — the pool is going away.  Called with the lock held.
+        the whole gang: a broken barrier and a half-applied step are not
+        worth salvaging worker by worker.  Other gangs are untouched —
+        their replays proceed.  During :meth:`close` the respawn is
+        skipped — the pool is going away.  Called holding the gang (busy),
+        not the lock; counters are bumped under the lock.
         """
         try:
-            self._barrier.abort()
+            gang.barrier.abort()
         except Exception:
             pass
-        self._barrier_aborts += 1
-        self._teardown_workers(graceful=False)
+        with self._lock:
+            self._barrier_aborts += 1
+        self._teardown_gang_workers(gang, graceful=False)
         if self._closing:
             raise ExecutionError(
                 f"shared-memory pool {self.name!r} was closed mid-replay "
                 f"(state discarded): {failure}"
             )
-        self._respawns += 1
-        self._spawn_workers()
+        with self._lock:
+            self._respawns += 1
+        self._spawn_gang_workers(gang)
         raise WorkerCrashed(
             f"shared-memory pool {self.name!r} lost a worker mid-replay "
             f"(workers respawned, state discarded): {failure}"
@@ -942,6 +1121,7 @@ class SharedStatePool:
     def __repr__(self) -> str:
         return (
             f"SharedStatePool(name={self.name!r}, processes={self.processes}, "
+            f"gangs={len(self._gangs)}x{self.gang_size}, "
             f"start_method={self.start_method!r}, closed={self.closed})"
         )
 
@@ -956,8 +1136,9 @@ _open_pools: "weakref.WeakSet[SharedStatePool]" = weakref.WeakSet()
 #: Segment names currently owned by this process; the sweep unlinks any that
 #: survive (a pool leaked without close(), or close() interrupted mid-way).
 _owned_segments: set[str] = set()
-#: Shared pools keyed by worker count (the accelerator's ``shm-processes``).
-_shared_pools: dict[int, SharedStatePool] = {}
+#: Shared pools keyed by ``(worker count, max_states)`` — the accelerator's
+#: ``shm-processes`` and ``shm-states`` options respectively.
+_shared_pools: dict[tuple[int, int], SharedStatePool] = {}
 _shared_pools_lock = threading.Lock()
 
 
@@ -981,20 +1162,38 @@ def _forget_segment(name: str) -> None:
         _owned_segments.discard(name)
 
 
-def get_shared_state_pool(processes: int) -> SharedStatePool:
+def get_shared_state_pool(
+    processes: int,
+    max_states: int = 1,
+    *,
+    byte_budget: int | None = None,
+) -> SharedStatePool:
     """The process-wide shared pool with ``processes`` workers (created once).
 
     Shared for the same reason the sharded executors are: every accelerator
     clone asking for the same lane reuses one worker set — and its warm
-    per-worker plan caches — instead of forking per clone.
+    per-worker plan caches — instead of forking per clone.  Pools are keyed
+    by ``(processes, max_states)`` so a sweep asking for multi-state
+    residency does not steal (or reshape) the single-state pool other
+    traffic relies on.  ``byte_budget`` is applied on first creation; an
+    existing pool keeps its original budget.
     """
     if processes < 1:
         raise ExecutionError(f"processes must be at least 1, got {processes}")
+    if max_states < 1:
+        raise ExecutionError(f"max_states must be at least 1, got {max_states}")
+    key = (int(processes), int(max_states))
     with _shared_pools_lock:
-        pool = _shared_pools.get(processes)
+        pool = _shared_pools.get(key)
         if pool is None or pool.closed:
-            pool = SharedStatePool(processes, name=f"shared-shm-{processes}")
-            _shared_pools[processes] = pool
+            suffix = f"-x{max_states}" if max_states > 1 else ""
+            pool = SharedStatePool(
+                processes,
+                name=f"shared-shm-{processes}{suffix}",
+                max_states=max_states,
+                byte_budget=byte_budget,
+            )
+            _shared_pools[key] = pool
         return pool
 
 
@@ -1002,24 +1201,27 @@ def shm_health() -> dict[str, int]:
     """Aggregate health of this process's open shm pools (broker metrics).
 
     Lock-free by design: the gauges are read racily so a metrics snapshot
-    never blocks behind a replay in flight (``replay_plan`` holds each
-    pool's lock for the whole replay).  Shard-hosted pools live inside
+    never blocks behind a replay in flight.  Shard-hosted pools live inside
     shard worker processes and are invisible here — each process reports
     its own pools.
     """
-    workers = respawns = barrier_aborts = resident_bytes = 0
+    workers = respawns = barrier_aborts = resident_bytes = resident_states = 0
     with _pools_lock:
         pools = list(_open_pools)
     for pool in pools:
         try:
             if pool._closed:
                 continue
-            workers += sum(
-                1 for process, _ in list(pool._workers) if process.is_alive()
-            )
+            for gang in list(pool._gangs):
+                if gang is None:
+                    continue
+                workers += sum(
+                    1 for process, _ in list(gang.workers) if process.is_alive()
+                )
+                resident_bytes += gang.capacity * 2
+                resident_states += 1
             respawns += pool._respawns
             barrier_aborts += pool._barrier_aborts
-            resident_bytes += pool._capacity * 2
         except Exception:  # a pool mid-teardown; skip it rather than block
             continue
     return {
@@ -1027,6 +1229,7 @@ def shm_health() -> dict[str, int]:
         "respawns": respawns,
         "barrier_aborts": barrier_aborts,
         "resident_bytes": resident_bytes,
+        "resident_states": resident_states,
     }
 
 
@@ -1113,12 +1316,7 @@ def _neuter_after_fork(_module) -> None:
     for pool in list(_open_pools):
         pool._closed = True
         pool._closing = True
-        pool._workers = []
-        pool._barrier = None
-        pool._state = None
-        pool._scratch = None
-        pool._control = None
-        pool._capacity = 0
+        pool._gangs = [None] * len(pool._gangs)
     _open_pools.clear()
     _owned_segments.clear()
     _shared_pools.clear()

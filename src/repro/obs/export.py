@@ -50,6 +50,21 @@ _COUNTER_FIELDS = (
         "sharded_plan_hits_total",
         "sharded executions replaying an already-compiled worker plan",
     ),
+    (
+        "sweep_bindings",
+        "sweep_bindings_total",
+        "parameter-sweep bindings accepted via submit_sweep",
+    ),
+    (
+        "sweep_fanout",
+        "sweep_fanout_total",
+        "sweep chunks fanned out to execution lanes",
+    ),
+    (
+        "calibration_refinements",
+        "calibration_refinements_total",
+        "online cost-model EWMA refinements from measured replays",
+    ),
     ("executed_shots", "executed_shots_total", "shots actually simulated"),
     ("served_shots", "served_shots_total", "shots delivered to clients"),
     ("shard_respawns", "shard_respawns_total", "shard workers respawned after dying"),
@@ -95,6 +110,11 @@ _GAUGE_FIELDS = (
         "shm_resident_bytes",
         "shm_resident_bytes",
         "bytes resident in shared-memory amplitude segments",
+    ),
+    (
+        "shm_resident_states",
+        "shm_resident_states",
+        "resident shm state slots (gangs) live across open pools",
     ),
     ("uptime_seconds", "uptime_seconds", "seconds since the service started"),
     (

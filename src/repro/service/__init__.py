@@ -16,6 +16,12 @@ deadlines and cooperative cancellation (:mod:`repro.cancellation`),
 memory-budget admission control (:mod:`repro.service.admission`), and a
 circuit breaker degrading the process-shard lane to in-process execution
 under repeated infrastructure failures (:mod:`repro.service.breaker`).
+
+Parameter sweeps are first-class jobs (:mod:`repro.service.sweep`):
+``submit_sweep`` compiles one parametric circuit once and fans N bindings
+out across the execution lanes with in-place rebinds, streaming per-binding
+results through a :class:`SweepHandle`; ``gradient`` ships parameter-shift
+gradients as one ``2·P``-binding expectation sweep.
 """
 
 from .admission import AdmissionController, AdmissionTicket, estimate_job_bytes
@@ -25,8 +31,16 @@ from .broker import QuantumJobService
 from .cache import CachedResult, CacheStats, ResultCache, subsample_counts
 from .dispatcher import DispatcherPool
 from .job import JobHandle, JobPriority, JobResult, JobSpec
-from .keys import circuit_content_hash, config_fingerprint, job_key
+from .keys import (
+    binding_key,
+    canonical_binding,
+    circuit_content_hash,
+    config_fingerprint,
+    job_key,
+    sweep_key,
+)
 from .metrics import BackendLatency, MetricsSnapshot, ServiceMetrics
+from .sweep import BindingResult, SweepHandle
 
 __all__ = [
     "QuantumJobService",
@@ -46,6 +60,11 @@ __all__ = [
     "CacheStats",
     "subsample_counts",
     "job_key",
+    "sweep_key",
+    "binding_key",
+    "canonical_binding",
+    "SweepHandle",
+    "BindingResult",
     "circuit_content_hash",
     "config_fingerprint",
     "ServiceMetrics",

@@ -42,6 +42,8 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import math
+import secrets
 import threading
 import time
 from typing import Mapping
@@ -68,8 +70,9 @@ from .breaker import CircuitBreaker
 from .cache import ResultCache, subsample_counts
 from .dispatcher import DispatcherPool
 from .job import JobHandle, JobPriority, JobResult, JobSpec
-from .keys import job_key
+from .keys import binding_key, canonical_binding, job_key, sweep_key
 from .metrics import MetricsSnapshot, ServiceMetrics
+from .sweep import BindingResult, SweepHandle, _SweepChunk
 
 __all__ = ["QuantumJobService"]
 
@@ -107,8 +110,18 @@ class QuantumJobService:
         retry_policy: RetryPolicy | None = None,
         breaker_failure_threshold: int = 3,
         breaker_cooldown_seconds: float = 5.0,
+        tenant_defaults: Mapping[str, Mapping[str, object]] | None = None,
     ):
         self.name = name
+        #: Per-tenant submission defaults: ``{tenant: {"deadline": seconds,
+        #: "retry_policy": RetryPolicy}}``.  Applied to submits (and every
+        #: binding of a sweep) that do not carry their own deadline/policy;
+        #: an explicit argument always wins.  Unknown tenants get no
+        #: defaults — tenancy here is a defaulting namespace, not auth.
+        self._tenant_defaults: dict[str, dict[str, object]] = {
+            str(tenant): dict(defaults)
+            for tenant, defaults in (tenant_defaults or {}).items()
+        }
         #: When False, jobs queue up until an explicit :meth:`start` — useful
         #: for deterministic batching tests and delayed-start deployments.
         self.auto_start = auto_start
@@ -242,6 +255,9 @@ class QuantumJobService:
         self._state_lock = threading.Lock()
         self._started = False
         self._shut_down = False
+        #: Caller-thread accelerator clone for synchronous expectation
+        #: sweeps (lazily created by :meth:`_sync_backend`).
+        self._sync_qpu: Accelerator | None = None
 
     # -- lifecycle ----------------------------------------------------------------
     def start(self) -> "QuantumJobService":
@@ -310,6 +326,7 @@ class QuantumJobService:
         priority: JobPriority = JobPriority.NORMAL,
         timeout: float | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
     ) -> JobHandle:
         """Submit a job, blocking while the queue is full.
 
@@ -318,12 +335,19 @@ class QuantumJobService:
         after which the job resolves with
         :class:`~repro.exceptions.DeadlineExceeded` instead of a result
         (checked at dequeue, pre-compile and per-step replay boundaries, so
-        even a mid-flight replay is abandoned).  Raises
-        :class:`ServiceOverloadedError` only if ``timeout`` elapses while
-        waiting for a queue slot.
+        even a mid-flight replay is abandoned).  ``tenant`` selects the
+        per-tenant default deadline/retry policy for submissions that do
+        not carry their own.  Raises :class:`ServiceOverloadedError` only
+        if ``timeout`` elapses while waiting for a queue slot.
         """
         return self._submit(
-            circuit, shots, priority, block=True, timeout=timeout, deadline=deadline
+            circuit,
+            shots,
+            priority,
+            block=True,
+            timeout=timeout,
+            deadline=deadline,
+            tenant=tenant,
         )
 
     def try_submit(
@@ -332,14 +356,288 @@ class QuantumJobService:
         shots: int | None = None,
         priority: JobPriority = JobPriority.NORMAL,
         deadline: float | None = None,
+        tenant: str | None = None,
     ) -> JobHandle | None:
         """Non-blocking submit: ``None`` when backpressure rejects the job."""
         try:
             return self._submit(
-                circuit, shots, priority, block=False, timeout=None, deadline=deadline
+                circuit,
+                shots,
+                priority,
+                block=False,
+                timeout=None,
+                deadline=deadline,
+                tenant=tenant,
             )
         except ServiceOverloadedError:
             return None
+
+    def submit_sweep(
+        self,
+        circuit: CompositeInstruction,
+        bindings,
+        shots: int | None = None,
+        priority: JobPriority = JobPriority.NORMAL,
+        timeout: float | None = None,
+        deadline: float | None = None,
+        tenant: str | None = None,
+    ) -> "SweepHandle":
+        """Submit a parameter sweep: one parametric circuit, N bindings.
+
+        The circuit is compiled **once** and shipped to the execution lane
+        once (by content hash); each binding is evaluated by an in-place
+        trig rebind of the cached parametric plan, with per-binding counts
+        bit-identical to submitting the pre-bound circuits independently at
+        the same seed.  Results stream through the returned
+        :class:`~repro.service.sweep.SweepHandle` as bindings complete.
+
+        ``deadline`` (or the tenant/service default) applies per binding;
+        each binding carries its own cancel token, so
+        ``handle.cancel_binding(i)`` abandons one row without touching the
+        rest.  Bindings whose per-binding cache entry already covers
+        ``shots`` resolve immediately without queueing.
+        """
+        if self._shut_down:
+            raise ExecutionError(f"service {self.name!r} has been shut down")
+        if not circuit.is_parameterized:
+            raise ExecutionError(
+                f"circuit {circuit.name!r} has no free parameters; "
+                "use submit for pre-bound circuits"
+            )
+        bindings = list(bindings)
+        if not bindings:
+            raise ExecutionError("submit_sweep needs at least one binding")
+        if deadline is not None and deadline <= 0:
+            raise ExecutionError(
+                f"deadline must be positive seconds from submission, got {deadline}"
+            )
+        if self.auto_start:
+            self.start()
+        resolved_shots = shots if shots is not None else get_config().shots
+        deadline = self._tenant_deadline(tenant, deadline)
+        canon = [canonical_binding(b) for b in bindings]
+        skey = sweep_key(circuit, self.backend, self.backend_options, bindings)
+        bkeys = [
+            binding_key(circuit, self.backend, self.backend_options, b)
+            for b in bindings
+        ]
+        tokens = [CancelToken(timeout=deadline) for _ in bindings]
+        handle = SweepHandle(skey, canon, bkeys, resolved_shots, self.backend, tokens)
+        handle._service_alive = self._can_resolve
+        self._metrics.increment("submitted", len(bindings))
+        self._metrics.increment("sweep_bindings", len(bindings))
+        tracer = get_tracer()
+        root = tracer.span(
+            "sweep",
+            attrs={
+                "backend": self.backend,
+                "shots": resolved_shots,
+                "key": skey[:16],
+                "bindings": len(bindings),
+            },
+        )
+        handle._trace_span = root
+        submit_wall = time.time()
+
+        # Per-binding cache fast path: a binding whose member key is warm
+        # resolves now and never fans out.
+        pending: list[int] = []
+        for index, bkey in enumerate(bkeys):
+            entry = (
+                self._cache.lookup(bkey, resolved_shots)
+                if self._cache is not None
+                else None
+            )
+            if entry is not None and entry.shots >= resolved_shots:
+                counts = subsample_counts(entry.counts, resolved_shots, self._rng())
+                handle._resolve(
+                    index,
+                    BindingResult(
+                        index=index,
+                        values=canon[index],
+                        shots=resolved_shots,
+                        key=bkey,
+                        backend=entry.backend,
+                        counts=counts,
+                        from_cache=True,
+                    ),
+                )
+                self._metrics.increment("cache_hits")
+                self._metrics.increment("completed")
+                self._metrics.increment("served_shots", resolved_shots)
+                continue
+            pending.append(index)
+        if not pending:
+            tracer.record(
+                "cache-hit",
+                parent=root.context(),
+                start_wall=submit_wall,
+                duration=max(0.0, time.time() - submit_wall),
+            )
+            root.set_attribute("from_cache", True)
+            handle._finish_if_done()
+            return handle
+
+        # Fan-out: in sharded mode one chunk suffices (the executor fans
+        # binding ranges across its shards internally); in-process mode
+        # chunks across the dispatcher threads so bindings evaluate
+        # concurrently on their per-thread accelerator clones.  Chunk keys
+        # carry a per-submission nonce: two concurrent identical sweeps
+        # must not coalesce (each chunk resolves its own handle's rows).
+        if self._sharded is not None:
+            n_chunks = 1
+        else:
+            n_chunks = max(1, min(self._pool.size, len(pending)))
+        retry_policy = self._tenant_retry_policy(tenant)
+        root.set_attribute("fanout", n_chunks)
+        self._metrics.increment("sweep_fanout", n_chunks)
+        nonce = secrets.token_hex(4)
+        base, extra = divmod(len(pending), n_chunks)
+        offset = 0
+        chunks: list[tuple[int, ...]] = []
+        for chunk_index in range(n_chunks):
+            size = base + (1 if chunk_index < extra else 0)
+            if size:
+                chunks.append(tuple(pending[offset : offset + size]))
+                offset += size
+        for chunk_index, indices in enumerate(chunks):
+            spec = JobSpec(
+                key=f"{skey}:{nonce}:chunk:{chunk_index}",
+                circuit=circuit,
+                backend=self.backend,
+                shots=resolved_shots,
+                n_qubits=max(circuit.n_qubits, 1),
+                priority=JobPriority(priority),
+                options=self.backend_options,
+                deadline=tokens[indices[0]].deadline,
+                sweep=_SweepChunk(handle, indices),
+                tenant=tenant,
+                retry_policy=retry_policy,
+            )
+            chunk_handle = JobHandle(spec)
+            chunk_handle.cancel_token = combine_tokens([tokens[i] for i in indices])
+            chunk_handle._service_alive = self._can_resolve
+            try:
+                self._queue.put(chunk_handle, block=True, timeout=timeout)
+            except ServiceOverloadedError as exc:
+                # Queue full: fail this chunk's rows and every chunk not
+                # yet enqueued; already-enqueued chunks keep running.
+                self._metrics.increment("rejected")
+                for remaining in chunks[chunk_index:]:
+                    for index in remaining:
+                        handle._fail(index, exc)
+                        self._metrics.increment("failed")
+                break
+        handle._finish_if_done()
+        return handle
+
+    def expectations(
+        self,
+        circuit: CompositeInstruction,
+        observable,
+        bindings,
+        *,
+        tenant: str | None = None,
+    ) -> list[float]:
+        """Exact per-binding expectations of ``observable`` (synchronous).
+
+        Runs on the calling thread through the compile-once sweep path —
+        one plan, N in-place rebinds — fanned across the shards in
+        process-shard mode.  This is the execution primitive under
+        :meth:`gradient`; it bypasses the job queue because expectation
+        sweeps are exact (no shots) and typically sit on an optimizer's
+        critical path.
+        """
+        if self._shut_down:
+            raise ExecutionError(f"service {self.name!r} has been shut down")
+        if not circuit.is_parameterized:
+            raise ExecutionError(
+                f"circuit {circuit.name!r} has no free parameters; "
+                "expectation sweeps need a parametric circuit"
+            )
+        bindings = list(bindings)
+        if not bindings:
+            raise ExecutionError("expectations needs at least one binding")
+        chunk_threshold = self.backend_options.get("chunk-threshold")
+        kwargs = dict(
+            n_qubits=max(circuit.n_qubits, 1),
+            optimize=bool(self.backend_options.get("optimize", True)),
+            batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
+            chunk_threshold=(
+                None if chunk_threshold is None else int(chunk_threshold)  # type: ignore[arg-type]
+            ),
+            precision=self.precision,
+        )
+        if self._sharded is not None:
+            return self._sharded.expectation_sweep(
+                circuit,
+                observable,
+                bindings,
+                retry_policy=self._tenant_retry_policy(tenant),
+                **kwargs,
+            )
+        return self._sync_backend().expectation_sweep(
+            circuit, observable, bindings, **kwargs
+        )
+
+    def gradient(
+        self,
+        circuit: CompositeInstruction,
+        observable,
+        parameters,
+        *,
+        shift: float | None = None,
+        tenant: str | None = None,
+    ) -> np.ndarray:
+        """Parameter-shift gradient evaluated as one ``2·P``-binding sweep.
+
+        Builds the interleaved ``[θ+s·e_i, θ−s·e_i]`` binding list
+        (``s = π/2`` by default — exact for parameters entering through
+        Pauli rotations) and ships it as a single expectation sweep, so all
+        ``2·P`` shifted circuits share one compile and evaluate
+        concurrently across the shards.
+        """
+        params = np.asarray([float(p) for p in parameters], dtype=float)
+        if params.size == 0:
+            return np.zeros(0)
+        s = (math.pi / 2) if shift is None else float(shift)
+        shifted: list[list[float]] = []
+        for i in range(params.size):
+            plus = params.copy()
+            minus = params.copy()
+            plus[i] += s
+            minus[i] -= s
+            shifted.append([float(v) for v in plus])
+            shifted.append([float(v) for v in minus])
+        energies = self.expectations(circuit, observable, shifted, tenant=tenant)
+        grad = np.zeros(params.size)
+        for i in range(params.size):
+            grad[i] = 0.5 * (energies[2 * i] - energies[2 * i + 1])
+        return grad
+
+    def _sync_backend(self):
+        """Execution backend for caller-thread sweeps (lazily created).
+
+        Dispatcher threads own per-thread accelerator clones; synchronous
+        expectation sweeps run on the *caller's* thread, so the service
+        keeps one dedicated clone for them.
+        """
+        with self._state_lock:
+            qpu = self._sync_qpu
+            if qpu is None:
+                from ..runtime.service_registry import get_registry
+
+                qpu = get_registry().get_accelerator(
+                    self.backend, self.backend_options
+                )
+                self._sync_qpu = qpu
+        backend_factory = getattr(qpu, "execution_backend", None)
+        if backend_factory is None:
+            raise ExecutionError(
+                f"backend {self.backend!r} does not expose an execution "
+                "backend; expectation sweeps need a plan-based backend"
+            )
+        return backend_factory()
 
     async def asubmit(
         self,
@@ -383,6 +681,27 @@ class QuantumJobService:
         handle = await self.asubmit(circuit, shots=shots, priority=priority, timeout=timeout)
         return await handle.aresult()
 
+    def _tenant_deadline(self, tenant: str | None, deadline: float | None) -> float | None:
+        """Resolve a relative deadline: explicit > tenant default > service-wide."""
+        if deadline is not None:
+            return deadline
+        if tenant is not None:
+            defaults = self._tenant_defaults.get(tenant)
+            if defaults is not None and defaults.get("deadline") is not None:
+                return float(defaults["deadline"])  # type: ignore[arg-type]
+        raw_deadline = self.backend_options.get("deadline-seconds")
+        return None if raw_deadline is None else float(raw_deadline)  # type: ignore[arg-type]
+
+    def _tenant_retry_policy(self, tenant: str | None) -> RetryPolicy | None:
+        """The tenant's default retry policy (``None`` = service-wide policy)."""
+        if tenant is None:
+            return None
+        defaults = self._tenant_defaults.get(tenant)
+        if defaults is None:
+            return None
+        policy = defaults.get("retry_policy")
+        return policy if isinstance(policy, RetryPolicy) else None
+
     def _submit(
         self,
         circuit: CompositeInstruction,
@@ -391,12 +710,14 @@ class QuantumJobService:
         block: bool,
         timeout: float | None,
         deadline: float | None = None,
+        tenant: str | None = None,
     ) -> JobHandle:
         if self._shut_down:
             raise ExecutionError(f"service {self.name!r} has been shut down")
         if circuit.is_parameterized:
             raise ExecutionError(
-                f"circuit {circuit.name!r} has unbound parameters; bind before submitting"
+                f"circuit {circuit.name!r} has unbound parameters; bind before "
+                "submitting (or submit the binding list via submit_sweep)"
             )
         if deadline is not None and deadline <= 0:
             raise ExecutionError(
@@ -406,11 +727,9 @@ class QuantumJobService:
             self.start()
         resolved_shots = shots if shots is not None else get_config().shots
         # Every job carries a token: the deadline rides on it, and cancel()
-        # trips it even when no deadline was set.  The deadline-seconds
-        # backend option provides a service-wide default.
-        if deadline is None:
-            raw_deadline = self.backend_options.get("deadline-seconds")
-            deadline = None if raw_deadline is None else float(raw_deadline)  # type: ignore[arg-type]
+        # trips it even when no deadline was set.  Tenant defaults and the
+        # deadline-seconds backend option provide fallbacks in that order.
+        deadline = self._tenant_deadline(tenant, deadline)
         token = CancelToken(timeout=deadline)
         spec = JobSpec(
             key=job_key(circuit, self.backend, self.backend_options),
@@ -421,6 +740,8 @@ class QuantumJobService:
             priority=JobPriority(priority),
             options=self.backend_options,
             deadline=token.deadline,
+            tenant=tenant,
+            retry_policy=self._tenant_retry_policy(tenant),
         )
         handle = JobHandle(spec)
         handle.cancel_token = token
@@ -539,6 +860,11 @@ class QuantumJobService:
         return None
 
     def _process_batch(self, batch: PendingBatch, qpu: Accelerator) -> None:
+        if batch.spec.sweep is not None:
+            # Sweep chunks never coalesce (unique per-chunk keys), so the
+            # batch is exactly one chunk spec.
+            self._process_sweep_chunk(batch.spec, qpu)
+            return
         spec = batch.spec
         tracer = get_tracer()
         live = [h for h in batch.handles if self._triage(h, "while queued")]
@@ -639,6 +965,191 @@ class QuantumJobService:
                 span.finish()
                 self._metrics.increment("failed")
 
+    def _sweep_triage(self, handle: SweepHandle, index: int, where: str) -> bool:
+        """Per-binding :meth:`_triage`: resolve a binding whose lifecycle
+        already decided its outcome.  Returns ``True`` when still live."""
+        if handle._futures[index].done():
+            # cancel_binding() already failed the row client-side.
+            self._metrics.increment("cancelled")
+            self._metrics.increment("failed")
+            return False
+        token = handle.tokens[index]
+        if token.cancelled:
+            handle._fail(
+                index, JobCancelled(f"sweep binding {index} was cancelled {where}")
+            )
+            self._metrics.increment("cancelled")
+            self._metrics.increment("failed")
+            return False
+        if token.expired():
+            handle._fail(
+                index,
+                DeadlineExceeded(
+                    f"sweep binding {index} deadline passed {where} "
+                    f"(deadline={token.deadline:.3f}, now={time.time():.3f})"
+                ),
+            )
+            self._metrics.increment("deadline_exceeded")
+            self._metrics.increment("failed")
+            return False
+        return True
+
+    def _process_sweep_chunk(self, spec: JobSpec, qpu: Accelerator) -> None:
+        """Execute one fan-out chunk of a sweep and resolve its bindings.
+
+        The chunk compiles nothing the other chunks of the same sweep don't
+        share: every lane keys its plan cache by the *parametric* circuit's
+        content hash, so concurrent chunks reuse one compiled plan and
+        differ only in their in-place rebinds.
+        """
+        chunk: _SweepChunk = spec.sweep  # type: ignore[assignment]
+        handle = chunk.handle
+        tracer = get_tracer()
+        ctx = handle._trace_span.context()
+        try:
+            live = [
+                i
+                for i in chunk.indices
+                if self._sweep_triage(handle, i, "while queued")
+            ]
+            if live:
+                bindings = [handle.bindings[i] for i in live]
+                # Keep executing while *any* live binding still wants its
+                # row; each binding re-triages against its own token below.
+                token = combine_tokens([handle.tokens[i] for i in live])
+                width = (
+                    min(self.processes, len(live))
+                    if self._sharded is not None
+                    else 1
+                )
+                requested_bytes = estimate_job_bytes(
+                    spec.n_qubits, spec.shots, precision=self.precision
+                ) * max(1, width)
+                with tracer.span(
+                    "admission",
+                    parent=ctx,
+                    attrs={
+                        "requested_bytes": requested_bytes,
+                        "bindings": len(live),
+                    },
+                ):
+                    ticket = self._admission.admit(
+                        requested_bytes, deadline=token.deadline
+                    )
+                with ticket:
+                    with tracer.activate(ctx), cancel_scope(token):
+                        started_wall = time.time()
+                        results = self._execute_sweep_chunk(spec, bindings, qpu)
+                with tracer.span(
+                    "reconcile", parent=ctx, attrs={"riders": len(live)}
+                ):
+                    for result, index in zip(results, live):
+                        counts = dict(result.counts)
+                        if self._cache is not None:
+                            self._cache.store(
+                                handle.binding_keys[index], counts, spec.backend
+                            )
+                        self._metrics.increment("executions")
+                        self._metrics.increment("executed_shots", spec.shots)
+                        self._metrics.observe_latency(spec.backend, result.seconds)
+                        if not self._sweep_triage(
+                            handle, index, "before its result was served"
+                        ):
+                            continue
+                        handle._resolve(
+                            index,
+                            BindingResult(
+                                index=index,
+                                values=handle.bindings[index],
+                                shots=spec.shots,
+                                key=handle.binding_keys[index],
+                                backend=spec.backend,
+                                counts=counts,
+                                execution_seconds=result.seconds,
+                            ),
+                        )
+                        self._metrics.increment("completed")
+                        self._metrics.increment("served_shots", spec.shots)
+                        tracer.record(
+                            "sweep-binding",
+                            parent=ctx,
+                            start_wall=started_wall,
+                            duration=result.seconds,
+                            attrs={"binding": index},
+                        )
+        except BaseException as exc:  # resolve every row, never hang a client
+            counter = self._classify_failure(exc)
+            for index in chunk.indices:
+                if handle._futures[index].done():
+                    continue
+                handle._fail(index, exc)
+                if counter is not None:
+                    self._metrics.increment(counter)
+                self._metrics.increment("failed")
+        finally:
+            handle._finish_if_done()
+
+    def _execute_sweep_chunk(self, spec: JobSpec, bindings, qpu: Accelerator):
+        """Compile-once execution of one sweep chunk's bindings.
+
+        Mirrors :meth:`_execute_missing`'s lane selection: the shard lane
+        (which fans binding ranges across worker processes) sits behind the
+        same circuit breaker and degrades to the dispatcher thread's
+        in-process clone on infrastructure failures.  Returns the per-
+        binding :class:`~repro.exec.backend.ExecutionResult` list in
+        binding order.
+        """
+        tracer = get_tracer()
+        chunk_threshold = self.backend_options.get("chunk-threshold")
+        kwargs = dict(
+            n_qubits=spec.n_qubits,
+            seed=get_config().seed,
+            optimize=bool(self.backend_options.get("optimize", True)),
+            batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
+            chunk_threshold=(
+                None if chunk_threshold is None else int(chunk_threshold)  # type: ignore[arg-type]
+            ),
+            precision=self.precision,
+        )
+        if self._sharded is not None:
+            if self._breaker.allow():
+                try:
+                    with tracer.span(
+                        "sweep-shard-dispatch", attrs={"bindings": len(bindings)}
+                    ):
+                        results = self._sharded.execute_sweep(
+                            spec.circuit,
+                            bindings,
+                            spec.shots,
+                            retry_policy=spec.retry_policy,  # type: ignore[arg-type]
+                            **kwargs,
+                        )
+                except Exception as exc:
+                    if not is_infrastructure_failure(exc):
+                        raise
+                    self._breaker.record_failure()
+                    self._metrics.increment("breaker_fallbacks")
+                    with tracer.span("breaker-fallback") as fallback_span:
+                        fallback_span.mark_error(f"{type(exc).__name__}: {exc}")
+                else:
+                    self._breaker.record_success()
+                    self._metrics.increment("sharded_executions")
+                    self._metrics.increment(
+                        "sharded_plan_hits",
+                        sum(1 for r in results if r.plan_cached),
+                    )
+                    return results
+            else:
+                self._metrics.increment("breaker_fallbacks")
+        backend_factory = getattr(qpu, "execution_backend", None)
+        if backend_factory is None:
+            raise ExecutionError(
+                f"backend {spec.backend!r} does not expose an execution "
+                "backend; sweeps need a plan-based backend"
+            )
+        with tracer.span("sweep-execute", attrs={"bindings": len(bindings)}):
+            return backend_factory().execute_sweep(spec.circuit, bindings, spec.shots, **kwargs)
+
     def _counts_for(
         self, spec: JobSpec, target_shots: int, qpu: Accelerator
     ) -> tuple[dict[str, int], float, bool]:
@@ -714,6 +1225,7 @@ class QuantumJobService:
                             batch_diagonals=bool(self.backend_options.get("batch-diagonals", True)),
                             chunk_threshold=None if chunk_threshold is None else int(chunk_threshold),  # type: ignore[arg-type]
                             precision=self.precision,
+                            retry_policy=spec.retry_policy,  # type: ignore[arg-type]
                         )
                 except Exception as exc:
                     if not is_infrastructure_failure(exc):
@@ -763,6 +1275,13 @@ class QuantumJobService:
             batch = self._queue.get(timeout=0)
             if batch is None:
                 return
+            sweep = batch.spec.sweep
+            if sweep is not None:
+                for index in sweep.indices:
+                    sweep.handle._fail(index, failure)
+                sweep.handle._finish_if_done()
+                self._metrics.increment("failed", len(sweep.indices))
+                continue
             for handle in batch.handles:
                 handle._fail(failure)
             self._metrics.increment("failed", len(batch))
@@ -786,6 +1305,7 @@ class QuantumJobService:
     def metrics(self) -> MetricsSnapshot:
         """Consistent snapshot of throughput, queue, cache and latency stats."""
         from ..exec.shm import shm_health
+        from ..simulator.cost_model import calibration_refinement_count
         from ..simulator.plan_cache import get_plan_cache
 
         # Aggregated over this process's open shm pools (the in-process
@@ -817,6 +1337,8 @@ class QuantumJobService:
             shm_respawns=shm["respawns"],
             shm_barrier_aborts=shm["barrier_aborts"],
             shm_resident_bytes=shm["resident_bytes"],
+            shm_resident_states=shm["resident_states"],
+            calibration_refinements=calibration_refinement_count(),
             breaker_state=self._breaker.state,
             breaker_trips=self._breaker.trips,
             shm_breaker_state=self._shm_breaker.state,

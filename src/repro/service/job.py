@@ -47,6 +47,17 @@ class JobSpec:
     #: Deliberately excluded from the job key: a deadline changes whether a
     #: result arrives, never what the result is.
     deadline: float | None = None
+    #: Sweep-chunk payload (a :class:`repro.service.sweep._SweepChunk`) when
+    #: this spec is one fan-out chunk of a parameter sweep; ``None`` for
+    #: ordinary jobs.  Chunk keys are unique per chunk, so sweep specs never
+    #: coalesce with each other or with plain submissions.
+    sweep: object | None = None
+    #: Tenant this job was submitted under (``None`` = untenanted); used
+    #: only to apply per-tenant default deadlines/retry policies at submit.
+    tenant: str | None = None
+    #: Per-job retry policy override (tenant default or explicit); ``None``
+    #: falls back to the service-wide policy.
+    retry_policy: object | None = None
 
     def __post_init__(self) -> None:
         if self.shots <= 0:

@@ -25,7 +25,14 @@ from typing import Mapping
 from ..ir.composite import CompositeInstruction
 from ..ir.serialization import circuit_content_hash
 
-__all__ = ["job_key", "circuit_content_hash", "config_fingerprint"]
+__all__ = [
+    "job_key",
+    "circuit_content_hash",
+    "config_fingerprint",
+    "sweep_key",
+    "binding_key",
+    "canonical_binding",
+]
 
 #: Backend options that do not affect measurement distributions and must not
 #: fragment the cache (they tune performance, not physics).  ``processes``
@@ -64,6 +71,7 @@ _NON_SEMANTIC_OPTIONS = frozenset(
         "latency-seconds",
         "processes",
         "shm-processes",
+        "shm-states",
         "batch-diagonals",
         "chunk-threshold",
         "adaptive-lane",
@@ -107,4 +115,81 @@ def job_key(
 ) -> str:
     """Canonical key for (circuit content, backend, config) — shots excluded."""
     combined = circuit_content_hash(circuit) + ":" + config_fingerprint(backend, options)
+    return hashlib.sha256(combined.encode("utf-8")).hexdigest()
+
+
+# -- sweep keys ---------------------------------------------------------------------
+#
+# A parameter sweep is identified by (circuit content, backend config,
+# binding list).  The *binding list* is semantic: two sweeps over the same
+# ansatz with different angle sets — or the same angles in a different
+# order — produce different result tables, so the bindings (values and
+# order, after canonicalisation) hash into the sweep key.  What is
+# deliberately NOT in the key is everything about *how* the fan-out runs:
+# the fan-out width, the binding-range chunking, which lane (threads / shm
+# / shards) evaluates each range, and the multi-state shm residency count
+# are all routing decisions — every lane is bit-identical per binding at a
+# given precision — so a sweep keeps one identity whether it runs on one
+# worker or thirty-two.  Shots stay out for the same reconciliation reason
+# as ``job_key``.
+#
+# Each binding additionally gets a *member* key via :func:`binding_key`,
+# which is exactly the identity an equivalent independent submission of the
+# pre-bound circuit would occupy in spirit: (circuit, config, one binding).
+# Member keys are what the result cache stores sweep histograms under, so a
+# later sweep — or a plain submit of the same ansatz at the same angles
+# via a sweep — can reuse per-binding results even when the surrounding
+# sweep differs.
+
+
+def canonical_binding(binding) -> object:
+    """Canonical JSON-able form of one parameter binding.
+
+    Mappings normalise to name-sorted ``{name: float}`` dicts; positional
+    sequences to ``[float, ...]`` lists.  A mapping and the positional
+    sequence it implies are *not* identified — name-order resolution lives
+    in the IR's ``bind``, and conflating them here would require importing
+    that resolution into the key.
+    """
+    if isinstance(binding, Mapping):
+        return {str(name): float(value) for name, value in sorted(binding.items())}
+    return [float(value) for value in binding]
+
+
+def sweep_key(
+    circuit: CompositeInstruction,
+    backend: str,
+    options: Mapping[str, object] | None = None,
+    bindings=(),
+) -> str:
+    """Canonical key for a parameter sweep (binding list is semantic)."""
+    combined = (
+        circuit_content_hash(circuit)
+        + ":"
+        + config_fingerprint(backend, options)
+        + ":sweep:"
+        + _canonical_json([canonical_binding(b) for b in bindings])
+    )
+    return hashlib.sha256(combined.encode("utf-8")).hexdigest()
+
+
+def binding_key(
+    circuit: CompositeInstruction,
+    backend: str,
+    options: Mapping[str, object] | None = None,
+    binding=(),
+) -> str:
+    """Cache identity of one binding of a parametric circuit.
+
+    Independent of the sweep it arrived in (grouping and fan-out width are
+    routing, not identity), so per-binding histograms are reusable across
+    differently-shaped sweeps of the same ansatz.
+    """
+    combined = (
+        circuit_content_hash(circuit)
+        + ":"
+        + config_fingerprint(backend, options)
+        + ":binding:"
+        + _canonical_json(canonical_binding(binding))
+    )
     return hashlib.sha256(combined.encode("utf-8")).hexdigest()

@@ -116,6 +116,13 @@ class MetricsSnapshot:
     #: Sharded executions that replayed an already-compiled worker plan
     #: (the per-worker plan caches earning their keep under hash affinity).
     sharded_plan_hits: int = 0
+    #: Parameter-sweep bindings accepted via ``submit_sweep`` (each binding
+    #: is one row of a sweep's result table).
+    sweep_bindings: int = 0
+    #: Sweep chunks fanned out to execution lanes (compile-once fan-out
+    #: width actually used, summed over sweeps; cache-served bindings fan
+    #: out nothing).
+    sweep_fanout: int = 0
     #: Shots actually simulated on backends.
     executed_shots: int = 0
     #: Shots delivered to clients (≥ executed when the cache is earning its keep).
@@ -141,6 +148,11 @@ class MetricsSnapshot:
     shm_barrier_aborts: int = 0
     #: Bytes resident in shared-memory amplitude segments (state + scratch).
     shm_resident_bytes: int = 0
+    #: Resident shm state slots (gangs) live across this process's pools.
+    shm_resident_states: int = 0
+    #: Online cost-model refinements applied (EWMA updates from measured
+    #: per-lane replay timings feeding back into the calibration profile).
+    calibration_refinements: int = 0
     #: Shard-lane circuit-breaker state at snapshot time
     #: ("closed" / "open" / "half-open"; "closed" without sharding).
     breaker_state: str = "closed"
@@ -207,6 +219,8 @@ class ServiceMetrics:
         "executions",
         "sharded_executions",
         "sharded_plan_hits",
+        "sweep_bindings",
+        "sweep_fanout",
         "executed_shots",
         "served_shots",
     )
@@ -244,6 +258,8 @@ class ServiceMetrics:
         shm_respawns: int = 0,
         shm_barrier_aborts: int = 0,
         shm_resident_bytes: int = 0,
+        shm_resident_states: int = 0,
+        calibration_refinements: int = 0,
         breaker_state: str = "closed",
         breaker_trips: int = 0,
         shm_breaker_state: str = "closed",
@@ -278,6 +294,8 @@ class ServiceMetrics:
             shm_respawns=shm_respawns,
             shm_barrier_aborts=shm_barrier_aborts,
             shm_resident_bytes=shm_resident_bytes,
+            shm_resident_states=shm_resident_states,
+            calibration_refinements=calibration_refinements,
             breaker_state=breaker_state,
             breaker_trips=breaker_trips,
             shm_breaker_state=shm_breaker_state,

@@ -1,0 +1,214 @@
+"""Parameter-sweep handles: per-binding futures, streaming, cancellation.
+
+A *sweep* is one client request covering N parameter bindings of a single
+parametric circuit.  The broker compiles the circuit once, fans the
+bindings out across its execution lanes, and resolves each binding
+independently — so results stream back as they land instead of gating on
+the slowest binding.  :class:`SweepHandle` is the client's view: iterate it
+(or call :meth:`SweepHandle.as_completed`) to consume results in completion
+order, call :meth:`SweepHandle.result` for the full table in binding order,
+and cancel the whole sweep or any single binding without touching the rest.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import queue as queue_module
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+from ..cancellation import CancelToken
+from ..exceptions import JobCancelled
+from ..obs.trace import NOOP_SPAN
+
+__all__ = ["BindingResult", "SweepHandle"]
+
+
+@dataclass(frozen=True)
+class BindingResult:
+    """Outcome of one binding of a sweep (one row of the result table)."""
+
+    #: Position of this binding in the submitted binding list.
+    index: int
+    #: The canonical binding (name-sorted mapping or positional tuple).
+    values: object
+    #: Shots this binding was sampled at (0 for expectation-only sweeps).
+    shots: int
+    #: Per-binding cache key the histogram was filed under.
+    key: str
+    #: Backend that produced (or originally produced) the counts.
+    backend: str = ""
+    #: Measurement histogram (``None`` for expectation-only sweeps).
+    counts: Mapping[str, int] | None = None
+    #: Exact expectation value (``None`` for sampling sweeps).
+    expectation: float | None = None
+    #: True when this binding was served from the result cache.
+    from_cache: bool = False
+    #: Wall-clock seconds of the execution serving this binding.
+    execution_seconds: float = 0.0
+
+
+class SweepHandle:
+    """Future-like handle over every binding of one submitted sweep."""
+
+    def __init__(
+        self,
+        sweep_key: str,
+        bindings: Sequence[object],
+        binding_keys: Sequence[str],
+        shots: int,
+        backend: str,
+        tokens: Sequence[CancelToken],
+    ):
+        self.sweep_key = sweep_key
+        #: Canonical bindings, in submission order.
+        self.bindings = tuple(bindings)
+        #: Per-binding cache keys, aligned with :attr:`bindings`.
+        self.binding_keys = tuple(binding_keys)
+        self.shots = shots
+        self.backend = backend
+        #: Per-binding cancellation tokens (cancel one binding, not all).
+        self.tokens = tuple(tokens)
+        self._futures: list["concurrent.futures.Future[BindingResult]"] = [
+            concurrent.futures.Future() for _ in self.bindings
+        ]
+        #: Completion-order stream: indices are pushed as bindings resolve.
+        self._completed: "queue_module.Queue[int]" = queue_module.Queue()
+        for index, future in enumerate(self._futures):
+            future.add_done_callback(
+                lambda _f, i=index: self._completed.put(i)
+            )
+        #: Root span of the sweep's trace (broker-set).
+        self._trace_span = NOOP_SPAN
+        self._finish_lock = threading.Lock()
+        self._finished = False
+        #: Broker-set liveness probe (see :class:`JobHandle`).
+        self._service_alive: Callable[[], bool] | None = None
+
+    # -- metadata ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    @property
+    def trace_id(self) -> str | None:
+        ctx = self._trace_span.context()
+        return ctx.trace_id if ctx is not None else None
+
+    # -- lifecycle --------------------------------------------------------------
+    def cancel(self) -> None:
+        """Cancel every still-pending binding (resolved ones keep results)."""
+        for index in range(len(self.bindings)):
+            self.cancel_binding(index)
+
+    def cancel_binding(self, index: int) -> bool:
+        """Cancel one binding; the rest of the sweep keeps running.
+
+        Immediate for the client (the binding's slot resolves with
+        :class:`~repro.exceptions.JobCancelled`), cooperative for the
+        backend: an in-flight evaluation of this binding is abandoned at
+        its next per-binding boundary.  Returns ``True`` when the
+        cancellation took effect.
+        """
+        self.tokens[index].cancel()
+        future = self._futures[index]
+        if future.done():
+            return isinstance(future.exception(), JobCancelled)
+        self._fail(index, JobCancelled("sweep binding was cancelled by the client"))
+        return isinstance(future.exception(), JobCancelled)
+
+    def done(self) -> bool:
+        return all(future.done() for future in self._futures)
+
+    # -- results ----------------------------------------------------------------
+    def binding_result(self, index: int, timeout: float | None = None) -> BindingResult:
+        """Block for one binding's result (raises its error if it failed)."""
+        return self._futures[index].result(timeout)
+
+    def result(self, timeout: float | None = None) -> list[BindingResult]:
+        """The full result table in binding order.
+
+        ``timeout`` bounds the wait for *all* bindings together.  The first
+        failed binding's error is raised (use :meth:`as_completed` to
+        consume partial successes around failures).
+        """
+        done, not_done = concurrent.futures.wait(self._futures, timeout=timeout)
+        if not_done:
+            raise TimeoutError(
+                f"sweep {self.sweep_key[:12]}: {len(not_done)} of "
+                f"{len(self._futures)} bindings still pending"
+            )
+        return [future.result() for future in self._futures]
+
+    def as_completed(
+        self, timeout: float | None = None
+    ) -> Iterator[BindingResult]:
+        """Yield binding results as they land (completion order).
+
+        A failed binding raises its error when reached; resume iterating to
+        keep consuming the remaining bindings.  ``timeout`` bounds each
+        *wait between* results, not the whole sweep.
+        """
+        for _ in range(len(self._futures)):
+            try:
+                index = self._completed.get(timeout=timeout)
+            except queue_module.Empty:
+                raise TimeoutError(
+                    f"sweep {self.sweep_key[:12]}: no binding completed "
+                    f"within {timeout}s"
+                ) from None
+            yield self._futures[index].result()
+
+    def __iter__(self) -> Iterator[BindingResult]:
+        return self.as_completed()
+
+    def counts(self, timeout: float | None = None) -> list[dict[str, int]]:
+        """Convenience: block and return every binding's histogram in order."""
+        return [dict(r.counts or {}) for r in self.result(timeout)]
+
+    def expectations(self, timeout: float | None = None) -> list[float]:
+        """Convenience: every binding's expectation value in order."""
+        return [
+            float(r.expectation) if r.expectation is not None else float("nan")
+            for r in self.result(timeout)
+        ]
+
+    # -- resolution (broker-side) ------------------------------------------------
+    def _resolve(self, index: int, result: BindingResult) -> None:
+        future = self._futures[index]
+        if not future.done():
+            future.set_result(result)
+
+    def _fail(self, index: int, error: BaseException) -> None:
+        future = self._futures[index]
+        if not future.done():
+            future.set_exception(error)
+
+    def _finish_if_done(self) -> None:
+        """Close the sweep's root trace span once every binding resolved."""
+        if not self.done():
+            return
+        with self._finish_lock:
+            if self._finished:
+                return
+            self._finished = True
+        failures = sum(
+            1 for f in self._futures if f.exception() is not None
+        )
+        self._trace_span.set_attribute("failed_bindings", failures)
+        self._trace_span.finish()
+
+    def __repr__(self) -> str:
+        resolved = sum(1 for f in self._futures if f.done())
+        return (
+            f"SweepHandle(key={self.sweep_key[:12]}…, "
+            f"bindings={len(self.bindings)}, resolved={resolved})"
+        )
+
+
+@dataclass(frozen=True)
+class _SweepChunk:
+    """Broker-internal payload: which sweep bindings one queued chunk covers."""
+
+    handle: SweepHandle
+    indices: tuple[int, ...]

@@ -20,6 +20,8 @@ regimes the paper reports.
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -32,7 +34,29 @@ __all__ = [
     "DEFAULT_KERNEL_PARALLEL_EFFICIENCY",
     "DEFAULT_KERNEL_PROCESS_EFFICIENCY",
     "EXECUTION_LANES",
+    "calibration_refinement_count",
 ]
+
+#: Process-wide count of online lane-timing refinements folded into any
+#: cost model via :meth:`SimulationCostModel.observe_lane`.  The broker
+#: surfaces it in ``service.metrics()`` as ``calibration_refinements`` so
+#: operators can see whether lane selection is still trusting the one-shot
+#: calibration profile or has started learning from served jobs.
+_refinement_lock = threading.Lock()
+_refinement_count = 0
+
+
+def calibration_refinement_count() -> int:
+    """Total ``observe_lane`` refinements applied in this process."""
+    with _refinement_lock:
+        return _refinement_count
+
+
+def _reset_refinement_count() -> None:
+    """Testing hook: zero the process-wide refinement counter."""
+    global _refinement_count
+    with _refinement_lock:
+        _refinement_count = 0
 
 #: The execution lanes adaptive selection ranks.  ``serial`` is in-process
 #: single-threaded replay; ``threads`` is chunk-parallel replay on the
@@ -189,6 +213,16 @@ class SimulationCostModel:
     #: is what keeps single-state jobs off that lane in adaptive selection
     #: unless trajectory fan-out amortises it.
     sharded_dispatch_cost: float = 500.0
+    #: Online refinement state: EWMA of measured seconds per predicted work
+    #: unit, per lane, fed by :meth:`observe_lane` from served jobs.  Empty
+    #: until the first observation, in which case lane ranking trusts the
+    #: (calibrated) static constants exactly as before.  Not persisted —
+    #: this is the in-service correction on top of the one-shot profile.
+    lane_seconds_per_unit: dict[str, float] = field(default_factory=dict)
+    #: EWMA smoothing factor for :meth:`observe_lane` (weight of the newest
+    #: observation).  0.25 converges in a handful of jobs while riding out
+    #: one noisy measurement.
+    refinement_alpha: float = 0.25
 
     @classmethod
     def from_profile(cls, profile) -> "SimulationCostModel":
@@ -336,6 +370,87 @@ class SimulationCostModel:
         locked += shots * self.shot_locked_cost
         return CircuitCost(parallel_work=parallel, serial_work=serial, locked_work=locked)
 
+    def sweep_cost(
+        self,
+        plan,
+        n_bindings: int,
+        shots: int,
+        *,
+        chunked: bool = False,
+        processes: int = 0,
+    ) -> CircuitCost:
+        """Estimate a compile-once parameter sweep over ``n_bindings``.
+
+        An independent submission pays :meth:`plan_cost` — including the
+        :attr:`launch_overhead` critical-section entry — once *per binding*.
+        A sweep pays the launch once for the whole fan-out and then only the
+        marginal per-evaluation work: an in-place trig rebind (folded into
+        the per-step dispatch constant, same as :meth:`plan_cost`'s
+        parametric note) plus the replay + sampling sweep itself.  The
+        predicted amortisation ratio is therefore
+        ``n * plan_cost(...).total_work / sweep_cost(...).total_work``.
+        """
+        n = max(1, int(n_bindings))
+        single = self.plan_cost(plan, shots, chunked=chunked, processes=processes)
+        marginal_locked = max(0.0, single.locked_work - self.launch_overhead)
+        return CircuitCost(
+            parallel_work=single.parallel_work * n,
+            serial_work=single.serial_work * n,
+            locked_work=marginal_locked * n + self.launch_overhead,
+        )
+
+    # -- online refinement -------------------------------------------------------------
+    def observe_lane(
+        self, lane: str, predicted_units: float, measured_seconds: float
+    ) -> None:
+        """Fold one served-job measurement into the per-lane EWMA.
+
+        ``predicted_units`` is this model's wall-clock estimate for the
+        replay that was routed to ``lane`` (from :meth:`lane_costs`);
+        ``measured_seconds`` is what the replay actually took.  The ratio
+        seconds-per-unit is smoothed per lane and applied as a multiplicative
+        correction in :meth:`lane_costs`, so lane selection improves in
+        service instead of trusting one-shot micro-benchmarks forever.
+        Non-positive or non-finite inputs are ignored (a cancelled or
+        clock-skewed job must not poison the estimate).
+        """
+        global _refinement_count
+        if lane not in EXECUTION_LANES:
+            return
+        if not (
+            math.isfinite(predicted_units)
+            and math.isfinite(measured_seconds)
+            and predicted_units > 0.0
+            and measured_seconds > 0.0
+        ):
+            return
+        ratio = measured_seconds / predicted_units
+        with _refinement_lock:
+            previous = self.lane_seconds_per_unit.get(lane)
+            if previous is None:
+                self.lane_seconds_per_unit[lane] = ratio
+            else:
+                alpha = self.refinement_alpha
+                self.lane_seconds_per_unit[lane] = previous + alpha * (ratio - previous)
+            _refinement_count += 1
+
+    def _lane_scale(self, lane: str) -> float:
+        """Multiplicative EWMA correction for ``lane``.
+
+        Lanes without observations borrow the mean of the observed lanes so
+        that a uniformly-miscalibrated host (every lane 2x slower than the
+        profile predicts) does not bias selection toward whichever lane
+        happens to be unobserved; with no observations at all the scale is
+        1.0 and ranking reduces to the static model.
+        """
+        table = self.lane_seconds_per_unit
+        if not table:
+            return 1.0
+        observed = table.get(lane)
+        if observed is not None:
+            return observed
+        return sum(table.values()) / len(table)
+
     # -- adaptive lane selection -----------------------------------------------------
     def predicted_units(self, cost: CircuitCost, workers: int) -> float:
         """Wall-clock estimate (abstract units) of ``cost`` on ``workers``:
@@ -375,6 +490,12 @@ class SimulationCostModel:
                 )
             else:
                 costs["sharded"] = chunked.total_work + self.sharded_dispatch_cost
+        # Apply the online per-lane EWMA correction (1.0 until observe_lane
+        # has been fed at least once, so cold models rank exactly as the
+        # static constants dictate).
+        if self.lane_seconds_per_unit:
+            for lane in costs:
+                costs[lane] *= self._lane_scale(lane)
         return costs
 
     def choose_lane(
@@ -388,7 +509,28 @@ class SimulationCostModel:
     ) -> str:
         """The predicted-cheapest lane name for ``plan`` (ties prefer the
         earlier entry in :data:`EXECUTION_LANES`, i.e. the simpler lane)."""
+        lane, _ = self.choose_lane_with_costs(
+            plan, shots, threads=threads, shm_workers=shm_workers, shards=shards
+        )
+        return lane
+
+    def choose_lane_with_costs(
+        self,
+        plan,
+        shots: int,
+        *,
+        threads: int = 1,
+        shm_workers: int = 0,
+        shards: int = 0,
+    ) -> tuple[str, dict[str, float]]:
+        """Like :meth:`choose_lane`, also returning the full cost table.
+
+        Callers that time the replay they route (``LocalBackend`` with
+        ``adaptive=True``) need the chosen lane's predicted units to feed
+        :meth:`observe_lane` afterwards without re-costing the plan.
+        """
         costs = self.lane_costs(
             plan, shots, threads=threads, shm_workers=shm_workers, shards=shards
         )
-        return min(costs, key=lambda lane: (costs[lane], EXECUTION_LANES.index(lane)))
+        lane = min(costs, key=lambda lane: (costs[lane], EXECUTION_LANES.index(lane)))
+        return lane, costs

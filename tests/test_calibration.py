@@ -8,6 +8,7 @@ and the harness itself produces a usable profile on any host.
 """
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -30,9 +31,15 @@ from repro.simulator.cost_model import (
 from repro.simulator.execution_plan import compile_plan
 
 
+def created_days_ago(days: float) -> str:
+    return time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime(time.time() - days * 86400.0)
+    )
+
+
 def make_profile(**overrides) -> CalibrationProfile:
     base = dict(
-        created="2026-08-08T00:00:00Z",
+        created=created_days_ago(0),
         seconds_per_unit=2.5e-9,
         kernel_cost_factors={"single": 1.0, "diagonal": 0.3, "dense": 1.4},
         kernel_parallel_efficiency={"single": 0.9},
@@ -113,6 +120,104 @@ class TestLoadCalibratedModel:
         with pytest.warns(RuntimeWarning, match="ignoring calibration profile"):
             model = load_calibrated_model(target)
         assert model == SimulationCostModel()
+
+
+class TestProfileTTL:
+    def test_stale_profile_warns_with_age_and_keeps_defaults(self, tmp_path):
+        target = make_profile(created=created_days_ago(45)).save(tmp_path / "cal.json")
+        with pytest.warns(RuntimeWarning, match=r"45\.0 days old"):
+            model = load_calibrated_model(target)
+        assert model == SimulationCostModel()
+
+    def test_fresh_profile_loads_silently(self, tmp_path):
+        import warnings
+
+        target = make_profile(created=created_days_ago(5)).save(tmp_path / "cal.json")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            model = load_calibrated_model(target)
+        assert model.plan_step_dispatch_cost == 40.0
+
+    def test_custom_max_age_tightens_the_ttl(self, tmp_path):
+        target = make_profile(created=created_days_ago(5)).save(tmp_path / "cal.json")
+        with pytest.warns(RuntimeWarning, match="max 2"):
+            model = load_calibrated_model(target, max_age_days=2.0)
+        assert model == SimulationCostModel()
+
+    def test_undated_profile_skips_the_age_check(self, tmp_path):
+        import warnings
+
+        target = make_profile(created="").save(tmp_path / "cal.json")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            model = load_calibrated_model(target)
+        assert model.plan_step_dispatch_cost == 40.0
+
+    def test_age_days_reports_elapsed_time(self):
+        assert make_profile(created=created_days_ago(10)).age_days() == pytest.approx(
+            10.0, abs=0.1
+        )
+        assert make_profile(created="").age_days() is None
+        assert make_profile(created="not-a-date").age_days() is None
+
+    def test_cli_show_prints_age(self, tmp_path, capsys):
+        from repro.calibrate.__main__ import main
+
+        target = make_profile(created=created_days_ago(3)).save(tmp_path / "cal.json")
+        assert main(["--show", "--output", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert "profile age: 3.0 days" in captured.err
+        assert json.loads(captured.out)["plan_step_dispatch_cost"] == 40.0
+
+
+class TestOnlineRefinement:
+    def setup_method(self):
+        from repro.simulator.cost_model import _reset_refinement_count
+
+        _reset_refinement_count()
+
+    def test_observe_lane_refines_and_counts(self):
+        from repro.simulator.cost_model import calibration_refinement_count
+
+        model = SimulationCostModel()
+        assert model._lane_scale("threads") == 1.0
+        model.observe_lane("threads", predicted_units=1.0, measured_seconds=3.0)
+        assert model._lane_scale("threads") == pytest.approx(3.0)
+        assert calibration_refinement_count() == 1
+        # EWMA: the next observation moves the estimate toward its ratio.
+        model.observe_lane("threads", predicted_units=1.0, measured_seconds=1.0)
+        scale = model._lane_scale("threads")
+        assert 1.0 < scale < 3.0
+        assert calibration_refinement_count() == 2
+
+    def test_bad_measurements_are_ignored(self):
+        from repro.simulator.cost_model import calibration_refinement_count
+
+        model = SimulationCostModel()
+        model.observe_lane("threads", 0.0, 1.0)
+        model.observe_lane("threads", 1.0, -1.0)
+        model.observe_lane("threads", float("nan"), 1.0)
+        model.observe_lane("not-a-lane", 1.0, 1.0)
+        assert calibration_refinement_count() == 0
+        assert model._lane_scale("threads") == 1.0
+
+    def test_unobserved_lane_borrows_the_observed_mean(self):
+        model = SimulationCostModel()
+        model.observe_lane("threads", 1.0, 2.0)
+        model.observe_lane("serial", 1.0, 4.0)
+        assert model._lane_scale("shm") == pytest.approx(3.0)
+
+    def test_sweep_cost_amortises_the_launch(self):
+        circuit = kernel_microbench_circuit("single", 8)
+        plan = compile_plan(circuit, 8)
+        model = SimulationCostModel()
+        n = 32
+        single = model.plan_cost(plan, 100)
+        sweep = model.sweep_cost(plan, n, 100)
+        # The sweep pays the launch overhead once, not n times.
+        assert sweep.total_work < n * single.total_work
+        saved = n * single.total_work - sweep.total_work
+        assert saved == pytest.approx((n - 1) * model.launch_overhead)
 
 
 class TestFromProfile:

@@ -270,6 +270,34 @@ def run_calibration(
         except Exception as exc:  # pragma: no cover - host-dependent lane
             measurements["shm_error"] = repr(exc)
 
+    # -- 5. stabilizer tableau per-gate cost -------------------------------
+    # Times a fixed H-layer + CX-chain workload on a wide tableau; the
+    # derived constant is seconds per Clifford gate per qubit-row (the
+    # tableau's O(n) per-gate sweep unit), consumed by
+    # SimulationCostModel.stabilizer_seconds for latency predictions.
+    clifford_seconds: float | None = None
+    from ..exec.stabilizer import StabilizerTableau
+
+    n_tab = 128 if quick else 256
+    tableau = StabilizerTableau(n_tab)
+
+    def _tableau_pass() -> None:
+        for q in range(n_tab):
+            tableau.h(q)
+        for q in range(n_tab - 1):
+            tableau.cx(q, q + 1)
+
+    gates_per_pass = 2 * n_tab - 1
+    tableau_seconds = _best_seconds(_tableau_pass, repeats + 1)
+    if tableau_seconds > 0.0:
+        clifford_seconds = tableau_seconds / (gates_per_pass * n_tab)
+        measurements["stabilizer"] = {
+            "n_qubits": n_tab,
+            "gates_per_pass": gates_per_pass,
+            "pass_seconds": tableau_seconds,
+            "seconds_per_clifford_gate": clifford_seconds,
+        }
+
     profile = CalibrationProfile(
         created=utc_timestamp(),
         seconds_per_unit=unit if unit > 0.0 else None,
@@ -280,6 +308,7 @@ def run_calibration(
         chunk_threshold=chunk_threshold,
         recommended_threads=cores if cores > 1 else None,
         recommended_shm_workers=shm_workers if shm_barrier_units is not None else None,
+        seconds_per_clifford_gate=clifford_seconds,
         measurements=measurements,
     )
     if profile_path is not None:

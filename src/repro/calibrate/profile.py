@@ -100,6 +100,10 @@ class CalibrationProfile:
     chunk_threshold: int | None = None
     recommended_threads: int | None = None
     recommended_shm_workers: int | None = None
+    #: Measured wall seconds per Clifford gate per tableau qubit-row (the
+    #: stabilizer lane's O(n) per-gate constant); feeds
+    #: :meth:`SimulationCostModel.stabilizer_seconds` predictions.
+    seconds_per_clifford_gate: float | None = None
     measurements: dict = field(default_factory=dict)
 
     def matches_host(self) -> bool:

@@ -11,6 +11,9 @@ One protocol (:class:`ExecutionBackend`) behind every execution path:
   stealing), worker-death retry.
 * :class:`DensityBackend` — density-matrix evolution (the noisy
   accelerator's seam).
+* :class:`StabilizerBackend` — CHP-style tableau execution for Clifford
+  circuits: O(n²) per measurement instead of O(2^n) amplitudes, the lane
+  the cost model routes Clifford-only jobs to automatically.
 * :class:`SharedStatePool` — not a backend but the shared-memory
   :class:`~repro.simulator.execution_plan.ChunkPool`: worker processes
   cooperating on one large state through shared amplitude buffers, the
@@ -31,12 +34,16 @@ from .retry import (
 )
 from .sharded import ShardedExecutor, get_sharded_executor, shutdown_sharded_executors
 from .shm import SharedStatePool, get_shared_state_pool, shutdown_shared_state_pools
+from .stabilizer import StabilizerBackend, StabilizerTableau, estimate_tableau_bytes
 
 __all__ = [
     "ExecutionBackend",
     "ExecutionResult",
     "LocalBackend",
     "DensityBackend",
+    "StabilizerBackend",
+    "StabilizerTableau",
+    "estimate_tableau_bytes",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
     "NO_RETRY",

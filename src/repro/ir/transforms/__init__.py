@@ -10,12 +10,20 @@ Python analogues used by the default compilation pipeline:
 * :class:`SingleQubitFusionPass` — fuses runs of single-qubit gates on a
   qubit into one :class:`~repro.ir.gates.U3`.
 * :class:`PassManager` — runs an ordered list of passes to a fixed point.
+* :func:`classify_clifford` — compile-time circuit-class analysis: lowers
+  Clifford circuits (including Clifford-angle rotations) to the stabilizer
+  tableau's primitive gate set, or names the first non-Clifford obstruction.
 """
 
 from .pass_base import BasePass, PassManager, default_pass_manager
 from .inverse_cancellation import InverseCancellationPass
 from .rotation_merging import RotationMergingPass
 from .gate_fusion import SingleQubitFusionPass
+from .clifford import (
+    CliffordClassification,
+    classify_clifford,
+    clear_clifford_cache,
+)
 
 __all__ = [
     "BasePass",
@@ -24,4 +32,7 @@ __all__ = [
     "InverseCancellationPass",
     "RotationMergingPass",
     "SingleQubitFusionPass",
+    "CliffordClassification",
+    "classify_clifford",
+    "clear_clifford_cache",
 ]

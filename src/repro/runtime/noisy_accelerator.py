@@ -68,7 +68,12 @@ class NoisyAccelerator(Accelerator, Cloneable):
             )
         shots = self._resolve_shots(shots)
         result = self._backend.execute(
-            circuit, shots, n_qubits=buffer.size, seed=get_config().seed
+            circuit,
+            shots,
+            n_qubits=buffer.size,
+            seed=get_config().seed,
+            # Semantic (job-key) option: "single" evolves in complex64.
+            precision=str(self.options.get("precision", "double")),
         )
 
         for bitstring, count in result.counts.items():
@@ -78,6 +83,7 @@ class NoisyAccelerator(Accelerator, Cloneable):
                 "backend": self.name(),
                 "shots": shots,
                 "purity": result.extra["purity"],
+                "precision": result.extra["precision"],
                 "execution-time-seconds": result.seconds,
             }
         )

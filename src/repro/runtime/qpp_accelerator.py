@@ -133,6 +133,19 @@ class QppAccelerator(Accelerator, Cloneable):
         circuit: CompositeInstruction,
         shots: int | None = None,
     ) -> AcceleratorBuffer:
+        # Explicit simulation-method override.  "auto" here means *dense*:
+        # this adapter is one dispatch target, not a router — automatic
+        # Clifford routing is the job broker's decision (it sizes admission
+        # and skips the shard lane accordingly).  "stabilizer" is the direct
+        # tableau path for callers driving the accelerator without a broker.
+        method = str(self.options.get("method", "auto")).strip().lower()
+        if method not in ("auto", "statevector", "stabilizer"):
+            raise AcceleratorError(
+                f"unknown simulation method {self.options.get('method')!r}; "
+                f"expected 'auto', 'statevector' or 'stabilizer'"
+            )
+        if method == "stabilizer":
+            return self._execute_stabilizer(buffer, circuit, shots)
         self._check_size(buffer, circuit)
         if circuit.is_parameterized:
             raise AcceleratorError(
@@ -187,6 +200,47 @@ class QppAccelerator(Accelerator, Cloneable):
             {"backend": self.name(), "shots": shots, "threads": self.num_threads}
         )
         buffer.information.update(information)
+        return buffer
+
+    def _execute_stabilizer(
+        self,
+        buffer: AcceleratorBuffer,
+        circuit: CompositeInstruction,
+        shots: int | None,
+    ) -> AcceleratorBuffer:
+        """Tableau execution for an explicit ``method: "stabilizer"``.
+
+        Deliberately skips :meth:`_check_size`: the ``max_qubits`` ceiling
+        guards dense amplitude allocation (``2**n`` complex values), while
+        the tableau allocates O(n²) *bits* — a 500-qubit register is ~1 MB.
+        Non-Clifford circuits fail with the classifier's obstruction.
+        """
+        from ..exec.stabilizer import StabilizerBackend
+
+        if circuit.is_parameterized:
+            raise AcceleratorError(
+                f"circuit {circuit.name!r} has unbound parameters "
+                f"{sorted(p.name for p in circuit.free_parameters)}"
+            )
+        shots = self._resolve_shots(shots)
+        result = StabilizerBackend().execute(
+            circuit, shots, n_qubits=buffer.size, seed=get_config().seed
+        )
+        for bitstring, count in result.counts.items():
+            buffer.add_measurement(bitstring, count)
+        buffer.information.update(
+            {
+                "backend": self.name(),
+                "shots": shots,
+                "threads": self.num_threads,
+                "method": "stabilizer",
+                "execution-time-seconds": result.seconds,
+                "circuit-depth": result.depth,
+                "circuit-gates": result.n_gates,
+                "plan-cached": False,
+                "processes": 0,
+            }
+        )
         return buffer
 
     def _execute_gate_by_gate(

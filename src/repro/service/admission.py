@@ -35,16 +35,30 @@ _AMPLITUDE_ITEMSIZE = {"double": 16, "single": 8}
 
 
 def estimate_job_bytes(
-    n_qubits: int, shots: int = 0, precision: str = "double"
+    n_qubits: int,
+    shots: int = 0,
+    precision: str = "double",
+    *,
+    method: str = "statevector",
 ) -> int:
     """Working-set estimate for one job of ``n_qubits``.
 
-    Dominated by the amplitude buffers: ``2**n`` amplitudes in the job's
-    precision tier (complex128 by default, complex64 for ``"single"``),
-    doubled for the ping-pong scratch.  Histogram output is bounded by
-    ``shots`` distinct bitstrings and is usually noise, but it is counted
-    so a million-shot job on a wide register is not free.
+    For dense methods, dominated by the amplitude buffers: ``2**n``
+    amplitudes in the job's precision tier (complex128 by default,
+    complex64 for ``"single"``), doubled for the ping-pong scratch.
+    Histogram output is bounded by ``shots`` distinct bitstrings and is
+    usually noise, but it is counted so a million-shot job on a wide
+    register is not free.
+
+    When the classifier routed the job to the stabilizer tableau
+    (``method="stabilizer"``), the working set is the O(n²) binary tableau
+    instead — this is what lets a 500-qubit Clifford job through a budget
+    that would reject its 2**500-amplitude dense estimate outright.
     """
+    if str(method).strip().lower() == "stabilizer":
+        from ..exec.stabilizer import estimate_tableau_bytes
+
+        return estimate_tableau_bytes(max(0, int(n_qubits)), int(shots))
     itemsize = _AMPLITUDE_ITEMSIZE.get(str(precision), 16)
     amplitudes = 1 << max(0, int(n_qubits))
     return amplitudes * itemsize * 2 + int(shots) * 8

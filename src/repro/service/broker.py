@@ -61,9 +61,11 @@ from ..exceptions import (
 )
 from ..exec.retry import RetryPolicy, is_infrastructure_failure
 from ..ir.composite import CompositeInstruction
+from ..ir.transforms.clifford import classify_clifford
 from ..obs.trace import get_tracer
 from ..runtime.accelerator import Accelerator
 from ..runtime.buffer import AcceleratorBuffer
+from ..simulator.cost_model import SIMULATION_METHODS, SimulationCostModel
 from .admission import AdmissionController, estimate_job_bytes
 from .batching import BatchingJobQueue, PendingBatch
 from .breaker import CircuitBreaker
@@ -252,6 +254,27 @@ class QuantumJobService:
         #: part of the job key, so cached and freshly executed histograms
         #: always agree on it.
         self.precision = str(self.backend_options.get("precision", "double"))
+        #: Simulation-method routing policy: ``auto`` lets the Clifford
+        #: classifier steer eligible jobs onto the stabilizer tableau,
+        #: ``statevector`` is the documented opt-out (always dense), and
+        #: ``stabilizer`` forces the tableau (non-Clifford jobs then fail
+        #: with the classifier's obstruction).  Validated here so a typo
+        #: fails at construction, not in a dispatcher thread.
+        self.method = str(self.backend_options.get("method", "auto")).strip().lower()
+        if self.method not in SIMULATION_METHODS:
+            raise ExecutionError(
+                f"unknown simulation method {self.backend_options.get('method')!r}; "
+                f"expected one of {SIMULATION_METHODS}"
+            )
+        if self.method == "stabilizer" and self.backend != "qpp":
+            raise ExecutionError(
+                f"the stabilizer method routes within the 'qpp' backend's "
+                f"dispatch path, got backend {self.backend!r}"
+            )
+        #: Categorical method router (the tableau-vs-dense choice is not a
+        #: constant-factor comparison, so an uncalibrated model is fine).
+        self._cost_model = SimulationCostModel()
+        self._stabilizer_backend = None
         self._state_lock = threading.Lock()
         self._started = False
         self._shut_down = False
@@ -859,6 +882,56 @@ class QuantumJobService:
             return "admission_rejected"
         return None
 
+    # -- circuit-class routing -------------------------------------------------------
+    def _stabilizer(self):
+        """The broker-owned stabilizer backend (lazily created, stateless)."""
+        with self._state_lock:
+            backend = self._stabilizer_backend
+            if backend is None:
+                from ..exec.stabilizer import StabilizerBackend
+
+                backend = self._stabilizer_backend = StabilizerBackend()
+        return backend
+
+    def _method_for(self, spec: JobSpec) -> str:
+        """Simulation method for one bound-circuit batch.
+
+        Only the qpp dispatch path routes (the density/noisy path has its
+        own physics; a noisy channel is not Clifford evolution).  Under
+        ``auto`` the cached classifier verdict decides; an explicit
+        ``stabilizer`` request on a non-Clifford circuit raises here —
+        inside the batch's failure envelope, so every rider sees the typed
+        error instead of a hang.
+        """
+        if self.backend != "qpp" or self.method == "statevector":
+            return "statevector"
+        classification = classify_clifford(spec.circuit)
+        return self._cost_model.choose_backend(classification, self.method)
+
+    def _sweep_method(self, spec: JobSpec, bindings) -> str:
+        """Simulation method for one sweep chunk.
+
+        The parametric template cannot be classified — the binding decides
+        whether an ``RZ(θ)`` is Clifford — so each bound form is classified
+        and the tableau is chosen only when *every* binding in the chunk is
+        Clifford (a mixed sweep stays dense: per-binding lane splits would
+        break the one-compile-one-lane contract sweeps advertise).
+        """
+        if self.backend != "qpp" or self.method == "statevector":
+            return "statevector"
+        for binding in bindings:
+            bound = spec.circuit.bind(binding) if spec.circuit.is_parameterized else spec.circuit
+            classification = classify_clifford(bound)
+            if not classification.is_clifford:
+                if self.method == "stabilizer":
+                    raise ExecutionError(
+                        f"method 'stabilizer' was requested but binding "
+                        f"{canonical_binding(binding)!r} is not Clifford: "
+                        f"{classification.reason}"
+                    )
+                return "statevector"
+        return "stabilizer"
+
     def _process_batch(self, batch: PendingBatch, qpu: Accelerator) -> None:
         if batch.spec.sweep is not None:
             # Sweep chunks never coalesce (unique per-chunk keys), so the
@@ -891,13 +964,14 @@ class QuantumJobService:
         )
         try:
             target_shots = batch.target_shots
+            method = self._method_for(spec)
             requested_bytes = estimate_job_bytes(
-                spec.n_qubits, target_shots, precision=self.precision
+                spec.n_qubits, target_shots, precision=self.precision, method=method
             )
             with tracer.span(
                 "admission",
                 parent=ctx,
-                attrs={"requested_bytes": requested_bytes},
+                attrs={"requested_bytes": requested_bytes, "method": method},
             ):
                 ticket = self._admission.admit(
                     requested_bytes, deadline=token.deadline
@@ -905,7 +979,7 @@ class QuantumJobService:
             with ticket:
                 with tracer.activate(ctx), cancel_scope(token):
                     full_counts, execution_seconds, from_cache = self._counts_for(
-                        spec, target_shots, qpu
+                        spec, target_shots, qpu, method=method
                     )
             if from_cache:
                 # Warmed between submit and dispatch (a racing worker or an
@@ -1022,8 +1096,9 @@ class QuantumJobService:
                     if self._sharded is not None
                     else 1
                 )
+                method = self._sweep_method(spec, bindings)
                 requested_bytes = estimate_job_bytes(
-                    spec.n_qubits, spec.shots, precision=self.precision
+                    spec.n_qubits, spec.shots, precision=self.precision, method=method
                 ) * max(1, width)
                 with tracer.span(
                     "admission",
@@ -1031,6 +1106,7 @@ class QuantumJobService:
                     attrs={
                         "requested_bytes": requested_bytes,
                         "bindings": len(live),
+                        "method": method,
                     },
                 ):
                     ticket = self._admission.admit(
@@ -1039,7 +1115,9 @@ class QuantumJobService:
                 with ticket:
                     with tracer.activate(ctx), cancel_scope(token):
                         started_wall = time.time()
-                        results = self._execute_sweep_chunk(spec, bindings, qpu)
+                        results = self._execute_sweep_chunk(
+                            spec, bindings, qpu, method=method
+                        )
                 with tracer.span(
                     "reconcile", parent=ctx, attrs={"riders": len(live)}
                 ):
@@ -1089,17 +1167,30 @@ class QuantumJobService:
         finally:
             handle._finish_if_done()
 
-    def _execute_sweep_chunk(self, spec: JobSpec, bindings, qpu: Accelerator):
+    def _execute_sweep_chunk(
+        self, spec: JobSpec, bindings, qpu: Accelerator, method: str = "statevector"
+    ):
         """Compile-once execution of one sweep chunk's bindings.
 
         Mirrors :meth:`_execute_missing`'s lane selection: the shard lane
         (which fans binding ranges across worker processes) sits behind the
         same circuit breaker and degrades to the dispatcher thread's
-        in-process clone on infrastructure failures.  Returns the per-
-        binding :class:`~repro.exec.backend.ExecutionResult` list in
-        binding order.
+        in-process clone on infrastructure failures; all-Clifford chunks
+        skip both lanes for the tableau.  Returns the per-binding
+        :class:`~repro.exec.backend.ExecutionResult` list in binding order.
         """
         tracer = get_tracer()
+        if method == "stabilizer":
+            with tracer.span("stabilizer-sweep", attrs={"bindings": len(bindings)}):
+                results = self._stabilizer().execute_sweep(
+                    spec.circuit,
+                    bindings,
+                    spec.shots,
+                    n_qubits=spec.n_qubits,
+                    seed=get_config().seed,
+                )
+            self._metrics.increment("stabilizer_executions", len(results))
+            return results
         chunk_threshold = self.backend_options.get("chunk-threshold")
         kwargs = dict(
             n_qubits=spec.n_qubits,
@@ -1151,7 +1242,11 @@ class QuantumJobService:
             return backend_factory().execute_sweep(spec.circuit, bindings, spec.shots, **kwargs)
 
     def _counts_for(
-        self, spec: JobSpec, target_shots: int, qpu: Accelerator
+        self,
+        spec: JobSpec,
+        target_shots: int,
+        qpu: Accelerator,
+        method: str = "statevector",
     ) -> tuple[dict[str, int], float, bool]:
         """Obtain a histogram with at least ``target_shots`` observations.
 
@@ -1174,7 +1269,7 @@ class QuantumJobService:
             if entry is not None and cached_shots >= target_shots:
                 return entry.counts, execution_seconds, not executed_any
             missing = target_shots - cached_shots
-            fresh, elapsed = self._execute_missing(spec, missing, qpu)
+            fresh, elapsed = self._execute_missing(spec, missing, qpu, method=method)
             execution_seconds += elapsed
             executed_any = True
             self._metrics.increment("executions")
@@ -1188,9 +1283,20 @@ class QuantumJobService:
             # The base entry vanished mid-merge; run the remainder.
 
     def _execute_missing(
-        self, spec: JobSpec, shots: int, qpu: Accelerator
+        self,
+        spec: JobSpec,
+        shots: int,
+        qpu: Accelerator,
+        method: str = "statevector",
     ) -> tuple[dict[str, int], float]:
         """One backend execution of ``shots`` shots for ``spec``.
+
+        ``method="stabilizer"`` (the classifier's verdict, resolved before
+        admission) bypasses both the shard lane and the accelerator clone:
+        the tableau needs no plan cache, no amplitude buffers, and no
+        per-qubit size ceiling — that bypass is exactly what lets a
+        500-qubit Clifford job through a dispatch path whose dense
+        accelerator refuses anything past ~26 qubits.
 
         In-process mode runs on the dispatcher thread's own accelerator
         clone.  Process-shard mode routes the batch to the shard that owns
@@ -1210,6 +1316,16 @@ class QuantumJobService:
         would fail identically on any lane.
         """
         tracer = get_tracer()
+        if method == "stabilizer":
+            with tracer.span("stabilizer-execute", attrs={"shots": shots}):
+                result = self._stabilizer().execute(
+                    spec.circuit,
+                    shots,
+                    n_qubits=spec.n_qubits,
+                    seed=get_config().seed,
+                )
+            self._metrics.increment("stabilizer_executions")
+            return dict(result.counts), result.seconds
         if self._sharded is not None:
             if self._breaker.allow():
                 chunk_threshold = self.backend_options.get("chunk-threshold")

@@ -65,6 +65,17 @@ __all__ = [
 #: and therefore the sampled distribution, so it is semantic — a
 #: ``precision: "single"`` submission must never be served a complex128
 #: histogram or vice versa.
+#:
+#: ``"method"`` (``auto`` / ``statevector`` / ``stabilizer``) is handled
+#: specially in :func:`config_fingerprint` rather than listed here.  An
+#: *explicit* method is semantic: forcing the tableau or the dense lane
+#: pins the sampling law (the tableau draws its randomness from GF(2)
+#: affine forms, the statevector from a multinomial over amplitudes — same
+#: distribution, different per-seed streams), so an explicit choice must
+#: not share cache entries with the other lane.  The default ``auto`` is
+#: *non-semantic*: it is the broker's routing decision, and the whole
+#: point of automatic Clifford routing is that callers who did not ask for
+#: a method get the fast path without their job identity moving.
 _NON_SEMANTIC_OPTIONS = frozenset(
     {
         "threads",
@@ -104,6 +115,11 @@ def config_fingerprint(
         for key, value in (options or {}).items()
         if key not in _NON_SEMANTIC_OPTIONS
     }
+    # The default method ("auto") is a routing decision, not an identity
+    # (see the module docstring above); explicit methods stay semantic.
+    method = semantic.get("method")
+    if method is not None and str(method).strip().lower() == "auto":
+        semantic = {key: value for key, value in semantic.items() if key != "method"}
     payload = {"backend": backend.lower(), "options": semantic}
     return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
 

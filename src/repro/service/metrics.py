@@ -113,6 +113,9 @@ class MetricsSnapshot:
     executions: int = 0
     #: Executions routed to the process-sharded backend (0 without sharding).
     sharded_executions: int = 0
+    #: Executions the Clifford classifier routed to the stabilizer tableau
+    #: (polynomial-time lane; counted within ``executions``).
+    stabilizer_executions: int = 0
     #: Sharded executions that replayed an already-compiled worker plan
     #: (the per-worker plan caches earning their keep under hash affinity).
     sharded_plan_hits: int = 0
@@ -218,6 +221,7 @@ class ServiceMetrics:
         "cache_hits",
         "executions",
         "sharded_executions",
+        "stabilizer_executions",
         "sharded_plan_hits",
         "sweep_bindings",
         "sweep_fanout",

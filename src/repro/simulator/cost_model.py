@@ -33,7 +33,9 @@ __all__ = [
     "DEFAULT_KERNEL_COST_FACTORS",
     "DEFAULT_KERNEL_PARALLEL_EFFICIENCY",
     "DEFAULT_KERNEL_PROCESS_EFFICIENCY",
+    "DEFAULT_SECONDS_PER_CLIFFORD_GATE",
     "EXECUTION_LANES",
+    "SIMULATION_METHODS",
     "calibration_refinement_count",
 ]
 
@@ -64,6 +66,20 @@ def _reset_refinement_count() -> None:
 #: ``sharded`` is the process-sharded executor (wins only for trajectory
 #: fan-out, where shots split across workers).
 EXECUTION_LANES = ("serial", "threads", "shm", "sharded")
+
+#: Simulation *methods* :meth:`SimulationCostModel.choose_backend` ranks.
+#: ``statevector`` is the dense amplitude simulator (every lane above is a
+#: way of replaying it); ``stabilizer`` is the CHP-style tableau, polynomial
+#: in qubit count but restricted to Clifford circuits.  ``auto`` lets the
+#: classifier decide.
+SIMULATION_METHODS = ("auto", "statevector", "stabilizer")
+
+#: Fallback per-gate tableau cost (seconds per Clifford gate per qubit-row,
+#: i.e. the constant in ``gates * 2n * n / 8`` byte-ops) when the host has
+#: no calibrated ``seconds_per_clifford_gate``.  Only the *ratio* against
+#: the dense model matters for routing, and the tableau wins by orders of
+#: magnitude for every circuit past ~20 qubits, so a loose constant is fine.
+DEFAULT_SECONDS_PER_CLIFFORD_GATE = 2e-6
 
 #: Relative per-amplitude work of each compiled-plan kernel class, with a
 #: dense single-qubit update as 1.0.  Diagonal kernels touch each amplitude
@@ -223,6 +239,13 @@ class SimulationCostModel:
     #: observation).  0.25 converges in a handful of jobs while riding out
     #: one noisy measurement.
     refinement_alpha: float = 0.25
+    #: Measured seconds per Clifford gate on a 2n×n tableau row-pair
+    #: (``None`` until a calibration run fills it in; see
+    #: ``repro.calibrate.harness``).  Only used by :meth:`stabilizer_cost`
+    #: for reporting — routing in :meth:`choose_backend` is *categorical*
+    #: (Clifford ⇒ tableau), because the polynomial/exponential gap is not a
+    #: constant-factor question.
+    seconds_per_clifford_gate: float | None = None
 
     @classmethod
     def from_profile(cls, profile) -> "SimulationCostModel":
@@ -245,6 +268,10 @@ class SimulationCostModel:
             value = getattr(profile, name, None)
             if value is not None:
                 kwargs[name] = type(cls.__dataclass_fields__[name].default)(value)
+        # ``None``-default fields cannot use the type-of-default coercion above.
+        clifford_seconds = getattr(profile, "seconds_per_clifford_gate", None)
+        if clifford_seconds is not None:
+            kwargs["seconds_per_clifford_gate"] = float(clifford_seconds)
         for name, defaults in (
             ("kernel_cost_factors", DEFAULT_KERNEL_COST_FACTORS),
             ("kernel_parallel_efficiency", DEFAULT_KERNEL_PARALLEL_EFFICIENCY),
@@ -534,3 +561,56 @@ class SimulationCostModel:
         )
         lane = min(costs, key=lambda lane: (costs[lane], EXECUTION_LANES.index(lane)))
         return lane, costs
+
+    # -- circuit-class (method) routing ------------------------------------------------
+    def stabilizer_seconds(self, n_qubits: int, n_gates: int, shots: int = 0) -> float:
+        """Predicted wall-clock seconds of a tableau execution.
+
+        The tableau costs ``O(n)`` boolean row-ops per gate on ``2n`` rows
+        (``n_gates * n`` per-gate work units) plus one ``O(n²)`` affine solve
+        per measured qubit at sampling time, folded into a per-shot constant.
+        Uses the calibrated :attr:`seconds_per_clifford_gate` when a profile
+        supplied one, :data:`DEFAULT_SECONDS_PER_CLIFFORD_GATE` otherwise.
+        """
+        per_gate = self.seconds_per_clifford_gate
+        if per_gate is None:
+            per_gate = DEFAULT_SECONDS_PER_CLIFFORD_GATE
+        n = max(1, int(n_qubits))
+        gate_seconds = per_gate * max(0, int(n_gates)) * n
+        sample_seconds = per_gate * max(0, int(shots))
+        return gate_seconds + sample_seconds
+
+    def choose_backend(self, classification, method: str = "auto") -> str:
+        """Route one job to ``"statevector"`` or ``"stabilizer"``.
+
+        ``classification`` is a
+        :class:`~repro.ir.transforms.clifford.CliffordClassification`.
+        Under ``method="auto"`` Clifford-only circuits go to the tableau —
+        polynomial versus exponential is not a break-even computation, so
+        the choice is categorical, not a cost comparison.  An explicit
+        ``method="stabilizer"`` on a non-Clifford circuit is a typed error
+        (the tableau *cannot* run it); explicit ``"statevector"`` always
+        wins (the documented opt-out for callers that need the dense
+        sampling law).  Unknown methods are rejected so option typos fail
+        loudly instead of silently running dense.
+        """
+        from ..exceptions import ExecutionError
+
+        normalized = str(method).strip().lower() if method is not None else "auto"
+        if normalized not in SIMULATION_METHODS:
+            raise ExecutionError(
+                f"unknown simulation method {method!r}; "
+                f"expected one of {SIMULATION_METHODS}"
+            )
+        if normalized == "statevector":
+            return "statevector"
+        is_clifford = bool(getattr(classification, "is_clifford", False))
+        if normalized == "stabilizer":
+            if not is_clifford:
+                reason = getattr(classification, "reason", "") or "not Clifford"
+                raise ExecutionError(
+                    f"method 'stabilizer' was requested but the circuit is "
+                    f"not Clifford: {reason}"
+                )
+            return "stabilizer"
+        return "stabilizer" if is_clifford else "statevector"

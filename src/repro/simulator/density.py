@@ -24,9 +24,21 @@ _MAX_QUBITS = 13
 
 
 class DensityMatrix:
-    """Mixed-state simulation of up to 13 qubits."""
+    """Mixed-state simulation of up to 13 qubits.
 
-    def __init__(self, n_qubits: int, data: np.ndarray | None = None):
+    ``dtype`` selects the evolution precision: ``complex128`` (default) or
+    ``complex64`` for the halved-footprint single-precision tier.  Kraus
+    sums accumulate error linearly in circuit depth, so the single tier's
+    documented bound (diagonal-probability error ≤ 1e-4 for the guarded
+    qubit counts and depths) is looser than the statevector lane's.
+    """
+
+    def __init__(
+        self,
+        n_qubits: int,
+        data: np.ndarray | None = None,
+        dtype: np.dtype | type = np.complex128,
+    ):
         if n_qubits < 1:
             raise ExecutionError(f"n_qubits must be at least 1, got {n_qubits}")
         if n_qubits > _MAX_QUBITS:
@@ -34,20 +46,27 @@ class DensityMatrix:
                 f"density-matrix simulation is limited to {_MAX_QUBITS} qubits, "
                 f"got {n_qubits}"
             )
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.complex128), np.dtype(np.complex64)):
+            raise ExecutionError(
+                f"density-matrix dtype must be complex128 or complex64, got {dtype}"
+            )
+        self._dtype = dtype
         self.n_qubits = int(n_qubits)
         dim = 1 << self.n_qubits
         if data is None:
-            self._rho = np.zeros((dim, dim), dtype=complex)
+            self._rho = np.zeros((dim, dim), dtype=dtype)
             self._rho[0, 0] = 1.0
         else:
-            rho = np.asarray(data, dtype=complex)
+            rho = np.asarray(data, dtype=dtype)
             if rho.shape != (dim, dim):
                 raise ExecutionError(
                     f"density matrix shape {rho.shape} does not match {n_qubits} qubit(s)"
                 )
-            if not np.isclose(np.trace(rho).real, 1.0, atol=1e-8):
+            atol = 1e-8 if self._dtype == np.dtype(np.complex128) else 1e-5
+            if not np.isclose(np.trace(rho).real, 1.0, atol=atol):
                 raise ExecutionError("density matrix must have unit trace")
-            if not np.allclose(rho, rho.conj().T, atol=1e-8):
+            if not np.allclose(rho, rho.conj().T, atol=atol):
                 raise ExecutionError("density matrix must be Hermitian")
             self._rho = rho.copy()
 
@@ -57,12 +76,18 @@ class DensityMatrix:
         return self._rho
 
     @property
+    def dtype(self) -> np.dtype:
+        """Evolution dtype (``complex128`` or the ``complex64`` tier)."""
+        return self._dtype
+
+    @property
     def dim(self) -> int:
         return self._rho.shape[0]
 
     def copy(self) -> "DensityMatrix":
         clone = DensityMatrix.__new__(DensityMatrix)
         clone.n_qubits = self.n_qubits
+        clone._dtype = self._dtype
         clone._rho = self._rho.copy()
         return clone
 
@@ -97,6 +122,7 @@ class DensityMatrix:
         if name == "RESET":
             raise ExecutionError("RESET is not supported by the density-matrix simulator")
         full = self._embed(instruction.matrix(), instruction.qubits)
+        full = full.astype(self._dtype, copy=False)
         self._rho = full @ self._rho @ full.conj().T
         return self
 
@@ -145,6 +171,7 @@ class DensityMatrix:
                 raise ExecutionError(
                     f"Kraus operator shape {op.shape} does not match targets {targets}"
                 )
+            full = full.astype(self._dtype, copy=False)
             new_rho += full @ self._rho @ full.conj().T
         self._rho = new_rho
         return self

@@ -507,6 +507,111 @@ class TestDensityLane:
 
 
 # ---------------------------------------------------------------------------
+# Stabilizer / tableau lane.  In-process like the density lane ("kill"
+# excluded by construction); the fault site sits between the pre-evolution
+# cancellation check and classification, so a tripped fault costs nothing.
+# The chaos circuit must be Clifford — the broker only routes such jobs to
+# the tableau — so this lane swaps chaos_circuit's rz disambiguator for a
+# tag-dependent S/Z suffix.
+# ---------------------------------------------------------------------------
+
+STABILIZER_CASES = [
+    pytest.param(
+        "slow",
+        [FaultSpec(site="stabilizer.execute", action="slow", seconds=0.4)],
+        0.15,
+        DeadlineExceeded,
+        id="stabilizer-slow-deadline",
+    ),
+    pytest.param(
+        "alloc",
+        [
+            FaultSpec(
+                site="stabilizer.execute",
+                action="fail",
+                kind="memory",
+                times=None,
+            )
+        ],
+        None,
+        MemoryError,
+        id="stabilizer-alloc-fail",
+    ),
+]
+
+
+def clifford_chaos_circuit(tag: str, n_qubits: int = 3):
+    """Content-unique per case (like ``chaos_circuit``) but fully Clifford,
+    so the broker's automatic routing sends it to the tableau."""
+    builder = CircuitBuilder(n_qubits, name=f"chaos_stab_{tag}")
+    builder.h(0)
+    for q in range(1, n_qubits):
+        builder.cx(q - 1, q)
+    for _ in range(1 + hash(tag) % 3):
+        builder.s(0)
+    builder.measure_all()
+    return builder.build()
+
+
+class TestStabilizerLane:
+    @pytest.mark.parametrize("tag, specs, deadline, expect", STABILIZER_CASES)
+    def test_stabilizer_fault(self, tag, specs, deadline, expect):
+        from repro.exec.stabilizer import StabilizerBackend
+
+        circuit = clifford_chaos_circuit(f"stab_{tag}")
+        backend = StabilizerBackend()
+        expected = backend.execute(circuit, 64, seed=7).counts
+        install_faults(specs)
+        token = CancelToken(timeout=deadline) if deadline else CancelToken()
+        with pytest.raises(expect):
+            with cancel_scope(token):
+                backend.execute(circuit, 64, seed=7)
+        clear_faults()
+        # Clean failure: the lane serves the next job bit-identically.
+        assert backend.execute(circuit, 64, seed=7).counts == expected
+
+    def test_stabilizer_cancelled_before_classification(self):
+        from repro.exceptions import JobCancelled
+        from repro.exec.stabilizer import StabilizerBackend
+
+        circuit = clifford_chaos_circuit("stab_cancel")
+        backend = StabilizerBackend()
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(JobCancelled):
+            with cancel_scope(token):
+                backend.execute(circuit, 64, seed=7)
+        # A dead token never reaches the tableau; a fresh one does.
+        assert backend.execute(circuit, 64, seed=7).counts
+
+    def test_stabilizer_fault_through_broker_fails_typed(self):
+        """The fault surfaces as a typed error on the job handle when the
+        broker auto-routes a Clifford job to the faulted tableau, and the
+        service keeps serving afterwards."""
+        install_faults(
+            [
+                FaultSpec(
+                    site="stabilizer.execute",
+                    action="fail",
+                    kind="memory",
+                    times=None,
+                )
+            ]
+        )
+        circuit = clifford_chaos_circuit("stab_broker")
+        with QuantumJobService(
+            backend="qpp", workers=1, name="chaos-stab"
+        ) as service:
+            handle = service.submit(circuit, shots=64)
+            with pytest.raises(MemoryError):
+                handle.result(timeout=10)
+            clear_faults()
+            recovered = service.submit(circuit, shots=64).result(timeout=10)
+            assert recovered.total_counts() == 64
+            assert service.metrics().stabilizer_executions == 1
+
+
+# ---------------------------------------------------------------------------
 # Trace trees under chaos
 # ---------------------------------------------------------------------------
 

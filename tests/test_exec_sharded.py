@@ -300,7 +300,10 @@ class TestShardedBroker:
         circuit = ghz_circuit(4)
         with QuantumJobService(
             backend="qpp", workers=1, processes=2, enable_cache=False,
-            backend_options={"threads": 1}, name="plan-hits",
+            # Pin the dense lane: auto-routing would send this Clifford
+            # circuit to the tableau and never warm a shard plan cache.
+            backend_options={"threads": 1, "method": "statevector"},
+            name="plan-hits",
         ) as service:
             service.submit(circuit, shots=32).counts()  # compiles in the worker
             service.submit(circuit, shots=32).counts()  # replays the warm plan

@@ -57,7 +57,11 @@ class TestServiceTrace:
 
     def test_in_process_job_yields_one_stitched_tree(self):
         tracer = enable_tracing()
-        with QuantumJobService(workers=2) as service:
+        # Pin the dense lane: this test asserts the statevector span shape
+        # (compile/replay/sample), which auto-routing would bypass for GHZ.
+        with QuantumJobService(
+            workers=2, backend_options={"method": "statevector"}
+        ) as service:
             handle = service.submit(ghz_circuit(4), shots=128)
             handle.result(timeout=60)
             trace_id = handle.trace_id
@@ -114,7 +118,12 @@ class TestServiceTrace:
 class TestCrossProcessTrace:
     def test_sharded_job_stitches_worker_process_spans(self):
         tracer = enable_tracing()
-        with QuantumJobService(workers=1, processes=2) as service:
+        # Pin the dense lane: the shard-dispatch spans under test only
+        # exist on the statevector path.
+        with QuantumJobService(
+            workers=1, processes=2,
+            backend_options={"method": "statevector"},
+        ) as service:
             handle = service.submit(ghz_circuit(4), shots=256)
             handle.result(timeout=120)
             trace_id = handle.trace_id

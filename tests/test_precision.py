@@ -227,11 +227,25 @@ class TestPrecisionIsSemantic:
         assert single.dtype == np.dtype(np.complex64)
         assert double is not single
 
-    def test_density_backend_rejects_single_precision(self):
-        with pytest.raises(ExecutionError, match="complex128 only"):
-            DensityBackend().execute(
-                bell_circuit(), 32, n_qubits=2, precision="single"
-            )
+    def test_density_backend_accepts_single_precision(self):
+        # PR-8 follow-up: the density lane now has a complex64 tier instead
+        # of rejecting non-double precision outright.
+        result = DensityBackend().execute(
+            bell_circuit(), 32, n_qubits=2, precision="single"
+        )
+        assert result.extra["precision"] == "single"
+        assert sum(result.counts.values()) == 32
+        assert set(result.counts) <= {"00", "11"}
+
+    def test_density_single_tier_matches_double_within_bound(self):
+        from repro.simulator.density import DensityMatrix
+
+        circuit = ghz_circuit(5)
+        double = DensityMatrix(5).apply_circuit(circuit)
+        single = DensityMatrix(5, dtype=np.complex64).apply_circuit(circuit)
+        assert single.data.dtype == np.dtype(np.complex64)
+        error = np.max(np.abs(single.probabilities() - double.probabilities()))
+        assert error <= 1e-4
 
     def test_gate_by_gate_path_rejects_single_precision(self):
         from repro.exceptions import AcceleratorError

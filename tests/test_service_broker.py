@@ -298,7 +298,12 @@ class TestPrioritiesAndLifecycle:
         service.shutdown()
 
     def test_backend_failure_propagates_to_every_rider(self):
-        oversized = CircuitBuilder(30, name="too_big").h(29).measure(29).build()
+        # The rx angle keeps the circuit non-Clifford: a Clifford 30-qubit
+        # circuit would now route to the stabilizer tableau and *succeed*
+        # instead of tripping the dense backend's size ceiling.
+        oversized = (
+            CircuitBuilder(30, name="too_big").h(29).rx(29, 0.3).measure(29).build()
+        )
         service = QuantumJobService(workers=1, auto_start=False)
         first = service.submit(oversized, shots=64)
         rider = service.submit(oversized, shots=64)

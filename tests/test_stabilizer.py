@@ -1,0 +1,501 @@
+"""Cross-validation of the stabilizer tableau lane against the dense lanes.
+
+Three contracts anchor this file:
+
+* **Deterministic circuits are bitwise identical.**  A Clifford circuit
+  whose measurement outcomes are deterministic yields the *same single
+  bitstring* from the tableau and from every dense lane, at any seed —
+  the tableau's symbolic-phase sampling reduces to a constant.
+* **Random-outcome circuits agree distributionally.**  At a fixed seed the
+  tableau's histogram over ≤12 qubits matches the statevector lane's
+  within a chi-square bound — same sampling law, different bit streams.
+* **Routing is sound.**  The classifier lowers exactly the Clifford
+  circuits (including Clifford-angle rotations), the cost model picks the
+  tableau for them and refuses explicit stabilizer requests for anything
+  else, and the broker routes automatically without changing results,
+  job keys, or the non-Clifford path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.ghz import ghz_circuit
+from repro.exceptions import ExecutionError
+from repro.exec import LocalBackend
+from repro.exec.stabilizer import (
+    StabilizerBackend,
+    StabilizerTableau,
+    estimate_tableau_bytes,
+)
+from repro.ir.builder import CircuitBuilder
+from repro.ir.transforms.clifford import classify_clifford, clear_clifford_cache
+from repro.operators.pauli import PauliOperator, PauliTerm
+from repro.runtime.service_registry import reset_registry
+from repro.service import QuantumJobService
+from repro.service.admission import estimate_job_bytes
+from repro.service.keys import job_key
+from repro.simulator.cost_model import SimulationCostModel
+
+
+@pytest.fixture(autouse=True)
+def service_runtime_state():
+    """Broker tests resolve accelerators through the process-wide registry;
+    reset it so no shared singleton leaks across tests."""
+    reset_registry()
+    yield
+    reset_registry()
+
+
+def random_clifford_circuit(rng: np.random.Generator, n_qubits: int, depth: int):
+    """A random measured Clifford circuit over the full lowering surface."""
+    builder = CircuitBuilder(n_qubits, name=f"clifford_rand_{rng.integers(1 << 30)}")
+    single = ("h", "s", "sdg", "x", "y", "z")
+    for _ in range(depth):
+        if n_qubits > 1 and rng.random() < 0.4:
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            getattr(builder, rng.choice(("cx", "cz", "swap")))(int(a), int(b))
+        elif rng.random() < 0.25:
+            # Clifford-angle rotations must lower, not obstruct.
+            k = int(rng.integers(4))
+            builder.rz(int(rng.integers(n_qubits)), k * np.pi / 2)
+        else:
+            getattr(builder, rng.choice(single))(int(rng.integers(n_qubits)))
+    builder.measure_all()
+    return builder.build()
+
+
+def chi_square(observed: dict, expected: dict, shots: int) -> float:
+    """Pearson chi-square of two fixed-shot histograms (expected as model)."""
+    total_expected = sum(expected.values())
+    stat = 0.0
+    for key in set(observed) | set(expected):
+        model = expected.get(key, 0) / total_expected * shots
+        if model < 1e-12:
+            # Observed a key the model gives zero probability: impossible
+            # under agreement, so make the statistic fail loudly.
+            return float("inf")
+        stat += (observed.get(key, 0) - model) ** 2 / model
+    return stat
+
+
+# ---------------------------------------------------------------------------
+# Tableau unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestTableauGates:
+    def test_initial_state_measures_all_zeros(self):
+        tab = StabilizerTableau(4)
+        assert tab.sample(16, range(4)) == {"0000": 16}
+
+    def test_x_flips_deterministically(self):
+        tab = StabilizerTableau(3)
+        tab.x_gate(1)
+        assert tab.sample(8, range(3)) == {"010": 8}
+
+    def test_h_then_h_is_identity(self):
+        tab = StabilizerTableau(2)
+        tab.h(0)
+        tab.h(0)
+        assert tab.sample(8, range(2)) == {"00": 8}
+
+    def test_bell_pair_is_perfectly_correlated(self):
+        tab = StabilizerTableau(2)
+        tab.h(0)
+        tab.cx(0, 1)
+        counts = tab.sample(512, range(2), np.random.default_rng(3))
+        assert set(counts) == {"00", "11"}
+        assert sum(counts.values()) == 512
+
+    def test_swap_moves_excitation(self):
+        tab = StabilizerTableau(2)
+        tab.x_gate(0)
+        tab.swap(0, 1)
+        assert tab.sample(8, range(2)) == {"01": 8}
+
+    def test_s_squared_is_z(self):
+        # S²|+> = Z|+> = |->; interferometry detects the phase: H S S H |0> = |1>.
+        tab = StabilizerTableau(1)
+        tab.h(0)
+        tab.s(0)
+        tab.s(0)
+        tab.h(0)
+        assert tab.sample(8, [0]) == {"1": 8}
+
+    def test_sdg_inverts_s(self):
+        tab = StabilizerTableau(1)
+        tab.h(0)
+        tab.s(0)
+        tab.sdg(0)
+        tab.h(0)
+        assert tab.sample(8, [0]) == {"0": 8}
+
+    def test_reset_after_superposition_restores_zero(self):
+        tab = StabilizerTableau(2)
+        tab.h(0)
+        tab.cx(0, 1)
+        tab.reset(0)
+        counts = tab.sample(256, [0], np.random.default_rng(5))
+        assert counts == {"0": 256}
+
+    def test_mid_circuit_measurement_collapses(self):
+        tab = StabilizerTableau(1)
+        tab.h(0)
+        first = tab.measure(0)
+        second = tab.measure(0)
+        # Repeated measurement returns the identical affine form.
+        assert np.array_equal(first, second)
+
+    def test_expectation_signs(self):
+        tab = StabilizerTableau(2)
+        tab.h(0)
+        tab.cx(0, 1)
+        assert tab.expectation_sign({0: "Z", 1: "Z"}) == 1.0
+        assert tab.expectation_sign({0: "X", 1: "X"}) == 1.0
+        assert tab.expectation_sign({0: "Y", 1: "Y"}) == -1.0
+        assert tab.expectation_sign({0: "Z"}) == 0.0
+
+
+class TestTableauSizing:
+    def test_estimate_is_quadratic_not_exponential(self):
+        assert estimate_tableau_bytes(500) < 2_000_000
+        assert estimate_tableau_bytes(500) > estimate_tableau_bytes(100)
+
+    def test_admission_uses_tableau_bytes_for_stabilizer_method(self):
+        dense = estimate_job_bytes(30, 100)
+        tableau = estimate_job_bytes(30, 100, method="stabilizer")
+        assert tableau == estimate_tableau_bytes(30, 100)
+        assert tableau < dense
+        # 500 dense qubits would overflow any budget; the tableau fits.
+        assert estimate_job_bytes(500, 100, method="stabilizer") < 2_000_000
+
+
+# ---------------------------------------------------------------------------
+# Classifier soundness
+# ---------------------------------------------------------------------------
+
+
+class TestCliffordClassifier:
+    def test_ghz_is_clifford(self):
+        verdict = classify_clifford(ghz_circuit(5))
+        assert verdict.is_clifford
+        assert verdict.measured_qubits == (0, 1, 2, 3, 4)
+
+    def test_clifford_angle_rotations_lower(self):
+        circuit = (
+            CircuitBuilder(1, name="rz_angles")
+            .h(0)
+            .rz(0, np.pi / 2)
+            .rz(0, np.pi)
+            .rz(0, -np.pi / 2)
+            .measure(0)
+            .build()
+        )
+        verdict = classify_clifford(circuit)
+        assert verdict.is_clifford
+        assert ("s", 0) in verdict.ops
+        assert ("z", 0) in verdict.ops
+        assert ("sdg", 0) in verdict.ops
+
+    def test_generic_rotation_names_the_obstruction(self):
+        circuit = CircuitBuilder(1, name="rz_generic").rz(0, 0.3).measure(0).build()
+        verdict = classify_clifford(circuit)
+        assert not verdict.is_clifford
+        assert "RZ" in verdict.reason
+
+    def test_t_gate_is_not_clifford(self):
+        circuit = CircuitBuilder(1, name="t_gate").t(0).measure(0).build()
+        assert not classify_clifford(circuit).is_clifford
+
+    def test_toffoli_is_not_clifford(self):
+        circuit = CircuitBuilder(3, name="ccx").ccx(0, 1, 2).measure_all().build()
+        assert not classify_clifford(circuit).is_clifford
+
+    def test_unbound_parameter_is_not_clifford(self):
+        from repro.ir.parameter import Parameter
+
+        theta = Parameter("theta")
+        circuit = CircuitBuilder(1, name="sym").rz(0, theta).measure(0).build()
+        verdict = classify_clifford(circuit)
+        assert not verdict.is_clifford
+        assert "unbound" in verdict.reason
+
+    def test_verdicts_are_cached_by_content(self):
+        clear_clifford_cache()
+        first = classify_clifford(ghz_circuit(4))
+        renamed = ghz_circuit(4)
+        renamed.name = "same_physics_other_name"
+        assert classify_clifford(renamed) is first
+
+
+class TestCostModelRouting:
+    def test_auto_picks_tableau_for_clifford(self):
+        model = SimulationCostModel()
+        verdict = classify_clifford(ghz_circuit(6))
+        assert model.choose_backend(verdict) == "stabilizer"
+
+    def test_auto_keeps_non_clifford_dense(self):
+        model = SimulationCostModel()
+        circuit = CircuitBuilder(2, name="dense").rz(0, 0.3).measure_all().build()
+        assert model.choose_backend(classify_clifford(circuit)) == "statevector"
+
+    def test_explicit_statevector_always_wins(self):
+        model = SimulationCostModel()
+        verdict = classify_clifford(ghz_circuit(6))
+        assert model.choose_backend(verdict, "statevector") == "statevector"
+
+    def test_explicit_stabilizer_on_non_clifford_raises(self):
+        model = SimulationCostModel()
+        circuit = CircuitBuilder(2, name="dense2").rz(0, 0.3).measure_all().build()
+        with pytest.raises(ExecutionError, match="not Clifford"):
+            model.choose_backend(classify_clifford(circuit), "stabilizer")
+
+    def test_unknown_method_raises(self):
+        model = SimulationCostModel()
+        with pytest.raises(ExecutionError, match="unknown simulation method"):
+            model.choose_backend(classify_clifford(ghz_circuit(2)), "tensor")
+
+    def test_stabilizer_seconds_scales_polynomially(self):
+        model = SimulationCostModel(seconds_per_clifford_gate=1e-7)
+        small = model.stabilizer_seconds(10, 100)
+        large = model.stabilizer_seconds(500, 100)
+        assert large == pytest.approx(small * 50)
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation against the dense lanes (≤ 12 qubits)
+# ---------------------------------------------------------------------------
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("n_qubits", [2, 5, 8, 12])
+    def test_ghz_counts_match_distribution(self, n_qubits):
+        circuit = ghz_circuit(n_qubits)
+        shots = 2048
+        dense = LocalBackend().execute(circuit, shots, seed=17).counts
+        tableau = StabilizerBackend().execute(circuit, shots, seed=17).counts
+        assert set(tableau) == set(dense) == {"0" * n_qubits, "1" * n_qubits}
+        assert sum(tableau.values()) == shots
+        # Fair-coin marginal: both lanes within 5 sigma of shots/2.
+        sigma = (shots * 0.25) ** 0.5
+        assert abs(tableau["0" * n_qubits] - shots / 2) < 5 * sigma
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_deterministic_circuits_bitwise_identical(self, trial):
+        """No-H Clifford circuits are computational-basis permutations: the
+        outcome is one bitstring, identical across lanes at *any* seed."""
+        rng = np.random.default_rng(100 + trial)
+        n = int(rng.integers(3, 9))
+        builder = CircuitBuilder(n, name=f"perm_{trial}")
+        for _ in range(30):
+            if rng.random() < 0.5 and n > 1:
+                a, b = rng.choice(n, size=2, replace=False)
+                getattr(builder, rng.choice(("cx", "swap")))(int(a), int(b))
+            else:
+                getattr(builder, rng.choice(("x", "z")))(int(rng.integers(n)))
+        builder.measure_all()
+        circuit = builder.build()
+        dense = LocalBackend().execute(circuit, 64, seed=int(rng.integers(1 << 20))).counts
+        tableau = StabilizerBackend().execute(circuit, 64, seed=0).counts
+        assert len(dense) == len(tableau) == 1
+        assert tableau == dense
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_random_clifford_distributions_agree(self, trial):
+        """Chi-square agreement at fixed seeds over random Clifford circuits."""
+        rng = np.random.default_rng(2000 + trial)
+        n = int(rng.integers(2, 13))
+        circuit = random_clifford_circuit(rng, n, depth=40)
+        shots = 4096
+        dense = LocalBackend().execute(circuit, shots, seed=23).counts
+        tableau = StabilizerBackend().execute(circuit, shots, seed=23).counts
+        assert sum(tableau.values()) == shots
+        # Stabilizer outcomes are uniform over an affine subspace of
+        # dimension d ≤ n: degrees of freedom = |support| - 1.
+        dof = max(1, len(dense) - 1)
+        stat = chi_square(tableau, dense, shots)
+        # 5-sigma-ish bound: mean dof, variance 2·dof.
+        assert stat < dof + 5 * (2 * dof) ** 0.5 + 10, f"chi2={stat} dof={dof}"
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_expectation_matches_dense(self, trial):
+        rng = np.random.default_rng(3000 + trial)
+        n = int(rng.integers(2, 7))
+        builder = CircuitBuilder(n, name=f"expect_{trial}")
+        for _ in range(25):
+            if rng.random() < 0.4 and n > 1:
+                a, b = rng.choice(n, size=2, replace=False)
+                builder.cx(int(a), int(b))
+            else:
+                getattr(builder, rng.choice(("h", "s", "x", "z")))(int(rng.integers(n)))
+        circuit = builder.build()
+        terms = []
+        for _ in range(4):
+            paulis = {
+                int(q): str(rng.choice(("X", "Y", "Z")))
+                for q in rng.choice(n, size=min(n, 2), replace=False)
+            }
+            terms.append(PauliTerm(paulis, float(rng.normal())))
+        observable = PauliOperator(terms)
+        dense = LocalBackend().expectation(circuit, observable, n_qubits=n)
+        tableau = StabilizerBackend().expectation(circuit, observable, n_qubits=n)
+        assert tableau == pytest.approx(dense, abs=1e-9)
+
+    def test_reset_distribution_matches_dense(self):
+        builder = CircuitBuilder(2, name="reset_dist")
+        builder.h(0).cx(0, 1).reset(0).h(0).measure_all()
+        circuit = builder.build()
+        shots = 4096
+        dense = LocalBackend().execute(circuit, shots, seed=29).counts
+        tableau = StabilizerBackend().execute(circuit, shots, seed=29).counts
+        for key in set(dense) | set(tableau):
+            assert abs(tableau.get(key, 0) - dense.get(key, 0)) < 5 * (shots * 0.25) ** 0.5
+
+    def test_non_clifford_circuit_fails_loudly(self):
+        circuit = CircuitBuilder(1, name="nc").rz(0, 0.3).measure(0).build()
+        with pytest.raises(ExecutionError, match="Clifford"):
+            StabilizerBackend().execute(circuit, 16)
+
+    def test_fixed_seed_is_reproducible(self):
+        circuit = ghz_circuit(6)
+        first = StabilizerBackend().execute(circuit, 1024, seed=7).counts
+        second = StabilizerBackend().execute(circuit, 1024, seed=7).counts
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Job keys: "auto" routes, explicit methods pin
+# ---------------------------------------------------------------------------
+
+
+class TestMethodKeySemantics:
+    def test_auto_method_does_not_change_the_job_key(self):
+        circuit = ghz_circuit(4)
+        assert job_key(circuit, "qpp", {}) == job_key(circuit, "qpp", {"method": "auto"})
+
+    def test_explicit_method_is_semantic(self):
+        circuit = ghz_circuit(4)
+        plain = job_key(circuit, "qpp", {})
+        pinned = job_key(circuit, "qpp", {"method": "stabilizer"})
+        dense = job_key(circuit, "qpp", {"method": "statevector"})
+        assert plain != pinned
+        assert plain != dense
+        assert pinned != dense
+
+
+# ---------------------------------------------------------------------------
+# Broker integration: automatic routing end to end
+# ---------------------------------------------------------------------------
+
+
+class TestBrokerRouting:
+    def test_clifford_job_routes_to_tableau(self):
+        with QuantumJobService(workers=1) as service:
+            result = service.submit(ghz_circuit(8), shots=512).result(timeout=30)
+            metrics = service.metrics()
+        assert result.total_counts() == 512
+        assert set(result.counts) == {"0" * 8, "1" * 8}
+        assert metrics.stabilizer_executions == 1
+        assert metrics.executions == 1
+
+    def test_hundreds_of_qubits_clear_the_dense_ceiling(self):
+        """A 120-qubit GHZ sails past the accelerator's 26-qubit dense limit."""
+        with QuantumJobService(workers=1) as service:
+            result = service.submit(ghz_circuit(120), shots=256).result(timeout=60)
+            metrics = service.metrics()
+        assert set(result.counts) == {"0" * 120, "1" * 120}
+        assert metrics.stabilizer_executions == 1
+
+    def test_non_clifford_job_stays_dense_and_bit_identical(self):
+        circuit = (
+            CircuitBuilder(3, name="dense_route")
+            .h(0)
+            .rx(1, 0.3)
+            .cx(0, 1)
+            .measure_all()
+            .build()
+        )
+        with QuantumJobService(workers=1) as service:
+            auto = service.submit(circuit, shots=256).result(timeout=30)
+            metrics = service.metrics()
+        with QuantumJobService(
+            workers=1, backend_options={"method": "statevector"}
+        ) as service:
+            pinned = service.submit(circuit, shots=256).result(timeout=30)
+        assert metrics.stabilizer_executions == 0
+        # Routing changed nothing for the dense path: same seed, same stream.
+        assert auto.counts == pinned.counts
+
+    def test_statevector_opt_out_is_honoured_for_clifford(self):
+        with QuantumJobService(
+            workers=1, backend_options={"method": "statevector"}
+        ) as service:
+            result = service.submit(ghz_circuit(6), shots=256).result(timeout=30)
+            metrics = service.metrics()
+        assert result.total_counts() == 256
+        assert metrics.stabilizer_executions == 0
+        assert metrics.executions == 1
+
+    def test_explicit_stabilizer_on_non_clifford_fails_typed(self):
+        circuit = CircuitBuilder(2, name="bad_pin").rz(0, 0.3).measure_all().build()
+        with QuantumJobService(
+            workers=1, backend_options={"method": "stabilizer"}
+        ) as service:
+            handle = service.submit(circuit, shots=64)
+            with pytest.raises(ExecutionError, match="not Clifford"):
+                handle.result(timeout=30)
+
+    def test_unknown_method_rejected_at_construction(self):
+        with pytest.raises(ExecutionError, match="unknown simulation method"):
+            QuantumJobService(workers=1, backend_options={"method": "tensor"})
+
+    def test_tableau_and_dense_results_share_the_backend_label(self):
+        """Routing is an implementation detail: JobResult.backend stays the
+        submitted backend name either way."""
+        with QuantumJobService(workers=1) as service:
+            clifford = service.submit(ghz_circuit(5), shots=128).result(timeout=30)
+        assert clifford.backend == "qpp"
+
+    def test_clifford_sweep_routes_every_binding(self):
+        from repro.ir.parameter import Parameter
+
+        theta = Parameter("theta")
+        circuit = (
+            CircuitBuilder(3, name="sweep_clifford")
+            .h(0)
+            .rz(0, theta)
+            .cx(0, 1)
+            .cx(1, 2)
+            .measure_all()
+            .build()
+        )
+        with QuantumJobService(workers=1) as service:
+            handle = service.submit_sweep(
+                circuit, [{"theta": 0.0}, {"theta": np.pi / 2}], shots=256
+            )
+            rows = handle.result(timeout=60)
+            metrics = service.metrics()
+        assert len(rows) == 2
+        assert all(sum(row.counts.values()) == 256 for row in rows)
+        assert metrics.stabilizer_executions == 2
+
+    def test_mixed_sweep_stays_dense(self):
+        from repro.ir.parameter import Parameter
+
+        theta = Parameter("theta")
+        circuit = (
+            CircuitBuilder(2, name="sweep_mixed")
+            .h(0)
+            .rz(0, theta)
+            .cx(0, 1)
+            .measure_all()
+            .build()
+        )
+        with QuantumJobService(workers=1) as service:
+            handle = service.submit_sweep(
+                circuit, [{"theta": 0.0}, {"theta": 0.3}], shots=128
+            )
+            rows = handle.result(timeout=60)
+            metrics = service.metrics()
+        assert len(rows) == 2
+        assert metrics.stabilizer_executions == 0
